@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full figures report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:          ## paper-exact input sizes (~16 GB, slow)
+	REPRO_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:             ## print every paper figure as text series
+	$(PYTHON) -m repro.bench.figures
+
+report:              ## regenerate EXPERIMENTS.md (paper vs measured)
+	$(PYTHON) -m repro.bench.report
+
+examples:
+	for f in examples/quickstart.py examples/graph_analytics.py \
+	         examples/distributed_bfs.py examples/machine_model.py \
+	         examples/oo_api_tour.py examples/cost_tracing.py; do \
+	    echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,30 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one figure of the paper: it sweeps the paper's
+x-axis with the simulated machine, asserts the figure's qualitative claims,
+writes the series table to ``benchmarks/results/<name>.txt`` (and stdout),
+and times a representative *real* kernel under pytest-benchmark so wall-clock
+regressions of the actual numpy kernels are tracked too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.harness import Series, format_figure
+from repro.bench.plotting import save_svg
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, title: str, xlabel: str, series: list[Series], *, show_components: bool = False) -> str:
+    """Render a figure (text table + SVG chart), print, persist under results/."""
+    text = format_figure(title, xlabel, series, show_components=show_components)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    try:
+        save_svg(RESULTS_DIR / f"{name}.svg", title, xlabel, series)
+    except ValueError:
+        pass  # all-zero series (nothing to draw on a log axis)
+    print("\n" + text)
+    return text

@@ -1,0 +1,56 @@
+"""Ablation — merge sort vs radix sort inside SpMSpV.
+
+Paper §III-D: "Since SpMSpV requires sorting of integer indices, a less
+expensive integer sorting algorithm (e.g., radix sort) is expected to reduce
+the sorting cost down, as was observed in our prior work."  This bench
+quantifies that prediction with both real kernels and the cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Series, THREAD_SWEEP, scaled_nnz
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_shm
+from repro.ops.spmspv import SORT_STEP
+from repro.runtime import shared_machine
+from repro.sparse import merge_sort, radix_sort
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def workload():
+    n = scaled_nnz(1_000_000, minimum=20_000)
+    return erdos_renyi(n, 16, seed=3), random_sparse_vector(n, density=0.02, seed=5)
+
+
+@pytest.fixture(scope="module")
+def series(workload):
+    a, x = workload
+    out = []
+    for alg in ["merge", "radix"]:
+        ys, sort_ys = [], []
+        for t in THREAD_SWEEP:
+            _, b = spmspv_shm(a, x, shared_machine(t), sort=alg)
+            ys.append(b.total)
+            sort_ys.append(b[SORT_STEP])
+        out.append(Series(alg, list(THREAD_SWEEP), ys, components={SORT_STEP: sort_ys}))
+    return out
+
+
+def test_ablation_sort_algorithm(benchmark, series):
+    merge, radix = series
+    emit("abl_sort", "Ablation: SpMSpV with merge sort vs radix sort",
+         "threads", series, show_components=True)
+    # radix reduces the sorting component at every thread count
+    for k in range(len(merge.xs)):
+        assert radix.components[SORT_STEP][k] < merge.components[SORT_STEP][k]
+    # and therefore the total
+    assert radix.y_at(24) < merge.y_at(24)
+
+    # real-kernel comparison: identical output, measure radix wall-clock
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 1 << 30, 200_000)
+    assert np.array_equal(radix_sort(keys), merge_sort(keys))
+    benchmark(lambda: radix_sort(keys))

@@ -1,0 +1,63 @@
+"""Ablation — SPA-based vs sort-based SpMSpV (paper's reference [9]).
+
+The paper uses "a simple but reasonably efficient implementation using a
+sparse accumulator" and points at more efficient algorithms in its
+reference [9].  This bench compares the SPA kernel against the sort-based
+(expand / radix sort / compress) variant across vector densities: the
+sort-based kernel carries no O(ncols) dense state and wins at moderate
+densities, while the SPA wins once accumulation piles up (sorting only the
+output beats sorting every partial product plus its payload).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Series, scaled_nnz
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_shm, spmspv_shm_merge
+from repro.runtime import shared_machine
+
+from _common import emit
+
+DENSITIES = [0.0001, 0.001, 0.01, 0.05, 0.2]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    n = scaled_nnz(1_000_000, minimum=20_000)
+    return erdos_renyi(n, 16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def series(matrix):
+    a = matrix
+    m = shared_machine(24)
+    xs = list(range(len(DENSITIES)))
+    spa_ys, merge_ys = [], []
+    for f in DENSITIES:
+        x = random_sparse_vector(a.nrows, density=f, seed=5)
+        y1, b1 = spmspv_shm(a, x, m)
+        y2, b2 = spmspv_shm_merge(a, x, m)
+        assert np.array_equal(y1.indices, y2.indices)
+        assert np.allclose(y1.values, y2.values)
+        spa_ys.append(b1.total)
+        merge_ys.append(b2.total)
+    return [Series("SPA", xs, spa_ys), Series("sort-based", xs, merge_ys)]
+
+
+def test_ablation_spmspv_algorithms(benchmark, series, matrix):
+    spa, merge = series
+    emit("abl_spmspv_algorithms",
+         "Ablation: SPA vs sort-based SpMSpV over vector density "
+         f"(density index = {DENSITIES})", "f-index", series)
+    # at the densest point the SPA's O(out) sort beats sorting all flops
+    # (with their payloads)
+    assert spa.ys[-1] < merge.ys[-1]
+    # both stay within an order of magnitude across the sweep (no blow-ups)
+    for y1, y2 in zip(spa.ys, merge.ys):
+        assert y1 < 20 * y2 and y2 < 20 * y1
+
+    a = matrix
+    x = random_sparse_vector(a.nrows, density=0.01, seed=5)
+    m = shared_machine(24)
+    benchmark(lambda: spmspv_shm_merge(a, x, m))

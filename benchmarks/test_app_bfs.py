@@ -1,0 +1,92 @@
+"""Application benchmark — end-to-end distributed BFS (extension).
+
+The paper stops at individual operations, stating the plan "to implement
+and evaluate complete graph algorithms written in our GraphBLAS Chapel
+library" (§V).  This bench does exactly that for the BFS the operations
+were designed to compose into: total simulated BFS time across node
+counts, fine-grained vs bulk-synchronous communication, with the ledger
+attributing cost to gather / multiply / scatter across all iterations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import MAX
+from repro.algebra.semiring import MIN_FIRST
+from repro.algorithms import bfs_levels
+from repro.bench.harness import NODE_SWEEP, Series, scaled_nnz
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.ops.mask import mask_vector_dense
+from repro.ops.spmspv import spmspv_dist
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.sparse import SparseVector
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def graph():
+    n = scaled_nnz(1_000_000, minimum=20_000)
+    a = erdos_renyi(n, 8, seed=21)
+    return ewiseadd_mm(a, a.transposed(), MAX)
+
+
+def _bfs_cost(graph, p: int, comm_mode: str) -> tuple[np.ndarray, CostLedger]:
+    """Run distributed BFS at ``p`` nodes; return (levels, cost ledger)."""
+    grid = LocaleGrid.for_count(p)
+    led = CostLedger()
+    machine = Machine(grid=grid, threads_per_locale=24, ledger=led)
+    ad = DistSparseMatrix.from_global(graph, grid)
+    n = graph.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[0] = 0
+    frontier = DistSparseVector.from_global(
+        SparseVector(n, np.array([0]), np.array([0.0])), grid
+    )
+    bounds = frontier.dist.bounds
+    level = 0
+    while frontier.nnz:
+        level += 1
+        reached, _ = spmspv_dist(
+            ad, frontier, machine, semiring=MIN_FIRST,
+            gather_mode=comm_mode, scatter_mode=comm_mode,
+        )
+        blocks = []
+        for k, blk in enumerate(reached.blocks):
+            lo = int(bounds[k])
+            visited = levels[lo : lo + blk.capacity] >= 0
+            blocks.append(mask_vector_dense(blk, visited, complement=True))
+            levels[lo + blocks[-1].indices] = level
+        frontier = DistSparseVector(n, grid, blocks)
+    return levels, led
+
+
+@pytest.fixture(scope="module")
+def series(graph):
+    out = []
+    reference = None
+    for mode in ["fine", "bulk"]:
+        ys = []
+        for p in NODE_SWEEP:
+            levels, led = _bfs_cost(graph, p, mode)
+            if reference is None:
+                reference = levels
+            assert np.array_equal(levels, reference), "BFS result changed"
+            ys.append(led.by_component().total)
+        out.append(Series(mode, list(NODE_SWEEP), ys))
+    return out
+
+
+def test_app_bfs_distributed(benchmark, graph, series):
+    fine, bulk = series
+    emit("app_bfs", "Application: distributed BFS total simulated time",
+         "nodes", series)
+    # the paper's operation-level findings compose: fine-grained BFS stops
+    # scaling while the bulk-synchronous variant keeps improving
+    assert bulk.y_at(16) < fine.y_at(16)
+    assert bulk.best < bulk.y_at(1)
+    assert fine.y_at(64) > fine.best  # fine regresses past its sweet spot
+
+    benchmark(lambda: bfs_levels(graph, 0))

@@ -1,0 +1,68 @@
+"""Figure 1 — Apply: shared-memory scaling and the distributed collapse.
+
+Paper claims reproduced here:
+
+* left: "Both Apply1 and Apply2 show near-perfect scaling (20x speedup on
+  24 cores) on a single node";
+* right: "Apply1 does not perform well on the distributed-memory setting …
+  requires lots of fine-grained communication"; "Apply2 … shows good
+  scaling as we increase the number of nodes".
+"""
+
+import pytest
+
+from repro.algebra.functional import SQUARE
+from repro.bench.figures import fig1_apply_dist, fig1_apply_shared
+from repro.bench.harness import scaled_nnz
+from repro.generators import random_sparse_vector
+from repro.ops import apply_shm
+from repro.runtime import shared_machine
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def shared_series():
+    return fig1_apply_shared()
+
+
+@pytest.fixture(scope="module")
+def dist_series():
+    return fig1_apply_dist()
+
+
+def test_fig1_left_shared_memory(benchmark, shared_series):
+    apply1, apply2 = shared_series
+    emit("fig01_left", "Fig 1 (left): Apply on one node, nnz=10M (scaled)",
+         "threads", shared_series)
+    # the two variants coincide on a single locale
+    for y1, y2 in zip(apply1.ys, apply2.ys):
+        assert y1 == pytest.approx(y2, rel=0.3)
+    # near-perfect scaling, ~20x on 24 cores
+    assert 15.0 <= apply1.speedup_at(24) <= 23.0
+    assert 15.0 <= apply2.speedup_at(24) <= 23.0
+    # 32 threads buys nothing over 24 (only 24 cores)
+    assert apply2.y_at(32) >= apply2.y_at(24) * 0.95
+
+    # real-kernel timing: one shared-memory Apply pass
+    x = random_sparse_vector(scaled_nnz(10_000_000), nnz=scaled_nnz(10_000_000) // 4, seed=1)
+    machine = shared_machine(24)
+    benchmark(lambda: apply_shm(x, SQUARE, machine))
+
+
+def test_fig1_right_distributed(benchmark, dist_series):
+    apply1, apply2 = dist_series
+    emit("fig01_right", "Fig 1 (right): Apply distributed, 24 threads/node",
+         "nodes", dist_series)
+    # Apply1 is orders of magnitude slower once remote locales exist
+    for p in [4, 16, 64]:
+        assert apply1.y_at(p) > 100 * apply2.y_at(p)
+    # Apply1 only gets worse with more locales (more remote elements)
+    assert apply1.y_at(64) > apply1.y_at(2) * 0.9
+    # Apply2 keeps improving (or at worst flattens) away from one node
+    assert apply2.y_at(4) < apply2.y_at(1)
+    assert apply2.best < apply2.y_at(1)
+
+    x = random_sparse_vector(scaled_nnz(10_000_000), nnz=scaled_nnz(10_000_000) // 4, seed=1)
+    machine = shared_machine(24)
+    benchmark(lambda: apply_shm(x, SQUARE, machine))

@@ -1,0 +1,64 @@
+"""Figure 2 — Assign: the log-lookup penalty and the distributed collapse.
+
+Paper claims reproduced here:
+
+* left: "[Assign2] is an order of magnitude faster than [Assign1] … accessing
+  the ith entry A[i] of the sparse array requires logarithmic time"; "Both
+  Assign1 and Assign2 show reasonable scaling (5-8x speedup on 24 cores)";
+* right: "Assign1 does not perform well on distributed-memory … fine grained
+  communication needed to access array entries".
+"""
+
+import pytest
+
+from repro.bench.figures import fig2_assign_dist, fig2_assign_shared
+from repro.bench.harness import scaled_nnz
+from repro.generators import random_sparse_vector
+from repro.ops import assign_shm2
+from repro.runtime import shared_machine
+from repro.sparse import SparseVector
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def shared_series():
+    return fig2_assign_shared()
+
+
+@pytest.fixture(scope="module")
+def dist_series():
+    return fig2_assign_dist()
+
+
+def test_fig2_left_shared_memory(benchmark, shared_series):
+    assign1, assign2 = shared_series
+    emit("fig02_left", "Fig 2 (left): Assign on one node, nnz=1M (scaled)",
+         "threads", shared_series)
+    # order-of-magnitude gap from the O(log nnz) per-element lookups
+    for t in [1, 8, 24]:
+        assert assign1.y_at(t) > 4 * assign2.y_at(t)
+    # moderate (5-8x-ish) scaling for both
+    assert 3.0 <= assign1.speedup_at(24) <= 23.0
+    assert 3.0 <= assign2.speedup_at(24) <= 23.0
+
+    nnz = scaled_nnz(1_000_000)
+    src = random_sparse_vector(nnz * 4, nnz=nnz, seed=1)
+    machine = shared_machine(24)
+    benchmark(lambda: assign_shm2(SparseVector.empty(src.capacity), src, machine))
+
+
+def test_fig2_right_distributed(benchmark, dist_series):
+    assign1, assign2 = dist_series
+    emit("fig02_right", "Fig 2 (right): Assign distributed, 24 threads/node",
+         "nodes", dist_series)
+    # fine-grained remote lookups destroy Assign1 on multiple locales
+    for p in [4, 16, 64]:
+        assert assign1.y_at(p) > 50 * assign2.y_at(p)
+    # Assign2 improves away from one node
+    assert assign2.y_at(4) < assign2.y_at(1)
+
+    nnz = scaled_nnz(1_000_000)
+    src = random_sparse_vector(nnz * 4, nnz=nnz, seed=1)
+    machine = shared_machine(24)
+    benchmark(lambda: assign_shm2(SparseVector.empty(src.capacity), src, machine))

@@ -1,0 +1,41 @@
+"""Figure 3 — distributed Assign2 at two input sizes (1M vs 100M nonzeros).
+
+Paper claim reproduced: the large input keeps scaling with node count while
+the small input bottoms out on parallel overheads — the burdened-parallelism
+story of §I quantified on Assign.
+"""
+
+import pytest
+
+from repro.bench.figures import fig3_assign_dist_sizes
+from repro.bench.harness import scaled_nnz
+from repro.generators import random_sparse_vector
+from repro.ops import assign_shm2
+from repro.runtime import shared_machine
+from repro.sparse import SparseVector
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig3_assign_dist_sizes()
+
+
+def test_fig3_size_dependent_scaling(benchmark, series):
+    small, large = series
+    emit("fig03", "Fig 3: Assign2 distributed, small vs large input",
+         "nodes", series)
+    # the large input is ~100x the work everywhere
+    assert large.y_at(1) > 20 * small.y_at(1)
+    # the large input scales further: its best point is at a higher node
+    # count and a better speedup than the small input's
+    assert large.speedup_at(64) > small.speedup_at(64)
+    best_small_p = small.xs[small.ys.index(small.best)]
+    best_large_p = large.xs[large.ys.index(large.best)]
+    assert best_large_p >= best_small_p
+
+    nnz = scaled_nnz(100_000_000)
+    src = random_sparse_vector(nnz * 2, nnz=nnz, seed=1)
+    machine = shared_machine(24)
+    benchmark(lambda: assign_shm2(SparseVector.empty(src.capacity), src, machine))

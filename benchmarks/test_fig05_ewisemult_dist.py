@@ -1,0 +1,62 @@
+"""Figure 5 — distributed eWiseMult at 1 and 24 threads per node.
+
+Paper claims reproduced: "When nnz(x) is 100M, we see more than 16x speedup
+when we go from 1 node to 32 nodes.  We do not see good performance for 1M
+nonzeros (and beyond 32 nodes for 100M nonzeros) because of insufficient
+work for each thread (64x24 = 1536 threads)."
+"""
+
+import pytest
+
+from repro.algebra.functional import LAND
+from repro.bench.figures import fig5_ewisemult_dist
+from repro.bench.harness import scaled_nnz
+from repro.generators import random_bool_dense, random_sparse_vector
+from repro.ops import ewisemult_sparse_dense
+from repro.runtime import shared_machine
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def series_1t():
+    return fig5_ewisemult_dist(threads_per_node=1)
+
+
+@pytest.fixture(scope="module")
+def series_24t():
+    return fig5_ewisemult_dist(threads_per_node=24)
+
+
+def test_fig5a_one_thread_per_node(benchmark, series_1t):
+    small, large = series_1t
+    emit("fig05a", "Fig 5a: eWiseMult distributed, 1 thread/node", "nodes", series_1t)
+    # with one thread per node there is plenty of work per thread: the
+    # large input scales well across the whole sweep
+    assert large.speedup_at(32) > 10.0
+    assert small.speedup_at(64) < large.speedup_at(64)
+
+    nnz = scaled_nnz(1_000_000)
+    x = random_sparse_vector(nnz * 4, nnz=nnz, seed=1)
+    y = random_bool_dense(nnz * 4, seed=2)
+    machine = shared_machine(1)
+    benchmark(lambda: ewisemult_sparse_dense(x, y, LAND, machine))
+
+
+def test_fig5b_24_threads_per_node(benchmark, series_24t):
+    small, large = series_24t
+    emit("fig05b", "Fig 5b: eWiseMult distributed, 24 threads/node", "nodes", series_24t)
+    # large input: >10x speedup to 32 nodes (paper: >16x at full size)
+    assert large.speedup_at(32) > 8.0
+    # small input: insufficient work for 1536 threads
+    assert small.speedup_at(64) < 8.0
+    # small input stops improving well before the large one does
+    best_small_p = small.xs[small.ys.index(small.best)]
+    best_large_p = large.xs[large.ys.index(large.best)]
+    assert best_small_p <= best_large_p
+
+    nnz = scaled_nnz(1_000_000)
+    x = random_sparse_vector(nnz * 4, nnz=nnz, seed=1)
+    y = random_bool_dense(nnz * 4, seed=2)
+    machine = shared_machine(24)
+    benchmark(lambda: ewisemult_sparse_dense(x, y, LAND, machine))

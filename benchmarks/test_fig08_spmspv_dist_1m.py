@@ -1,0 +1,49 @@
+"""Figure 8 — distributed SpMSpV component breakdown, n = 1M.
+
+Paper claims reproduced: the gather communication grows by orders of
+magnitude with node count and dominates the runtime, so the total does not
+improve with more nodes; the local multiply itself keeps scaling.
+"""
+
+import pytest
+
+from repro.bench.figures import fig8_spmspv_dist
+from repro.bench.harness import scaled_nnz
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_dist
+from repro.ops.spmspv import GATHER_STEP, MULTIPLY_STEP
+from repro.runtime import LocaleGrid, Machine
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig8_spmspv_dist()
+
+
+def test_fig8_spmspv_distributed_1m(benchmark, series):
+    for s in series:
+        emit(f"fig08_{s.label.replace(',', '_').replace('%', '')}",
+             f"Fig 8: SpMSpV distributed n=1M (scaled), ER {s.label}",
+             "nodes", [s], show_components=True)
+    for s in series:
+        gather = s.components[GATHER_STEP]
+        mult = s.components[MULTIPLY_STEP]
+        k1, k64 = s.xs.index(1), s.xs.index(64)
+        # gather grows by orders of magnitude (zero remote parts at p=1)
+        assert gather[k64] > 100 * max(gather[k1], 1e-9), s.label
+        # and dominates the local multiply at scale
+        assert gather[k64] > mult[k64], s.label
+        # consequently the total does NOT improve from 1 to 64 nodes
+        assert s.y_at(64) > 0.5 * s.y_at(1), s.label
+
+    n = scaled_nnz(1_000_000, minimum=10_000)
+    a = erdos_renyi(n, 16, seed=3)
+    x = random_sparse_vector(n, density=0.02, seed=5)
+    grid = LocaleGrid.for_count(16)
+    machine = Machine(grid=grid, threads_per_locale=24)
+    ad = DistSparseMatrix.from_global(a, grid)
+    xd = DistSparseVector.from_global(x, grid)
+    benchmark(lambda: spmspv_dist(ad, xd, machine))

@@ -1,0 +1,55 @@
+"""Figure 9 — distributed SpMSpV component breakdown, n = 10M.
+
+Paper claims reproduced: "the computation time needed for the local
+multiplication attains up to 43x speedup when we go from 1 node to 64
+nodes … however the communication time needed to gather the input vector
+increases by several orders of magnitude and dominates the overall
+runtime"; the scatter time oscillates with node count (non-square locale
+grids at odd powers of two).
+"""
+
+import pytest
+
+from repro.bench.figures import fig9_spmspv_dist_large
+from repro.bench.harness import scaled_nnz
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_shm
+from repro.ops.spmspv import GATHER_STEP, MULTIPLY_STEP, SCATTER_STEP
+from repro.runtime import shared_machine
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig9_spmspv_dist_large()
+
+
+def test_fig9_spmspv_distributed_10m(benchmark, series):
+    for s in series:
+        emit(f"fig09_{s.label.replace(',', '_').replace('%', '')}",
+             f"Fig 9: SpMSpV distributed n=10M (scaled), ER {s.label}",
+             "nodes", [s], show_components=True)
+    for s in series:
+        gather = s.components[GATHER_STEP]
+        mult = s.components[MULTIPLY_STEP]
+        k1, k64 = s.xs.index(1), s.xs.index(64)
+        # local multiply scales substantially 1 -> 64 nodes
+        assert mult[k1] > 5 * mult[k64], s.label
+        # gather grows by orders of magnitude and dominates at 64 nodes
+        assert gather[k64] > 100 * max(gather[k1], 1e-9), s.label
+        assert gather[k64] > mult[k64], s.label
+    # scatter oscillation: non-square grids (2, 8, 32 nodes) behave
+    # differently from square ones — the series is not monotone
+    s = series[0]
+    scat = s.components[SCATTER_STEP][1:]  # drop p=1 (no scatter)
+    diffs = [b - a for a, b in zip(scat, scat[1:])]
+    assert any(d > 0 for d in diffs) and any(d < 0 for d in diffs), (
+        "scatter series unexpectedly monotone"
+    )
+
+    n = scaled_nnz(10_000_000, minimum=10_000)
+    a = erdos_renyi(n, 4, seed=3)
+    x = random_sparse_vector(n, density=0.02, seed=5)
+    machine = shared_machine(24)
+    benchmark(lambda: spmspv_shm(a, x, machine))

@@ -1,0 +1,39 @@
+"""Figure 10 — multiple locales on a single node (oversubscription).
+
+Paper claims reproduced: "the performance of our code degrades significantly
+when we placed more than one locale on a single node" — both Assign variants
+slow down as locales are added to one node, and Assign1 remains far worse
+than Assign2 throughout.
+"""
+
+import pytest
+
+from repro.bench.figures import fig10_assign_multilocale
+from repro.generators import random_sparse_vector
+from repro.ops import assign_shm2
+from repro.runtime import shared_machine
+from repro.sparse import SparseVector
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig10_assign_multilocale()
+
+
+def test_fig10_oversubscription(benchmark, series):
+    assign1, assign2 = series
+    emit("fig10", "Fig 10: Assign, 1-32 locales on ONE node (1 thread each)",
+         "locales", series)
+    # more locales on one node = slower, for both variants
+    assert assign1.y_at(32) > 3 * assign1.y_at(1)
+    assert assign2.y_at(32) > 3 * assign2.y_at(1)
+    # Assign1's fine-grained access is far worse under oversubscription
+    assert assign1.y_at(32) > 10 * assign2.y_at(32)
+    # degradation is monotone beyond the two sockets
+    assert assign2.y_at(32) > assign2.y_at(8) > assign2.y_at(2) * 0.9
+
+    src = random_sparse_vector(40_000, nnz=10_000, seed=1)
+    machine = shared_machine(1)
+    benchmark(lambda: assign_shm2(SparseVector.empty(src.capacity), src, machine))

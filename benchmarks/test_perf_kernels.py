@@ -1,0 +1,92 @@
+"""Kernel microbenchmarks — real wall-clock of the numpy kernels.
+
+The figure benchmarks track *simulated* Edison time; this file tracks the
+*actual* performance of the library's hot kernels with pytest-benchmark, so
+kernel-level regressions (an accidental Python loop, a lost vectorisation)
+show up as wall-clock, independent of the cost model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import LAND
+from repro.bench.harness import scaled_nnz
+from repro.generators import erdos_renyi, random_bool_dense, random_sparse_vector
+from repro.ops import ewisemult_sparse_dense, mxm, spmspv_shm, spmv
+from repro.runtime import shared_machine
+from repro.sparse import CSRMatrix, SPA, merge_sort, radix_sort
+
+
+@pytest.fixture(scope="module")
+def er_matrix():
+    n = scaled_nnz(1_000_000, minimum=50_000)
+    return erdos_renyi(n, 16, seed=1)
+
+
+@pytest.fixture(scope="module")
+def sparse_vec(er_matrix):
+    return random_sparse_vector(er_matrix.nrows, density=0.02, seed=2)
+
+
+def test_perf_csr_from_triples(benchmark, er_matrix):
+    coo = er_matrix.to_coo()
+    benchmark(
+        lambda: CSRMatrix.from_triples(
+            er_matrix.nrows, er_matrix.ncols, coo.rows, coo.cols, coo.values
+        )
+    )
+
+
+def test_perf_transpose(benchmark, er_matrix):
+    benchmark(lambda: er_matrix.transposed())
+
+
+def test_perf_extract_rows(benchmark, er_matrix, sparse_vec):
+    benchmark(lambda: er_matrix.extract_rows(sparse_vec.indices))
+
+
+def test_perf_spmv(benchmark, er_matrix):
+    x = np.random.default_rng(0).random(er_matrix.ncols)
+    benchmark(lambda: spmv(er_matrix, x))
+
+
+def test_perf_spmspv(benchmark, er_matrix, sparse_vec):
+    machine = shared_machine(1)
+    benchmark(lambda: spmspv_shm(er_matrix, sparse_vec, machine))
+
+
+def test_perf_spa_scatter(benchmark, er_matrix, sparse_vec):
+    sub = er_matrix.extract_rows(sparse_vec.indices)
+    vals = np.random.default_rng(1).random(sub.nnz)
+
+    def run():
+        spa = SPA(er_matrix.ncols)
+        spa.scatter(sub.colidx, vals)
+        return spa.nnz
+
+    benchmark(run)
+
+
+def test_perf_merge_sort(benchmark):
+    keys = np.random.default_rng(2).integers(0, 1 << 30, 200_000)
+    benchmark(lambda: merge_sort(keys))
+
+
+def test_perf_radix_sort(benchmark):
+    keys = np.random.default_rng(3).integers(0, 1 << 30, 200_000)
+    benchmark(lambda: radix_sort(keys))
+
+
+def test_perf_ewisemult(benchmark):
+    nnz = scaled_nnz(1_000_000)
+    x = random_sparse_vector(nnz * 4, nnz=nnz, seed=4)
+    y = random_bool_dense(nnz * 4, seed=5)
+    machine = shared_machine(1)
+    benchmark(lambda: ewisemult_sparse_dense(x, y, LAND, machine))
+
+
+def test_perf_spgemm_esc(benchmark):
+    n = scaled_nnz(100_000, minimum=5_000)
+    a = erdos_renyi(n, 8, seed=6)
+    b = erdos_renyi(n, 8, seed=7)
+    benchmark(lambda: mxm(a, b))

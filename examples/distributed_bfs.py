@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Distributed BFS on the simulated Cray XC30, with cost attribution.
+
+The paper's motivating application: run the composed BFS on a 2-D
+block-distributed graph across 1-64 simulated Edison nodes, and attribute
+the simulated time to the gather / local-multiply / scatter phases of each
+SpMSpV iteration — the same decomposition as the paper's Figs 8-9.
+
+Shows both the paper's fine-grained communication (the default, which stops
+scaling) and the bulk-synchronous alternative the paper recommends in §IV.
+
+Run: ``python examples/distributed_bfs.py``
+"""
+
+import numpy as np
+
+import repro
+from repro.algebra.functional import MAX
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.ops import ewiseadd_mm, spmspv_dist
+from repro.ops.mask import mask_vector_dense
+from repro.algebra.semiring import MIN_FIRST
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.sparse import SparseVector
+
+
+def bfs_dist(a_dist, source, machine, *, comm_mode="fine"):
+    """Level-synchronous distributed BFS returning (levels, ledger)."""
+    n = a_dist.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = DistSparseVector.from_global(
+        SparseVector(n, np.array([source]), np.array([float(source)])), a_dist.grid
+    )
+    bounds = frontier.dist.bounds
+    level = 0
+    while frontier.nnz:
+        level += 1
+        reached, _ = spmspv_dist(
+            a_dist, frontier, machine, semiring=MIN_FIRST,
+            gather_mode=comm_mode, scatter_mode=comm_mode,
+        )
+        blocks = []
+        for k, blk in enumerate(reached.blocks):
+            lo = int(bounds[k])
+            visited = levels[lo : lo + blk.capacity] >= 0
+            blocks.append(mask_vector_dense(blk, visited, complement=True))
+            levels[lo + blocks[-1].indices] = level
+        frontier = DistSparseVector(n, a_dist.grid, blocks)
+    return levels
+
+
+def main() -> None:
+    n = 20_000
+    directed = repro.erdos_renyi(n, d=8, seed=3)
+    graph = ewiseadd_mm(directed, directed.transposed(), MAX)  # undirected
+    print(f"graph: {graph.nrows} vertices, {graph.nnz} edges (symmetrised)")
+
+    header = f"{'nodes':>5}  {'comm':>5}  {'total(s)':>10}  {'gather':>10}  {'multiply':>10}  {'scatter':>10}"
+    print("\n" + header)
+    print("-" * len(header))
+    reference = None
+    for p in [1, 4, 16, 64]:
+        grid = LocaleGrid.for_count(p)
+        a_dist = DistSparseMatrix.from_global(graph, grid)
+        for mode in ["fine", "bulk"]:
+            ledger = CostLedger()
+            machine = Machine(grid=grid, threads_per_locale=24, ledger=ledger)
+            levels = bfs_dist(a_dist, 0, machine, comm_mode=mode)
+            if reference is None:
+                reference = levels
+            assert np.array_equal(levels, reference), "BFS result changed!"
+            agg = ledger.by_component()
+            print(
+                f"{p:>5}  {mode:>5}  {agg.total:>10.4f}  "
+                f"{agg.get('Gather Input', 0):>10.4f}  "
+                f"{agg.get('Local Multiply', 0):>10.4f}  "
+                f"{agg.get('Scatter output', 0):>10.4f}"
+            )
+
+    print(
+        "\nNote how fine-grained gather dominates at scale (the paper's"
+        " Figs 8-9 finding)\nwhile bulk-synchronous communication keeps"
+        " BFS scaling (the paper's §IV recommendation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Exploring the machine model: what if Edison were different?
+
+The runtime simulator makes the paper's findings *interrogable*: every
+conclusion ("fine-grained communication dominates", "placing multiple
+locales on a node is slow") is a function of machine parameters that this
+example perturbs one at a time.
+
+Scenarios:
+1. a faster network (10x lower fine-grained latency) — does the SpMSpV
+   gather still dominate?
+2. cheaper task spawns — does the small-input eWiseMult start scaling?
+3. more cores per node — where does Apply's memory bandwidth wall move?
+
+Run: ``python examples/machine_model.py``
+"""
+
+from repro.algebra.functional import LAND, SQUARE
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi, random_bool_dense, random_sparse_vector
+from repro.ops import apply2, ewisemult_sparse_dense, spmspv_dist
+from repro.ops.spmspv import GATHER_STEP, MULTIPLY_STEP
+from repro.runtime import EDISON, LocaleGrid, Machine, shared_machine
+
+
+def scenario_network() -> None:
+    print("=== 1. SpMSpV gather vs a 10x faster network ===")
+    n = 100_000
+    a = erdos_renyi(n, 16, seed=1)
+    x = random_sparse_vector(n, density=0.02, seed=2)
+    fast_net = EDISON.with_(remote_latency=EDISON.remote_latency / 10)
+    print(f"{'nodes':>6} {'edison gather':>14} {'fastnet gather':>15} {'multiply':>10}")
+    for p in [4, 16, 64]:
+        grid = LocaleGrid.for_count(p)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        _, b_e = spmspv_dist(ad, xd, Machine(config=EDISON, grid=grid, threads_per_locale=24))
+        _, b_f = spmspv_dist(ad, xd, Machine(config=fast_net, grid=grid, threads_per_locale=24))
+        print(
+            f"{p:>6} {b_e[GATHER_STEP]:>14.5f} {b_f[GATHER_STEP]:>15.5f} "
+            f"{b_e[MULTIPLY_STEP]:>10.5f}"
+        )
+    print("-> even 10x faster fine-grained access leaves gather dominant at scale;")
+    print("   the fix is batching (see benchmarks/test_abl_bulk_scatter.py), not latency.\n")
+
+
+def scenario_spawn_cost() -> None:
+    print("=== 2. small-input eWiseMult vs cheaper task spawns ===")
+    nnz = 100_000
+    x = random_sparse_vector(nnz * 4, nnz=nnz, seed=3)
+    y = random_bool_dense(nnz * 4, seed=4)
+    cheap = EDISON.with_(task_spawn=EDISON.task_spawn / 20, forall_overhead=EDISON.forall_overhead / 20)
+    print(f"{'threads':>8} {'edison(s)':>12} {'cheap-spawn(s)':>15}")
+    for t in [1, 8, 24]:
+        _, b_e = ewisemult_sparse_dense(x, y, LAND, shared_machine(t, EDISON))
+        _, b_c = ewisemult_sparse_dense(x, y, LAND, shared_machine(t, cheap))
+        print(f"{t:>8} {b_e.total:>12.6f} {b_c.total:>15.6f}")
+    print("-> the paper's burdened parallelism: spawn costs, not the kernel,")
+    print("   cap small-input scaling (§I / Fig 5).\n")
+
+
+def scenario_wider_nodes() -> None:
+    print("=== 3. Apply on a node with more cores ===")
+    x = random_sparse_vector(40_000_000, nnz=10_000_000, seed=5)
+    wide = EDISON.with_(cores_per_node=96, mem_channels=8)
+    wide_mem = EDISON.with_(cores_per_node=96, mem_channels=32)
+    print(f"{'threads':>8} {'24-core':>10} {'96-core':>10} {'96-core+mem':>12}")
+    from repro.runtime import LocaleGrid as LG
+    for t in [24, 48, 96]:
+        def run(cfg):
+            xd = DistSparseVector.from_global(x, LG(1, 1))
+            return apply2(xd, SQUARE, shared_machine(t, cfg)).total
+        print(f"{t:>8} {run(EDISON):>10.5f} {run(wide):>10.5f} {run(wide_mem):>12.5f}")
+    print("-> more cores without more memory channels hit the bandwidth wall —")
+    print("   the reason Apply tops out near 20x on real Edison (Fig 1 left).")
+
+
+def main() -> None:
+    scenario_network()
+    scenario_spawn_cost()
+    scenario_wider_nodes()
+
+
+if __name__ == "__main__":
+    main()

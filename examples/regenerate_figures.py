@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper as text series.
+
+Thin wrapper over :mod:`repro.bench.figures` — runs all ten figure sweeps
+(real kernels + simulated Edison timings) and prints the series each paper
+figure plots.  Set ``REPRO_SCALE=1`` for the paper's exact input sizes
+(needs ~16 GB and a long coffee); the default 0.1 preserves every shape.
+
+Run: ``python examples/regenerate_figures.py``
+"""
+
+from repro.bench.figures import main
+
+if __name__ == "__main__":
+    main()

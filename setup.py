@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows `python setup.py develop` / legacy editable installs in offline
+environments that lack the `wheel` package needed for PEP 660 editable
+wheels; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

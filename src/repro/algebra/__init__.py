@@ -1,0 +1,38 @@
+"""Operator algebra: unary/binary operators, monoids, semirings.
+
+A standalone subpackage (no dependency on the kernels) so the sparse data
+structures can import operator types without dragging in the operation
+layer.
+"""
+
+from .functional import (
+    ABS, AINV, ANY, BinaryOp, COLINDEX, DIAG_ONLY, DIV, EQ, EXP, FIRST, GE,
+    GT, IDENTITY, IndexUnaryOp, LAND, LE, LNOT, LOG, LOR, LT, LXOR, MAX, MIN,
+    MINUS, MINV, NE, OFFDIAG, ONE, PAIR, PLUS, ROWINDEX, SECOND, SQRT,
+    SQUARE, TIMES, TRIL, TRIU, UnaryOp, VALUEEQ, VALUEGT, VALUELT, VALUENE,
+    binary, register_binary, register_unary, unary,
+)
+from .monoid import (
+    ANY_MONOID, LAND_MONOID, LOR_MONOID, LXOR_MONOID, MAX_MONOID, MIN_MONOID,
+    Monoid, PLUS_MONOID, TIMES_MONOID, monoid,
+)
+from .semiring import (
+    ANY_SECOND, LOR_LAND, MAX_MIN, MAX_TIMES, MIN_FIRST, MIN_PLUS,
+    MIN_SECOND, PLUS_FIRST, PLUS_PAIR, PLUS_SECOND, PLUS_TIMES, Semiring,
+    semiring,
+)
+
+__all__ = [
+    "UnaryOp", "BinaryOp", "IndexUnaryOp", "Monoid", "Semiring",
+    "unary", "binary", "monoid", "semiring",
+    "register_unary", "register_binary",
+    "IDENTITY", "AINV", "MINV", "ABS", "LNOT", "ONE", "SQRT", "EXP", "LOG", "SQUARE",
+    "PLUS", "MINUS", "TIMES", "DIV", "MIN", "MAX", "FIRST", "SECOND", "PAIR", "ANY",
+    "LAND", "LOR", "LXOR", "EQ", "NE", "GT", "LT", "GE", "LE",
+    "TRIL", "TRIU", "DIAG_ONLY", "OFFDIAG", "ROWINDEX", "COLINDEX",
+    "VALUEEQ", "VALUENE", "VALUEGT", "VALUELT",
+    "PLUS_MONOID", "TIMES_MONOID", "MIN_MONOID", "MAX_MONOID",
+    "LOR_MONOID", "LAND_MONOID", "LXOR_MONOID", "ANY_MONOID",
+    "PLUS_TIMES", "MIN_PLUS", "MAX_TIMES", "MAX_MIN", "LOR_LAND",
+    "MIN_FIRST", "MIN_SECOND", "PLUS_PAIR", "PLUS_FIRST", "PLUS_SECOND", "ANY_SECOND",
+]

@@ -1,0 +1,139 @@
+"""GraphBLAS semirings: an additive monoid paired with a multiply operator.
+
+Paper §III: "a GraphBLAS semiring allows overloading the scalar
+multiplication and addition with user defined binary operators.  A semiring
+also has to contain an additive identity element."
+
+The standard semirings shipped here cover the classic graph-algorithm
+encodings:
+
+* ``PLUS_TIMES``   — ordinary arithmetic (PageRank, counting walks).
+* ``MIN_PLUS``     — tropical semiring (shortest paths / Bellman–Ford).
+* ``MAX_TIMES``    — widest-path style computations.
+* ``LOR_LAND``     — boolean reachability (BFS frontiers).
+* ``MIN_FIRST`` / ``MIN_SECOND`` — parent-tracking BFS/SSSP variants.
+* ``PLUS_PAIR``    — intersection counting (triangle counting).
+* ``ANY_SECOND``   — "pick any parent" BFS, matching SuiteSparse's
+  ``GxB_ANY_SECONDI`` usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .functional import (
+    BinaryOp,
+    FIRST,
+    LAND,
+    PAIR,
+    PLUS,
+    SECOND,
+    TIMES,
+    MIN,
+    MAX,
+)
+from .monoid import (
+    ANY_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    Monoid,
+    PLUS_MONOID,
+)
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "MAX_MIN",
+    "MAX_SECOND",
+    "LOR_LAND",
+    "MIN_FIRST",
+    "MIN_SECOND",
+    "PLUS_PAIR",
+    "ANY_SECOND",
+    "PLUS_FIRST",
+    "PLUS_SECOND",
+    "semiring",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """``(add_monoid, multiply)`` pair over a common domain.
+
+    ``add`` supplies associativity + identity (the "zero" that sparse
+    formats never store); ``multiply`` combines a matrix element with a
+    vector/matrix element.  All GraphBLAS matrix products in this library
+    (:mod:`repro.ops.spmspv`, :mod:`repro.ops.spmv`, :mod:`repro.ops.mxm`)
+    are parameterised by a :class:`Semiring`.
+    """
+
+    add: Monoid
+    multiply: BinaryOp
+
+    @property
+    def name(self) -> str:
+        """Stable identifier of this object."""
+        return f"{self.add.op.name}_{self.multiply.name}"
+
+    @property
+    def zero(self):
+        """The additive identity (the implicit value of unstored entries)."""
+        return self.add.identity
+
+    def mult(self, a, b):
+        """Apply the multiplicative operator elementwise."""
+        return self.multiply(a, b)
+
+    def reduce(self, values: np.ndarray):
+        """Reduce values with the additive monoid."""
+        return self.add.reduce(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Semiring({self.name})"
+
+
+PLUS_TIMES = Semiring(PLUS_MONOID, TIMES)
+MIN_PLUS = Semiring(MIN_MONOID, PLUS)
+MAX_TIMES = Semiring(MAX_MONOID, TIMES)
+MAX_MIN = Semiring(MAX_MONOID, MIN)
+MAX_SECOND = Semiring(MAX_MONOID, SECOND)
+LOR_LAND = Semiring(LOR_MONOID, LAND)
+MIN_FIRST = Semiring(MIN_MONOID, FIRST)
+MIN_SECOND = Semiring(MIN_MONOID, SECOND)
+PLUS_PAIR = Semiring(PLUS_MONOID, PAIR)
+PLUS_FIRST = Semiring(PLUS_MONOID, FIRST)
+PLUS_SECOND = Semiring(PLUS_MONOID, SECOND)
+ANY_SECOND = Semiring(ANY_MONOID, SECOND)
+
+_SEMIRINGS = {
+    s.name: s
+    for s in [
+        PLUS_TIMES,
+        MIN_PLUS,
+        MAX_TIMES,
+        MAX_MIN,
+        MAX_SECOND,
+        LOR_LAND,
+        MIN_FIRST,
+        MIN_SECOND,
+        PLUS_PAIR,
+        PLUS_FIRST,
+        PLUS_SECOND,
+        ANY_SECOND,
+    ]
+}
+
+
+def semiring(name: str) -> Semiring:
+    """Look up a standard semiring by ``"<add>_<multiply>"`` name."""
+    try:
+        return _SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; known: {sorted(_SEMIRINGS)}"
+        ) from None

@@ -1,0 +1,191 @@
+"""Breadth-first search in the language of linear algebra.
+
+Paper §III: "Our operations are chosen such that they can be composed to
+implement an efficient breadth-first search algorithm, which is often the
+'hello world' example of GraphBLAS."  This module is that composition:
+
+* the frontier is a sparse vector;
+* one level expansion is one SpMSpV over a Boolean/select semiring;
+* already-visited vertices are pruned with a (complement) mask — the
+  eWiseMult filter of §III-C;
+* the pruned frontier is Assign-ed into the visited structure.
+
+Both level-labelling and parent-pointer BFS are provided, in shared-memory
+and distributed flavours.  The distributed flavour records per-iteration
+simulated times into the machine's ledger, so benchmarks can attribute BFS
+cost to gather/multiply/scatter exactly like the paper's Figs 8-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.dist_matrix import DistSparseMatrix
+from ..distributed.dist_vector import DistSparseVector
+from ..ops.mask import mask_vector_dense
+from ..algebra.semiring import MIN_FIRST
+from ..ops.spmspv import spmspv_dist, spmspv_shm
+from ..runtime.locale import Machine, shared_machine
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+
+__all__ = ["bfs_levels", "bfs_parents", "bfs_levels_dist", "bfs_parents_dist", "bfs_levels_batch"]
+
+
+def _frontier_from_source(n: int, source: int) -> SparseVector:
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} outside [0, {n})")
+    return SparseVector(
+        n, np.array([source], dtype=np.int64), np.array([float(source)])
+    )
+
+
+def bfs_levels(
+    a: CSRMatrix, source: int, machine: Machine | None = None
+) -> np.ndarray:
+    """Level-synchronous BFS; returns per-vertex levels (-1 = unreachable).
+
+    ``a`` is interpreted as an adjacency matrix with edges ``i → j`` stored
+    as ``A[i, j]``; for undirected graphs pass a symmetric matrix.
+    """
+    machine = machine or shared_machine(1)
+    n = a.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = _frontier_from_source(n, source)
+    level = 0
+    while frontier.nnz:
+        level += 1
+        reached, _ = spmspv_shm(a, frontier, machine, semiring=MIN_FIRST)
+        # prune: keep only vertices not yet assigned a level
+        frontier = mask_vector_dense(reached, levels >= 0, complement=True)
+        levels[frontier.indices] = level
+    return levels
+
+
+def bfs_parents(
+    a: CSRMatrix, source: int, machine: Machine | None = None
+) -> np.ndarray:
+    """BFS spanning-tree parents (-1 = unreachable, source's parent = itself).
+
+    The frontier carries vertex ids as values; the (min, first) semiring
+    propagates the smallest parent id along edges, matching the paper's
+    Listing 7 trick of "keep row index as value".
+    """
+    machine = machine or shared_machine(1)
+    n = a.nrows
+    parents = np.full(n, -1, dtype=np.int64)
+    parents[source] = source
+    frontier = _frontier_from_source(n, source)
+    while frontier.nnz:
+        reached, _ = spmspv_shm(a, frontier, machine, semiring=MIN_FIRST)
+        fresh = mask_vector_dense(reached, parents >= 0, complement=True)
+        parents[fresh.indices] = fresh.values.astype(np.int64)
+        # next frontier carries its own ids as values
+        frontier = SparseVector(n, fresh.indices, fresh.indices.astype(np.float64))
+    return parents
+
+
+def bfs_levels_dist(
+    a: DistSparseMatrix, source: int, machine: Machine
+) -> np.ndarray:
+    """Distributed level-synchronous BFS over 2-D distributed ``a``.
+
+    Per iteration: one :func:`~repro.ops.spmspv.spmspv_dist` (whose
+    gather/multiply/scatter breakdown lands in ``machine.ledger``) plus a
+    blockwise mask against the replicated visited array.  Returns the dense
+    level array (gathered — verification convenience).
+    """
+    n = a.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = DistSparseVector.from_global(_frontier_from_source(n, source), a.grid)
+    bounds = frontier.dist.bounds
+    level = 0
+    while frontier.nnz:
+        level += 1
+        # visited pruning happens INSIDE the kernel via the distributed
+        # mask (paper §V future work): masked-out vertices are neither
+        # accumulated nor scattered.
+        reached, _ = spmspv_dist(
+            a, frontier, machine, semiring=MIN_FIRST, mask=levels < 0
+        )
+        for k, blk in enumerate(reached.blocks):
+            lo = int(bounds[k])
+            levels[lo + blk.indices] = level
+        frontier = reached
+    return levels
+
+
+def bfs_parents_dist(
+    a: DistSparseMatrix, source: int, machine: Machine
+) -> np.ndarray:
+    """Distributed BFS spanning-tree parents.
+
+    The frontier's values carry *global* vertex ids, so the (min, first)
+    semiring propagates the smallest parent id through the distributed
+    SpMSpV exactly as in the shared-memory :func:`bfs_parents`; the
+    in-kernel distributed mask prunes visited vertices (paper §V future
+    work).  Returns the dense parent array (-1 = unreachable).
+    """
+    n = a.nrows
+    parents = np.full(n, -1, dtype=np.int64)
+    parents[source] = source
+    frontier = DistSparseVector.from_global(
+        SparseVector(n, np.array([source], dtype=np.int64), np.array([float(source)])),
+        a.grid,
+    )
+    bounds = frontier.dist.bounds
+    while frontier.nnz:
+        reached, _ = spmspv_dist(
+            a, frontier, machine, semiring=MIN_FIRST, mask=parents < 0
+        )
+        blocks = []
+        for k, blk in enumerate(reached.blocks):
+            lo = int(bounds[k])
+            gidx = lo + blk.indices
+            parents[gidx] = blk.values.astype(np.int64)
+            # next frontier carries its own global ids as values
+            blocks.append(
+                SparseVector(blk.capacity, blk.indices, gidx.astype(np.float64))
+            )
+        frontier = DistSparseVector(n, a.grid, blocks)
+    return parents
+
+
+def bfs_levels_batch(
+    a: CSRMatrix, sources: np.ndarray, machine: Machine | None = None
+) -> np.ndarray:
+    """Multi-source BFS: levels from every source at once.
+
+    The frontier becomes a Boolean *matrix* (one row per source) and each
+    expansion is one masked SpGEMM on the (plus, pair) pattern semiring —
+    the batched shape distributed implementations and betweenness
+    centrality prefer.  Returns a ``len(sources) × n`` level array.
+    """
+    from ..algebra.semiring import PLUS_PAIR
+    from ..ops.mxm import mxm
+
+    machine = machine or shared_machine(1)
+    sources = np.asarray(sources, dtype=np.int64)
+    n = a.nrows
+    if sources.size and (sources.min() < 0 or sources.max() >= n):
+        raise IndexError("source out of bounds")
+    ns = sources.size
+    levels = np.full((ns, n), -1, dtype=np.int64)
+    levels[np.arange(ns), sources] = 0
+    frontier = CSRMatrix.from_triples(
+        ns, n, np.arange(ns), sources, np.ones(ns)
+    )
+    level = 0
+    while frontier.nnz:
+        level += 1
+        reached = mxm(frontier, a, semiring=PLUS_PAIR)
+        # keep only (source, vertex) pairs not yet levelled
+        rows = reached.row_indices()
+        cols = reached.colidx
+        fresh = levels[rows, cols] < 0
+        rows, cols = rows[fresh], cols[fresh]
+        levels[rows, cols] = level
+        frontier = CSRMatrix.from_triples(ns, n, rows, cols, np.ones(rows.size))
+    return levels

@@ -1,0 +1,66 @@
+"""k-truss — masked-SpGEMM edge peeling.
+
+The k-truss is the maximal subgraph in which every edge participates in at
+least ``k - 2`` triangles.  The GraphBLAS formulation (an HPEC Graph
+Challenge staple) iterates ``S⟨E⟩ = E·Eᵀ`` — per-edge triangle support via
+a masked product on PLUS_PAIR — and drops under-supported edges until a
+fixpoint: exactly the masks-pay-off story of the paper's §V future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.functional import VALUEGT
+from ..algebra.semiring import PLUS_PAIR
+from ..ops.mxm import mxm
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["ktruss", "edge_support"]
+
+
+def edge_support(e: CSRMatrix) -> CSRMatrix:
+    """Triangle support of every edge: ``S⟨E⟩ = E·Eᵀ`` on (plus, pair).
+
+    ``S[u, v]`` counts the common neighbours of ``u`` and ``v`` — the
+    number of triangles through edge ``(u, v)``.  Edges supporting no
+    triangle are absent from S.
+    """
+    return mxm(e, e.transposed(), semiring=PLUS_PAIR, mask=e)
+
+
+def ktruss(a: CSRMatrix, k: int, *, max_rounds: int | None = None) -> CSRMatrix:
+    """The k-truss subgraph of the undirected simple graph ``a``.
+
+    ``a`` must be symmetric with an empty diagonal; ``k >= 2``.  The
+    2-truss is the graph itself minus nothing (every edge trivially has
+    >= 0 triangles); ``k = 3`` keeps edges in at least one triangle, etc.
+    Returns a symmetric CSR of the surviving edges (unit values).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency matrix must be square")
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    e = CSRMatrix(
+        a.nrows, a.ncols, a.rowptr.copy(), a.colidx.copy(), np.ones(a.nnz)
+    )
+    if k == 2:
+        return e
+    need = k - 2
+    rounds = max_rounds if max_rounds is not None else a.nnz + 1
+    for _ in range(rounds):
+        support = edge_support(e)
+        # keep edges with support >= need (support > need - 1)
+        kept = support.select(VALUEGT, need - 1 + 0.5)  # strict > on floats
+        if kept.nnz == e.nnz:
+            break
+        e = CSRMatrix(
+            kept.nrows,
+            kept.ncols,
+            kept.rowptr.copy(),
+            kept.colidx.copy(),
+            np.ones(kept.nnz),
+        )
+        if e.nnz == 0:
+            break
+    return e

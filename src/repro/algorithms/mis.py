@@ -1,0 +1,63 @@
+"""Maximal independent set — Luby's algorithm in GraphBLAS form.
+
+A classic demonstration of masks + semirings beyond BFS (the GGNN/LAGraph
+repertoire): every round, each candidate vertex draws a random score; a
+vertex joins the MIS when its score beats every neighbour's
+(one ``(max, second)`` SpMV); its neighbourhood then leaves the candidate
+set (mask updates).  Expected O(log n) rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.semiring import MAX_SECOND
+from ..ops.spmv import spmv
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import DenseVector
+
+__all__ = ["maximal_independent_set"]
+
+
+def maximal_independent_set(
+    a: CSRMatrix, *, seed: int = 0, max_rounds: int | None = None
+) -> np.ndarray:
+    """A maximal independent set of the undirected graph ``a``.
+
+    ``a`` must be symmetric with an empty diagonal.  Returns a Boolean
+    membership array.  Deterministic for a fixed ``seed``.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency matrix must be square")
+    n = a.nrows
+    rng = np.random.default_rng(seed)
+    in_set = np.zeros(n, dtype=bool)
+    candidate = np.ones(n, dtype=bool)
+    rounds = max_rounds if max_rounds is not None else 4 * (int(np.log2(n + 1)) + 2)
+    for _ in range(rounds):
+        if not candidate.any():
+            break
+        # random scores; non-candidates score 0 (cannot win or block)
+        score = np.where(candidate, rng.random(n) + 1e-9, 0.0)
+        # best neighbouring score via (max, second) over the adjacency
+        neighbor_best = spmv(a, DenseVector(score), semiring=MAX_SECOND).values
+        neighbor_best = np.where(np.isfinite(neighbor_best), neighbor_best, 0.0)
+        winners = candidate & (score > neighbor_best)
+        if not winners.any():
+            continue
+        in_set |= winners
+        # winners and their neighbourhoods leave the candidate pool
+        touched = spmv(
+            a, DenseVector(winners.astype(float)), semiring=MAX_SECOND
+        ).values
+        touched = np.where(np.isfinite(touched), touched, 0.0)
+        candidate &= ~winners
+        candidate &= touched <= 0
+    return in_set
+
+
+def _is_independent(a: CSRMatrix, members: np.ndarray) -> bool:
+    """Check no edge joins two members (used by tests)."""
+    rows = a.row_indices()
+    cols = a.colidx
+    return not np.any(members[rows] & members[cols])

@@ -1,0 +1,124 @@
+"""PageRank — power iteration on the (plus, times) semiring.
+
+The canonical "arbitrary semiring pays off" example: the inner loop is one
+``vxm`` on PLUS_TIMES over the column-stochastic adjacency, plus the
+teleport correction.  Dangling vertices (no out-edges) redistribute their
+mass uniformly, matching networkx's convention so the test-suite can use it
+as an oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.semiring import PLUS_TIMES
+from ..ops.spmv import vxm_dense
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import DenseVector
+
+__all__ = ["pagerank", "pagerank_dist"]
+
+
+def pagerank(
+    a: CSRMatrix,
+    *,
+    damping: float = 0.85,
+    tol: float = 1.0e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """PageRank scores of the directed graph ``A`` (edge ``i → j`` stored at
+    ``A[i, j]``); returns a probability vector.
+
+    Raises ``RuntimeError`` if power iteration fails to reach ``tol`` within
+    ``max_iter`` rounds (L1 convergence).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency matrix must be square")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError("damping must be in [0, 1)")
+    n = a.nrows
+    out_degree = a.reduce_rows()  # weighted out-degree
+    dangling = np.asarray(out_degree) == 0
+    # row-normalise A's values in one vectorised pass
+    inv_deg = np.zeros(n)
+    nz = ~dangling
+    inv_deg[nz] = 1.0 / np.asarray(out_degree)[nz]
+    norm = CSRMatrix(
+        a.nrows,
+        a.ncols,
+        a.rowptr.copy(),
+        a.colidx.copy(),
+        a.values * inv_deg[a.row_indices()],
+    )
+    rank = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        spread = vxm_dense(DenseVector(rank), norm, semiring=PLUS_TIMES).values
+        dangling_mass = rank[dangling].sum()
+        new_rank = (
+            damping * (spread + dangling_mass / n) + (1.0 - damping) / n
+        )
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    raise RuntimeError(f"PageRank did not converge in {max_iter} iterations")
+
+
+def pagerank_dist(
+    a,
+    machine,
+    *,
+    damping: float = 0.85,
+    tol: float = 1.0e-10,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Distributed PageRank over a 2-D distributed matrix.
+
+    Each power iteration is one distributed SpMV
+    (:func:`repro.ops.spmv.spmv_dist`) whose simulated cost lands in the
+    machine's ledger; the returned scores are identical to :func:`pagerank`
+    (asserted by the test-suite).
+
+    Parameters
+    ----------
+    a:
+        A :class:`~repro.distributed.dist_matrix.DistSparseMatrix`.
+    machine:
+        The simulated machine (grid must match ``a``).
+    """
+    from ..distributed.dist_vector import DistDenseVector
+    from ..ops.spmv import spmv_dist
+
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency matrix must be square")
+    n = a.nrows
+    # normalise rows once, locally per block (out-degree needs a row-team
+    # reduction; we compute it from the gathered structure for clarity and
+    # charge only the iteration loop to the ledger)
+    global_a = a.gather()
+    out_degree = np.asarray(global_a.reduce_rows())
+    dangling = out_degree == 0
+    inv_deg = np.zeros(n)
+    inv_deg[~dangling] = 1.0 / out_degree[~dangling]
+    from ..sparse.csr import CSRMatrix
+    from ..distributed.dist_matrix import DistSparseMatrix
+
+    norm = CSRMatrix(
+        global_a.nrows,
+        global_a.ncols,
+        global_a.rowptr.copy(),
+        global_a.colidx.copy(),
+        global_a.values * inv_deg[global_a.row_indices()],
+    )
+    # PageRank needs x @ M, i.e. Mᵀ x in SpMV orientation
+    norm_t = DistSparseMatrix.from_global(norm.transposed(), a.grid)
+    rank = np.full(n, 1.0 / n)
+    for _ in range(max_iter):
+        xd = DistDenseVector.from_global(rank, a.grid)
+        spread_d, _ = spmv_dist(norm_t, xd, machine)
+        spread = spread_d.gather().values
+        dangling_mass = rank[dangling].sum()
+        new_rank = damping * (spread + dangling_mass / n) + (1.0 - damping) / n
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    raise RuntimeError(f"PageRank did not converge in {max_iter} iterations")

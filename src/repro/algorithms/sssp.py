@@ -1,0 +1,51 @@
+"""Single-source shortest paths — Bellman-Ford on the tropical semiring.
+
+The classic GraphBLAS SSSP: distances relax through repeated
+``d ← d min (d ⊗ A)`` steps where ``⊗`` is ``(min, +)`` — the MIN_PLUS
+semiring shipped in :mod:`repro.algebra.semiring`.  Runs until a fixpoint or
+``n-1`` iterations; a further improving iteration afterwards means a
+negative cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.semiring import MIN_PLUS
+from ..ops.spmv import vxm_dense
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import DenseVector
+
+__all__ = ["sssp", "NegativeCycleError"]
+
+
+class NegativeCycleError(ValueError):
+    """The graph contains a cycle with negative total weight."""
+
+
+def sssp(a: CSRMatrix, source: int, *, check_negative_cycles: bool = True) -> np.ndarray:
+    """Distances from ``source`` along weighted edges ``A[i, j]``.
+
+    Unreachable vertices get ``inf``.  Edge weights may be negative;
+    ``check_negative_cycles`` raises :class:`NegativeCycleError` when a
+    negative cycle is reachable from the source.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency matrix must be square")
+    if not 0 <= source < a.nrows:
+        raise IndexError(f"source {source} outside [0, {a.nrows})")
+    n = a.nrows
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    for _ in range(max(n - 1, 1)):
+        relaxed = vxm_dense(DenseVector(dist), a, semiring=MIN_PLUS).values
+        new_dist = np.minimum(dist, relaxed)
+        if np.array_equal(new_dist, dist, equal_nan=True):
+            break
+        dist = new_dist
+    else:
+        if check_negative_cycles:
+            relaxed = vxm_dense(DenseVector(dist), a, semiring=MIN_PLUS).values
+            if np.any(np.minimum(dist, relaxed) < dist):
+                raise NegativeCycleError("negative cycle reachable from source")
+    return dist

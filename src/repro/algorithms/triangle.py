@@ -1,0 +1,36 @@
+"""Triangle counting via masked SpGEMM on the (plus, pair) semiring.
+
+The Sandia/"masks pay off" formulation the paper's future work points at
+(§V): with ``L`` the strictly-lower-triangular part of the symmetric
+adjacency, every triangle is counted exactly once by::
+
+    C⟨L⟩ = L · Lᵀ      (PLUS_PAIR semiring)
+    triangles = Σ C
+
+The mask keeps SpGEMM from materialising wedge counts outside the edge set
+— the work saving masks exist for.
+"""
+
+from __future__ import annotations
+
+from ..ops.mxm import mxm
+from ..ops.reduce import reduce_matrix_scalar
+from ..algebra.semiring import PLUS_PAIR
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["count_triangles"]
+
+
+def count_triangles(a: CSRMatrix) -> int:
+    """Number of triangles of the undirected simple graph ``A``.
+
+    ``A`` must be symmetric with an empty diagonal (no self-loops); values
+    are ignored (structure only).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency matrix must be square")
+    low = a.tril(-1)
+    # C(i,j) = |N(i) ∩ N(j)| restricted to edges (i,j) of L, counted with
+    # "pair" so edge weights cannot leak into the count.
+    wedges = mxm(low, low.transposed(), semiring=PLUS_PAIR, mask=low)
+    return int(reduce_matrix_scalar(wedges))

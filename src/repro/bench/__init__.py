@@ -1,0 +1,16 @@
+"""Benchmark harness: sweeps, series formatting, per-figure experiments."""
+
+from .harness import NODE_SWEEP, Series, THREAD_SWEEP, format_figure, scale, scaled_nnz, speedup
+from .plotting import render_svg, save_svg
+
+__all__ = [
+    "Series",
+    "format_figure",
+    "scale",
+    "scaled_nnz",
+    "speedup",
+    "THREAD_SWEEP",
+    "NODE_SWEEP",
+    "render_svg",
+    "save_svg",
+]

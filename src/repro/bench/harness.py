@@ -1,0 +1,133 @@
+"""Benchmark harness: sweeps, series, and paper-style text output.
+
+Every figure benchmark produces a list of :class:`Series` — one per curve
+of the paper's figure — and renders them with :func:`format_figure` as the
+rows the paper plots (x = threads or nodes, y = seconds, optionally split
+into the paper's named components).  Assertions about the *shape* (who
+wins, by what factor, where scaling stops) live in the benchmark files.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Series",
+    "scale",
+    "scaled_nnz",
+    "speedup",
+    "format_figure",
+    "THREAD_SWEEP",
+    "NODE_SWEEP",
+]
+
+#: the paper's x-axes: threads on one node (Figs 1-2,4,7 left) and node
+#: counts at fixed threads/node (the distributed figures).
+THREAD_SWEEP = [1, 2, 4, 8, 16, 24, 32]
+NODE_SWEEP = [1, 2, 4, 8, 16, 32, 64]
+
+
+def scale() -> float:
+    """Global size multiplier for *real* kernel execution.
+
+    The simulated cost model is evaluated on the actual array sizes, so
+    running at 1/10 the paper's sizes preserves every curve's shape while
+    keeping CI latency sane.  Set ``REPRO_SCALE=1`` to run the paper's
+    exact sizes (needs ~16 GB for the 100M-nonzero experiments).
+    """
+    return float(os.environ.get("REPRO_SCALE", "0.1"))
+
+
+def scaled_nnz(paper_nnz: int, minimum: int = 1000) -> int:
+    """Apply :func:`scale` to one of the paper's input sizes."""
+    return max(int(paper_nnz * scale()), minimum)
+
+
+@dataclass
+class Series:
+    """One curve of a figure: y-values (seconds) over a shared x-axis."""
+
+    label: str
+    xs: list[int]
+    ys: list[float]
+    components: dict[str, list[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys lengths differ")
+        for name, col in self.components.items():
+            if len(col) != len(self.xs):
+                raise ValueError(f"component {name!r} length mismatch")
+
+    def y_at(self, x: int) -> float:
+        """The y value at a given x (exact match required)."""
+        return self.ys[self.xs.index(x)]
+
+    @property
+    def best(self) -> float:
+        """Smallest y value of the series."""
+        return min(self.ys)
+
+    def speedup_at(self, x: int) -> float:
+        """Speedup of point ``x`` relative to the first point."""
+        return self.ys[0] / self.y_at(x)
+
+
+def speedup(series: Series) -> float:
+    """Best speedup over the single-worker point."""
+    return series.ys[0] / series.best
+
+
+def _fmt_seconds(v: float) -> str:
+    if v == 0:
+        return "0"
+    if v >= 100:
+        return f"{v:.0f}"
+    if v >= 1:
+        return f"{v:.3g}"
+    exp = int(math.floor(math.log10(v)))
+    return f"{v:.3g}" if exp >= -3 else f"{v:.2e}"
+
+
+def format_figure(
+    title: str,
+    xlabel: str,
+    series_list: list[Series],
+    *,
+    show_components: bool = False,
+) -> str:
+    """Render curves as an aligned text table (paper-figure equivalent).
+
+    One row per x value; one column per series (and per component when
+    ``show_components`` is set, matching the stacked legends of the
+    paper's Figs 7-9).
+    """
+    if not series_list:
+        return f"== {title} ==\n(no series)"
+    xs = series_list[0].xs
+    for s in series_list:
+        if s.xs != xs:
+            raise ValueError("all series must share the x-axis")
+    columns: list[tuple[str, list[float]]] = []
+    for s in series_list:
+        if show_components and s.components:
+            for cname, col in s.components.items():
+                label = f"{s.label}:{cname}" if len(series_list) > 1 else cname
+                columns.append((label, col))
+        else:
+            columns.append((s.label, s.ys))
+    headers = [xlabel] + [c[0] for c in columns]
+    rows = []
+    for k, x in enumerate(xs):
+        rows.append([str(x)] + [_fmt_seconds(col[k]) for _, col in columns])
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
+    ]
+    lines = [f"== {title} == (seconds)"]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

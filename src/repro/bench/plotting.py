@@ -1,0 +1,138 @@
+"""Dependency-free SVG rendering of benchmark series.
+
+The paper's figures are log-log line charts; this module renders each
+:class:`~repro.bench.harness.Series` collection into a standalone SVG so
+the regenerated figures can be *looked at*, not just read as tables.  No
+matplotlib — the SVG is assembled directly (the environment is offline and
+the charts are simple).
+
+``benchmarks`` write these next to the text tables in
+``benchmarks/results/*.svg``; ``python -m repro.bench.figures --svg DIR``
+renders the full set.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from .harness import Series
+
+__all__ = ["render_svg", "save_svg"]
+
+#: categorical line colours (solarized-ish, readable on white)
+_COLORS = ["#268bd2", "#dc322f", "#859900", "#6c71c4", "#b58900", "#2aa198"]
+
+_W, _H = 560, 360
+_ML, _MR, _MT, _MB = 64, 16, 34, 46  # margins
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of ten (and halves when the span is narrow) covering [lo, hi]."""
+    lo_e = math.floor(math.log10(lo))
+    hi_e = math.ceil(math.log10(hi))
+    ticks = [10.0**e for e in range(lo_e, hi_e + 1)]
+    return [t for t in ticks if lo / 10 <= t <= hi * 10]
+
+
+def render_svg(
+    title: str,
+    xlabel: str,
+    series_list: list[Series],
+    *,
+    ylabel: str = "seconds",
+) -> str:
+    """Render series as a log-log SVG line chart; returns the SVG text."""
+    if not series_list:
+        raise ValueError("need at least one series")
+    xs = series_list[0].xs
+    ys_all = [y for s in series_list for y in s.ys if y > 0]
+    if not ys_all:
+        raise ValueError("no positive y values to plot")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_lo == x_hi:
+        x_hi = x_lo * 2
+    if y_lo == y_hi:
+        y_hi = y_lo * 2
+
+    def px(x: float) -> float:
+        t = (math.log10(x) - math.log10(x_lo)) / (math.log10(x_hi) - math.log10(x_lo))
+        return _ML + t * (_W - _ML - _MR)
+
+    def py(y: float) -> float:
+        t = (math.log10(y) - math.log10(y_lo)) / (math.log10(y_hi) - math.log10(y_lo))
+        return _H - _MB - t * (_H - _MT - _MB)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_W / 2:.0f}" y="18" text-anchor="middle" font-size="13" '
+        f'font-weight="bold">{title}</text>',
+    ]
+    # gridlines + y tick labels
+    for t in _log_ticks(y_lo, y_hi):
+        if not (y_lo <= t <= y_hi):
+            continue
+        y = py(t)
+        parts.append(
+            f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" y2="{y:.1f}" '
+            f'stroke="#ddd" stroke-width="1"/>'
+        )
+        label = f"{t:g}"
+        parts.append(
+            f'<text x="{_ML - 6}" y="{y + 4:.1f}" text-anchor="end">{label}</text>'
+        )
+    # x ticks at the swept values
+    for x in xs:
+        xp = px(x)
+        parts.append(
+            f'<line x1="{xp:.1f}" y1="{_H - _MB}" x2="{xp:.1f}" '
+            f'y2="{_H - _MB + 4}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{xp:.1f}" y="{_H - _MB + 16}" text-anchor="middle">{x}</text>'
+        )
+    # axes
+    parts.append(
+        f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{_ML}" y1="{_H - _MB}" x2="{_W - _MR}" y2="{_H - _MB}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<text x="{(_W + _ML - _MR) / 2:.0f}" y="{_H - 8}" text-anchor="middle">{xlabel}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{(_H - _MB + _MT) / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(_H - _MB + _MT) / 2:.0f})">{ylabel}</text>'
+    )
+    # series lines + markers + legend
+    for k, s in enumerate(series_list):
+        color = _COLORS[k % len(_COLORS)]
+        pts = [
+            (px(x), py(y)) for x, y in zip(s.xs, s.ys) if y > 0
+        ]
+        if len(pts) >= 2:
+            d = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            parts.append(
+                f'<polyline points="{d}" fill="none" stroke="{color}" stroke-width="2"/>'
+            )
+        for x, y in pts:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>')
+        lx, ly = _W - _MR - 150, _MT + 14 + 16 * k
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 22}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 28}" y="{ly}">{s.label}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path, title: str, xlabel: str, series_list: list[Series], **kw) -> Path:
+    """Render and write an SVG; returns the path."""
+    path = Path(path)
+    path.write_text(render_svg(title, xlabel, series_list, **kw))
+    return path

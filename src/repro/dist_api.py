@@ -1,0 +1,213 @@
+"""High-level distributed API: machine-aware Matrix/Vector wrappers.
+
+The distributed analogue of :mod:`repro.matrix_api` / :mod:`repro.vector_api`:
+a :class:`DistMatrix` / :class:`DistVector` pair bound to a
+:class:`~repro.runtime.locale.Machine`, so operations run on the simulated
+cluster and their simulated times accumulate in the machine's ledger
+automatically::
+
+    machine = Machine(grid=LocaleGrid.for_count(16), threads_per_locale=24,
+                      ledger=CostLedger())
+    A = DistMatrix.distribute(a_csr, machine)
+    x = DistVector.distribute(x_sparse, machine)
+    y = x.vxm(A)                      # distributed SpMSpV
+    print(machine.ledger.by_component())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .algebra import PLUS_TIMES, Semiring, UnaryOp
+from .algebra.functional import BinaryOp
+from .distributed.dist_matrix import DistSparseMatrix
+from .distributed.dist_vector import DistDenseVector, DistSparseVector
+from .ops.apply import apply1, apply2
+from .ops.assign import assign1, assign2
+from .ops.ewise import ewisemult_dist
+from .ops.mask import mask_dist_vector
+from .ops.mxm_dist import mxm_dist
+from .ops.reduce import reduce_dist_vector
+from .ops.spmspv import spmspv_dist
+from .ops.transpose import transpose_dist
+from .runtime.locale import Machine
+from .sparse.csr import CSRMatrix
+from .sparse.vector import SparseVector
+
+__all__ = ["DistMatrix", "DistVector"]
+
+
+class DistVector:
+    """A block-distributed sparse vector bound to a simulated machine."""
+
+    __slots__ = ("_data", "machine")
+
+    def __init__(self, data: DistSparseVector, machine: Machine) -> None:
+        if data.grid.size != machine.num_locales:
+            raise ValueError(
+                "vector's grid does not match the machine's locale count"
+            )
+        self._data = data
+        self.machine = machine
+
+    @classmethod
+    def distribute(cls, x: SparseVector, machine: Machine) -> "DistVector":
+        """Block-distribute a global sparse vector over the machine's grid."""
+        return cls(DistSparseVector.from_global(x, machine.grid), machine)
+
+    @classmethod
+    def sparse(cls, capacity: int, machine: Machine, dtype=np.float64) -> "DistVector":
+        """An empty distributed vector."""
+        return cls(DistSparseVector.empty(capacity, machine.grid, dtype), machine)
+
+    # -- storage ---------------------------------------------------------------
+
+    @property
+    def data(self) -> DistSparseVector:
+        """The underlying storage (shared, not copied)."""
+        return self._data
+
+    @property
+    def capacity(self) -> int:
+        """Conceptual dimension of the vector."""
+        return self._data.capacity
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return self._data.nnz
+
+    def gather(self) -> SparseVector:
+        """Collect the global vector (verification / output path)."""
+        return self._data.gather()
+
+    def dup(self) -> "DistVector":
+        """A deep copy."""
+        return DistVector(self._data.copy(), self.machine)
+
+    # -- operations ---------------------------------------------------------------
+
+    def apply(self, op: UnaryOp, *, variant: int = 2) -> "DistVector":
+        """Paper Apply (variant 1 = fine-grained forall, 2 = SPMD).
+
+        Non-mutating: operates on a copy.
+        """
+        out = self._data.copy()
+        (apply1 if variant == 1 else apply2)(out, op, self.machine)
+        return DistVector(out, self.machine)
+
+    def assign_from(self, src: "DistVector", *, variant: int = 2) -> "DistVector":
+        """Paper Assign into this vector (matching distribution); returns self."""
+        (assign1 if variant == 1 else assign2)(self._data, src._data, self.machine)
+        return self
+
+    def ewise_mult_dense(self, dense: DistDenseVector, op: BinaryOp) -> "DistVector":
+        """Paper eWiseMult against an aligned distributed dense vector."""
+        out, _ = ewisemult_dist(self._data, dense, op, self.machine)
+        return DistVector(out, self.machine)
+
+    def masked(self, mask: "DistVector", *, complement: bool = False) -> "DistVector":
+        """Structural mask against another distributed vector."""
+        return DistVector(
+            mask_dist_vector(self._data, mask._data, complement=complement),
+            self.machine,
+        )
+
+    def vxm(
+        self,
+        a: "DistMatrix",
+        *,
+        semiring: Semiring = PLUS_TIMES,
+        gather_mode: str = "fine",
+        scatter_mode: str = "fine",
+        sort: str = "merge",
+    ) -> "DistVector":
+        """Distributed SpMSpV ``y = x ⊗ A`` (the paper's Listing 8)."""
+        y, _ = spmspv_dist(
+            a._data,
+            self._data,
+            self.machine,
+            semiring=semiring,
+            gather_mode=gather_mode,
+            scatter_mode=scatter_mode,
+            sort=sort,
+        )
+        return DistVector(y, self.machine)
+
+    def reduce(self, monoid=None):
+        """Cross-locale reduction to a scalar."""
+        from .algebra.monoid import PLUS_MONOID
+
+        return reduce_dist_vector(self._data, monoid or PLUS_MONOID)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DistVector(capacity={self.capacity}, nnz={self.nnz}, p={self.machine.num_locales})"
+
+
+class DistMatrix:
+    """A 2-D block-distributed sparse matrix bound to a simulated machine."""
+
+    __slots__ = ("_data", "machine")
+
+    def __init__(self, data: DistSparseMatrix, machine: Machine) -> None:
+        if data.grid.size != machine.num_locales:
+            raise ValueError(
+                "matrix's grid does not match the machine's locale count"
+            )
+        self._data = data
+        self.machine = machine
+
+    @classmethod
+    def distribute(cls, a: CSRMatrix, machine: Machine) -> "DistMatrix":
+        """2-D block-distribute a global CSR over the machine's grid."""
+        return cls(DistSparseMatrix.from_global(a, machine.grid), machine)
+
+    # -- storage -----------------------------------------------------------------
+
+    @property
+    def data(self) -> DistSparseMatrix:
+        """The underlying storage (shared, not copied)."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return self._data.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return self._data.nnz
+
+    def gather(self) -> CSRMatrix:
+        """Collect the global matrix."""
+        return self._data.gather()
+
+    # -- operations ----------------------------------------------------------------
+
+    def apply(self, op: UnaryOp, *, variant: int = 2) -> "DistMatrix":
+        """Paper Apply over a distributed matrix (non-mutating)."""
+        blocks = [blk.copy() for blk in self._data.blocks]
+        out = DistSparseMatrix(self._data.nrows, self._data.ncols, self._data.grid, blocks)
+        (apply1 if variant == 1 else apply2)(out, op, self.machine)
+        return DistMatrix(out, self.machine)
+
+    def mxm(self, other: "DistMatrix", *, semiring: Semiring = PLUS_TIMES) -> "DistMatrix":
+        """Distributed SpGEMM (sparse SUMMA; square grids)."""
+        c, _ = mxm_dist(self._data, other._data, self.machine, semiring=semiring)
+        return DistMatrix(c, self.machine)
+
+    def __matmul__(self, other: "DistMatrix") -> "DistMatrix":
+        return self.mxm(other)
+
+    @property
+    def T(self) -> "DistMatrix":
+        """Distributed transpose (square grids)."""
+        t, _ = transpose_dist(self._data, self.machine)
+        return DistMatrix(t, self.machine)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"DistMatrix({self.shape[0]}x{self.shape[1]}, nnz={self.nnz}, "
+            f"p={self.machine.num_locales})"
+        )

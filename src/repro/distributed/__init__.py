@@ -1,0 +1,11 @@
+"""Block-distributed sparse matrices and vectors (2-D and 1-D layouts)."""
+
+from .block import Block1D, Block2D, GridBlock1D, Partition1D
+from .dist_matrix import DistSparseMatrix, DistSparseMatrix1D
+from .dist_vector import DistDenseVector, DistSparseVector
+
+__all__ = [
+    "Partition1D", "Block1D", "GridBlock1D", "Block2D",
+    "DistSparseMatrix", "DistSparseMatrix1D",
+    "DistSparseVector", "DistDenseVector",
+]

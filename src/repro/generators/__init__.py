@@ -1,0 +1,18 @@
+"""Workload generators: Erdős–Rényi, R-MAT, random vectors."""
+
+from .erdos_renyi import erdos_renyi, erdos_renyi_triples
+from .rmat import rmat
+from .special import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    tree_graph,
+)
+from .vectors import random_bool_dense, random_sparse_vector, sample_distinct
+
+__all__ = [
+    "erdos_renyi", "erdos_renyi_triples", "rmat",
+    "random_sparse_vector", "random_bool_dense", "sample_distinct",
+]

@@ -1,0 +1,79 @@
+"""Erdős–Rényi random sparse matrices — the paper's evaluation workload.
+
+Paper §II-A: "In the Erdős-Rényi random graph model G(n, p), each edge is
+present with probability p independently from each other.  For p = d/m
+where d ≪ m, in expectation d nonzeros are uniformly distributed in each
+column.  … Randomly generated matrices give us precise control over the
+nonzero distribution."
+
+The generator samples the *number* of edges from the exact Binomial(n², p)
+law and places them uniformly (rejecting the rare duplicate), which is
+equivalent to per-entry coin flips but runs in O(nnz) instead of O(n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["erdos_renyi", "erdos_renyi_triples"]
+
+
+def erdos_renyi_triples(
+    n: int,
+    d: float,
+    *,
+    seed: int | np.random.Generator = 0,
+    values: str = "uniform",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample G(n, d/n) as (rows, cols, values) triples without duplicates.
+
+    Parameters
+    ----------
+    n:
+        Number of rows/columns (the paper uses square matrices only).
+    d:
+        Expected nonzeros per row/column; ``p = d/n``.
+    seed:
+        Integer seed or a numpy Generator (determinism for benchmarks).
+    values:
+        ``"uniform"`` — U(0,1) values; ``"one"`` — all ones (boolean-style
+        adjacency).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if d < 0 or d > n:
+        raise ValueError("need 0 <= d <= n")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    p = d / n
+    total_cells = n * n
+    nnz = int(rng.binomial(total_cells, p)) if p < 1.0 else total_cells
+    # sample distinct linear cell indices; duplicates are rare for d << n,
+    # so oversample then top up the shortfall.
+    chosen = np.unique(rng.integers(0, total_cells, size=int(nnz * 1.05) + 16))
+    while chosen.size < nnz:
+        extra = rng.integers(0, total_cells, size=nnz - chosen.size + 16)
+        chosen = np.unique(np.concatenate([chosen, extra]))
+    chosen = rng.permutation(chosen)[:nnz]
+    rows = chosen // n
+    cols = chosen % n
+    if values == "uniform":
+        vals = rng.random(nnz)
+    elif values == "one":
+        vals = np.ones(nnz)
+    else:
+        raise ValueError(f"unknown values mode {values!r}")
+    return rows.astype(np.int64), cols.astype(np.int64), vals
+
+
+def erdos_renyi(
+    n: int,
+    d: float,
+    *,
+    seed: int | np.random.Generator = 0,
+    values: str = "uniform",
+) -> CSRMatrix:
+    """A G(n, d/n) random matrix in CSR form (see :func:`erdos_renyi_triples`)."""
+    rows, cols, vals = erdos_renyi_triples(n, d, seed=seed, values=values)
+    return CSRMatrix.from_triples(n, n, rows, cols, vals)

@@ -1,0 +1,102 @@
+"""Deterministic structured graphs: paths, cycles, grids, stars, cliques.
+
+Analytic test fixtures: every generator's spectral/structural properties
+are known in closed form, which the test-suite and examples use to validate
+algorithms without a statistical oracle (e.g. a path graph's BFS levels are
+its indices; a torus's degree is exactly 4).
+
+All generators return symmetric (undirected) CSR adjacencies with unit
+weights and no self-loops unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["path_graph", "cycle_graph", "grid_graph", "star_graph", "complete_graph", "tree_graph"]
+
+
+def _sym_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> CSRMatrix:
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    return CSRMatrix.from_triples(n, n, rows, cols, np.ones(rows.size))
+
+
+def path_graph(n: int) -> CSRMatrix:
+    """The path 0—1—…—(n-1)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    u = np.arange(n - 1, dtype=np.int64)
+    return _sym_from_edges(n, u, u + 1)
+
+
+def cycle_graph(n: int) -> CSRMatrix:
+    """The n-cycle (n >= 3)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    u = np.arange(n, dtype=np.int64)
+    return _sym_from_edges(n, u, (u + 1) % n)
+
+
+def grid_graph(rows: int, cols: int, *, torus: bool = False) -> CSRMatrix:
+    """A rows × cols lattice; ``torus=True`` wraps both dimensions.
+
+    Vertex ``(r, c)`` is ``r * cols + c``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (r * cols + c).ravel()
+    us, vs = [], []
+    # horizontal edges
+    if cols > 1 or torus:
+        right_c = (c + 1) % cols if torus else c + 1
+        ok = np.ones_like(c, dtype=bool) if torus else c + 1 < cols
+        if torus and cols == 1:
+            ok &= False
+        us.append(vid[ok.ravel()])
+        vs.append((r * cols + right_c).ravel()[ok.ravel()])
+    # vertical edges
+    if rows > 1 or torus:
+        down_r = (r + 1) % rows if torus else r + 1
+        ok = np.ones_like(r, dtype=bool) if torus else r + 1 < rows
+        if torus and rows == 1:
+            ok &= False
+        us.append(vid[ok.ravel()])
+        vs.append((down_r * cols + c).ravel()[ok.ravel()])
+    if not us:
+        return CSRMatrix.empty(rows * cols, rows * cols)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    # a 2-torus can create duplicate edges (e.g. rows == 2); dedup handles it
+    keep = u != v
+    return _sym_from_edges(rows * cols, u[keep], v[keep])
+
+
+def star_graph(n: int) -> CSRMatrix:
+    """Vertex 0 joined to the other n-1 vertices."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return _sym_from_edges(n, np.zeros(leaves.size, dtype=np.int64), leaves)
+
+
+def complete_graph(n: int) -> CSRMatrix:
+    """K_n: every pair joined."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    u, v = np.triu_indices(n, k=1)
+    return _sym_from_edges(n, u.astype(np.int64), v.astype(np.int64))
+
+
+def tree_graph(n: int, branching: int = 2) -> CSRMatrix:
+    """A complete ``branching``-ary tree on n vertices (breadth-first ids)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if branching < 1:
+        raise ValueError("branching must be positive")
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // branching
+    return _sym_from_edges(n, parent, child)

@@ -1,0 +1,18 @@
+"""I/O: Matrix Market reading and writing."""
+
+from .binary import load_npz, load_vector_npz, save_npz, save_vector_npz
+from .edgelist import read_edgelist, write_edgelist
+from .mmio import read_matrix_market, read_vector, write_matrix_market, write_vector
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_vector",
+    "write_vector",
+    "read_edgelist",
+    "write_edgelist",
+    "save_npz",
+    "load_npz",
+    "save_vector_npz",
+    "load_vector_npz",
+]

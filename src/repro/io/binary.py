@@ -1,0 +1,67 @@
+"""Binary (.npz) persistence for sparse matrices and vectors.
+
+Matrix Market is the interchange format; for working sets the text
+round-trip is painfully slow at 10M+ nonzeros.  These helpers store the raw
+CSR/vector arrays in a numpy ``.npz`` container — loading a 100M-nonzero
+matrix takes seconds instead of minutes, with exact dtype preservation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+
+__all__ = ["save_npz", "load_npz", "save_vector_npz", "load_vector_npz"]
+
+_MAGIC = "repro-csr-v1"
+_VMAGIC = "repro-vec-v1"
+
+
+def save_npz(path, a: CSRMatrix, *, compressed: bool = True) -> None:
+    """Write a CSR matrix to ``path`` (a ``.npz`` file)."""
+    saver = np.savez_compressed if compressed else np.savez
+    saver(
+        path,
+        format=np.array(_MAGIC),
+        shape=np.array(a.shape, dtype=np.int64),
+        rowptr=a.rowptr,
+        colidx=a.colidx,
+        values=a.values,
+    )
+
+
+def load_npz(path) -> CSRMatrix:
+    """Read a CSR matrix written by :func:`save_npz`."""
+    with np.load(path) as data:
+        if "format" not in data or str(data["format"]) != _MAGIC:
+            raise ValueError(f"{path}: not a {_MAGIC} file")
+        nrows, ncols = (int(v) for v in data["shape"])
+        a = CSRMatrix(nrows, ncols, data["rowptr"], data["colidx"], data["values"])
+    a.check()
+    return a
+
+
+def save_vector_npz(path, x: SparseVector, *, compressed: bool = True) -> None:
+    """Write a sparse vector to ``path`` (a ``.npz`` file)."""
+    saver = np.savez_compressed if compressed else np.savez
+    saver(
+        path,
+        format=np.array(_VMAGIC),
+        capacity=np.array(x.capacity, dtype=np.int64),
+        indices=x.indices,
+        values=x.values,
+    )
+
+
+def load_vector_npz(path) -> SparseVector:
+    """Read a sparse vector written by :func:`save_vector_npz`."""
+    with np.load(path) as data:
+        if "format" not in data or str(data["format"]) != _VMAGIC:
+            raise ValueError(f"{path}: not a {_VMAGIC} file")
+        x = SparseVector(int(data["capacity"]), data["indices"], data["values"])
+    x.check()
+    return x

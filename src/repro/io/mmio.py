@@ -1,0 +1,136 @@
+"""Matrix Market I/O — the lingua franca of sparse-matrix exchange.
+
+From-scratch reader/writer for the ``coordinate`` format (real, integer,
+and pattern fields; general, symmetric, and skew-symmetric storage) so
+users can feed real graphs (SuiteSparse collection, SNAP exports) to the
+library.  Dense ``array`` files are intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+
+__all__ = ["read_matrix_market", "write_matrix_market", "read_vector", "write_vector"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+class MatrixMarketError(ValueError):
+    """Malformed Matrix Market content."""
+
+
+def _open_text(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_matrix_market(path_or_file) -> CSRMatrix:
+    """Parse a coordinate Matrix Market file into a :class:`CSRMatrix`.
+
+    Symmetric / skew-symmetric storage is expanded to the full pattern;
+    ``pattern`` fields produce all-ones values.  Indices are converted from
+    the format's 1-based convention.
+    """
+    f, should_close = _open_text(path_or_file, "r")
+    try:
+        header = f.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise MatrixMarketError(f"missing header, got: {header[:60]!r}")
+        parts = header.split()
+        if len(parts) < 5:
+            raise MatrixMarketError(f"short header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise MatrixMarketError(
+                f"only coordinate matrices are supported, got {obj}/{fmt}"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in ("real", "integer", "pattern"):
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise MatrixMarketError(f"bad size line: {line!r}")
+        nrows, ncols, nnz = (int(v) for v in dims)
+        body = f.read()
+    finally:
+        if should_close:
+            f.close()
+    if nnz == 0:
+        return CSRMatrix.empty(nrows, ncols)
+    table = np.loadtxt(
+        io.StringIO(body), ndmin=2, comments="%", max_rows=nnz
+    )
+    if table.shape[0] != nnz:
+        raise MatrixMarketError(
+            f"expected {nnz} entries, found {table.shape[0]}"
+        )
+    rows = table[:, 0].astype(np.int64) - 1
+    cols = table[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(nnz)
+    else:
+        if table.shape[1] < 3:
+            raise MatrixMarketError(f"{field} matrix lacks a value column")
+        vals = table[:, 2].astype(np.float64)
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror_rows, mirror_cols = cols[off], rows[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, sign * vals[off]])
+    return CSRMatrix.from_triples(nrows, ncols, rows, cols, vals)
+
+
+def write_matrix_market(path_or_file, a: CSRMatrix, *, comment: str = "") -> None:
+    """Write a CSR matrix as ``coordinate real general`` Matrix Market."""
+    f, should_close = _open_text(path_or_file, "w")
+    try:
+        f.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+        for line in comment.splitlines():
+            f.write(f"% {line}\n")
+        f.write(f"{a.nrows} {a.ncols} {a.nnz}\n")
+        rows = a.row_indices() + 1
+        cols = a.colidx + 1
+        for r, c, v in zip(rows, cols, a.values):
+            f.write(f"{r} {c} {v:.17g}\n")
+    finally:
+        if should_close:
+            f.close()
+
+
+def read_vector(path_or_file) -> SparseVector:
+    """Read an ``n x 1`` coordinate Matrix Market file as a sparse vector."""
+    m = read_matrix_market(path_or_file)
+    if m.ncols != 1:
+        raise MatrixMarketError(f"expected a column vector, got {m.shape}")
+    coo = m.to_coo()
+    return SparseVector.from_pairs(m.nrows, coo.rows, coo.values)
+
+
+def write_vector(path_or_file, x: SparseVector, *, comment: str = "") -> None:
+    """Write a sparse vector as an ``n x 1`` coordinate Matrix Market file."""
+    f, should_close = _open_text(path_or_file, "w")
+    try:
+        f.write(f"{_HEADER_PREFIX} matrix coordinate real general\n")
+        for line in comment.splitlines():
+            f.write(f"% {line}\n")
+        f.write(f"{x.capacity} 1 {x.nnz}\n")
+        for i, v in zip(x.indices + 1, x.values):
+            f.write(f"{i} 1 {v:.17g}\n")
+    finally:
+        if should_close:
+            f.close()

@@ -1,0 +1,125 @@
+"""Apply — a unary operator over every stored element (paper §III-A).
+
+"Apply takes a unary operator and a matrix (or a vector) as its input.  It
+applies the unary operator to every nonzero … The computation complexity of
+Apply is O(nnz) and it does not require any communication."
+
+Two distributed implementations, exactly mirroring the paper's Listings 2-3:
+
+* :func:`apply1` — the idiomatic data-parallel ``forall`` over the
+  block-distributed sparse array.  Chapel 1.14 has no locality-aware leader
+  iterator for sparse arrays, so every iteration executes where the loop was
+  started and non-local elements are touched through fine-grained remote
+  access — the right subfigure of Fig 1 shows the resulting collapse.
+* :func:`apply2` — explicit SPMD: one task per locale (``coforall … on``),
+  each applying the operator to its local block.  No communication at all.
+
+Both mutate their argument in place (Chapel's ``a = unaryOp(a)``) and
+return the simulated-time :class:`~repro.runtime.clock.Breakdown`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.dist_matrix import DistSparseMatrix
+from ..distributed.dist_vector import DistSparseVector
+from ..runtime.clock import Breakdown
+from ..runtime.comm import fine_grained
+from ..runtime.locale import Machine
+from ..runtime.tasks import coforall_spawn, parallel_time
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+from ..algebra.functional import UnaryOp
+
+__all__ = ["apply_shm", "apply1", "apply2", "apply1_cost", "apply2_cost"]
+
+
+def apply_shm(x, op: UnaryOp, machine: Machine) -> Breakdown:
+    """Shared-memory Apply on a local sparse vector or CSR matrix.
+
+    One ``forall`` over the stored values — the single-locale slice of both
+    Apply1 and Apply2 (they coincide on one locale, Fig 1 left).
+    """
+    if isinstance(x, CSRMatrix):
+        values = x.values
+    elif isinstance(x, SparseVector):
+        values = x.values
+    else:
+        raise TypeError(f"apply_shm expects CSRMatrix or SparseVector, got {type(x).__name__}")
+    values[...] = op(values)
+    cfg = machine.config
+    t = parallel_time(
+        cfg,
+        values.size * cfg.stream_cost * machine.compute_penalty,
+        machine.threads_per_locale,
+    )
+    return machine.record("apply_shm", Breakdown({"apply": t}))
+
+
+def apply1_cost(
+    machine: Machine, nnz_per_locale: np.ndarray
+) -> Breakdown:
+    """Simulated cost of Apply1 given per-locale stored-element counts.
+
+    All iterations execute on the initiating locale (locale 0); elements on
+    the other ``p-1`` locales are read and written back one at a time.
+    """
+    cfg = machine.config
+    p = machine.num_locales
+    nnz_per_locale = np.asarray(nnz_per_locale, dtype=np.int64)
+    local_nnz = int(nnz_per_locale[0]) if p else 0
+    remote_nnz = int(nnz_per_locale[1:].sum())
+    threads = machine.threads_per_locale
+    compute = parallel_time(
+        cfg,
+        (local_nnz + remote_nnz) * cfg.stream_cost * machine.compute_penalty,
+        threads,
+    )
+    # each remote element costs a round-trip get + put
+    comm = fine_grained(
+        cfg, 2 * remote_nnz, threads=threads, local=machine.oversubscribed
+    )
+    return Breakdown({"apply": compute + comm})
+
+
+def apply1(
+    x: DistSparseVector | DistSparseMatrix, op: UnaryOp, machine: Machine
+) -> Breakdown:
+    """Listing 2: ``forall a in spArr do a = unaryOp(a)`` on a distributed
+    sparse vector or matrix.  Correct but communication-bound (Fig 1 right)."""
+    for blk in x.blocks:
+        blk.values[...] = op(blk.values)
+    b = apply1_cost(machine, x.nnz_per_locale())
+    return machine.record("apply1", b)
+
+
+def apply2_cost(machine: Machine, nnz_per_locale: np.ndarray) -> Breakdown:
+    """Simulated cost of Apply2: coforall spawn + slowest local forall."""
+    cfg = machine.config
+    nnz_per_locale = np.asarray(nnz_per_locale, dtype=np.int64)
+    spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
+    slowest = max(
+        (
+            parallel_time(
+                cfg,
+                int(nnz) * cfg.stream_cost * machine.compute_penalty,
+                machine.threads_per_locale,
+            )
+            for nnz in nnz_per_locale
+        ),
+        default=0.0,
+    )
+    return Breakdown({"apply": spawn + slowest})
+
+
+def apply2(
+    x: DistSparseVector | DistSparseMatrix, op: UnaryOp, machine: Machine
+) -> Breakdown:
+    """Listing 3: ``coforall locArr … on locArr`` then a local forall over
+    ``myElems`` — the scalable SPMD Apply (Fig 1).  Accepts distributed
+    sparse vectors and matrices alike (the paper's Apply covers both)."""
+    for blk in x.blocks:
+        blk.values[...] = op(blk.values)
+    b = apply2_cost(machine, x.nnz_per_locale())
+    return machine.record("apply2", b)

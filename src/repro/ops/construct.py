@@ -1,0 +1,115 @@
+"""Structural constructors: Kronecker product, concatenation, diagonal.
+
+Rounding out the GraphBLAS-adjacent construction surface (SuiteSparse's
+``GrB_kronecker``, ``GxB_Matrix_concat``, ``GrB_Matrix_diag``).  Kronecker
+products are the standard way to synthesise structured test graphs (R-MAT
+is a noisy Kronecker power), and concat/diag support building block systems
+out of smaller operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.functional import BinaryOp, TIMES
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+
+__all__ = ["kronecker", "hstack", "vstack", "block_diag", "diag", "diag_extract"]
+
+
+def kronecker(a: CSRMatrix, b: CSRMatrix, op: BinaryOp = TIMES) -> CSRMatrix:
+    """``C = A ⊗_kron B``: each ``A[i,k]`` becomes a scaled copy of B.
+
+    ``C[i*bm + p, k*bn + q] = op(A[i,k], B[p,q])`` — fully vectorised by
+    outer-repeating the two triple sets.
+    """
+    ac = a.to_coo()
+    bc = b.to_coo()
+    na, nb = ac.nnz, bc.nnz
+    if na == 0 or nb == 0:
+        return CSRMatrix.empty(a.nrows * b.nrows, a.ncols * b.ncols)
+    rows = (np.repeat(ac.rows, nb) * b.nrows + np.tile(bc.rows, na)).astype(np.int64)
+    cols = (np.repeat(ac.cols, nb) * b.ncols + np.tile(bc.cols, na)).astype(np.int64)
+    vals = np.asarray(op(np.repeat(ac.values, nb), np.tile(bc.values, na)))
+    return CSRMatrix.from_triples(
+        a.nrows * b.nrows, a.ncols * b.ncols, rows, cols, vals
+    )
+
+
+def hstack(blocks: list[CSRMatrix]) -> CSRMatrix:
+    """Concatenate matrices left-to-right (all must share ``nrows``)."""
+    if not blocks:
+        raise ValueError("need at least one block")
+    nrows = blocks[0].nrows
+    if any(b.nrows != nrows for b in blocks):
+        raise ValueError("hstack blocks must share the row count")
+    offset = 0
+    rows, cols, vals = [], [], []
+    for b in blocks:
+        coo = b.to_coo()
+        rows.append(coo.rows)
+        cols.append(coo.cols + offset)
+        vals.append(coo.values)
+        offset += b.ncols
+    return CSRMatrix.from_triples(
+        nrows, offset, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def vstack(blocks: list[CSRMatrix]) -> CSRMatrix:
+    """Concatenate matrices top-to-bottom (all must share ``ncols``)."""
+    if not blocks:
+        raise ValueError("need at least one block")
+    ncols = blocks[0].ncols
+    if any(b.ncols != ncols for b in blocks):
+        raise ValueError("vstack blocks must share the column count")
+    offset = 0
+    rows, cols, vals = [], [], []
+    for b in blocks:
+        coo = b.to_coo()
+        rows.append(coo.rows + offset)
+        cols.append(coo.cols)
+        vals.append(coo.values)
+        offset += b.nrows
+    return CSRMatrix.from_triples(
+        offset, ncols, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def block_diag(blocks: list[CSRMatrix]) -> CSRMatrix:
+    """Direct sum: blocks along the diagonal, zero elsewhere."""
+    if not blocks:
+        raise ValueError("need at least one block")
+    r_off = c_off = 0
+    rows, cols, vals = [], [], []
+    for b in blocks:
+        coo = b.to_coo()
+        rows.append(coo.rows + r_off)
+        cols.append(coo.cols + c_off)
+        vals.append(coo.values)
+        r_off += b.nrows
+        c_off += b.ncols
+    return CSRMatrix.from_triples(
+        r_off, c_off, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def diag(x: SparseVector, k: int = 0) -> CSRMatrix:
+    """``GrB_Matrix_diag``: a matrix whose k-th diagonal holds ``x``."""
+    n = x.capacity + abs(k)
+    rows = x.indices + (0 if k >= 0 else -k)
+    cols = x.indices + (k if k >= 0 else 0)
+    return CSRMatrix.from_triples(n, n, rows, cols, x.values.copy())
+
+
+def diag_extract(a: CSRMatrix, k: int = 0) -> SparseVector:
+    """Extract the k-th diagonal of ``a`` as a sparse vector."""
+    rows = a.row_indices()
+    on_diag = a.colidx - rows == k
+    d_rows = rows[on_diag]
+    length = (
+        min(a.nrows, a.ncols - k) if k >= 0 else min(a.nrows + k, a.ncols)
+    )
+    positions = d_rows if k >= 0 else d_rows + k
+    return SparseVector(max(length, 0), positions, a.values[on_diag].copy())

@@ -1,0 +1,68 @@
+"""Distributed elementwise union/intersection of sparse vectors.
+
+Completes the distributed operation matrix: the paper's eWiseMult covers
+the sparse × dense case (:func:`repro.ops.ewise.ewisemult_dist`); these are
+the sparse × sparse union (eWiseAdd) and intersection (eWiseMult) on
+matching distributions — blockwise, no communication, SPMD cost model.
+"""
+
+from __future__ import annotations
+
+from ..algebra.functional import BinaryOp, TIMES
+from ..algebra.monoid import Monoid, PLUS_MONOID
+from ..distributed.dist_vector import DistSparseVector
+from ..runtime.clock import Breakdown
+from ..runtime.locale import Machine
+from ..runtime.tasks import coforall_spawn, parallel_time
+from .ewise import ewiseadd_vv, ewisemult_vv
+
+__all__ = ["ewiseadd_dist_vv", "ewisemult_dist_vv"]
+
+
+def _blockwise(
+    x: DistSparseVector,
+    y: DistSparseVector,
+    machine: Machine,
+    kernel,
+    label: str,
+) -> tuple[DistSparseVector, Breakdown]:
+    if x.capacity != y.capacity or x.grid.size != y.grid.size:
+        raise ValueError("operands must share capacity and locale grid")
+    cfg = machine.config
+    blocks = []
+    per_locale = []
+    for xb, yb in zip(x.blocks, y.blocks):
+        blocks.append(kernel(xb, yb))
+        work = (xb.nnz + yb.nnz) * cfg.stream_cost * machine.compute_penalty
+        per_locale.append(
+            Breakdown({label: parallel_time(cfg, work, machine.threads_per_locale)})
+        )
+    spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
+    out = DistSparseVector(x.capacity, x.grid, blocks)
+    b = Breakdown({label: spawn}) + Breakdown.parallel(per_locale)
+    return out, machine.record(label, b)
+
+
+def ewiseadd_dist_vv(
+    x: DistSparseVector,
+    y: DistSparseVector,
+    machine: Machine,
+    op: BinaryOp | Monoid = PLUS_MONOID,
+) -> tuple[DistSparseVector, Breakdown]:
+    """Distributed union merge: entries of either operand, overlaps
+    combined by ``op``.  Distributions must match (no communication)."""
+    return _blockwise(
+        x, y, machine, lambda a, b: ewiseadd_vv(a, b, op), "ewiseadd_dist"
+    )
+
+
+def ewisemult_dist_vv(
+    x: DistSparseVector,
+    y: DistSparseVector,
+    machine: Machine,
+    op: BinaryOp = TIMES,
+) -> tuple[DistSparseVector, Breakdown]:
+    """Distributed intersection merge on matching distributions."""
+    return _blockwise(
+        x, y, machine, lambda a, b: ewisemult_vv(a, b, op), "ewisemult_dist_vv"
+    )

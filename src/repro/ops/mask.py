@@ -1,0 +1,80 @@
+"""Masks — structural write-masks for vectors and matrices.
+
+Paper §V: "efficient implementations of novel concepts in GraphBLAS, such
+as masks, have not been attempted in distributed memory before."  A mask
+restricts which output positions an operation may produce; the complement
+mask inverts the selection.  BFS is the canonical user: the frontier is
+multiplied under the *complement* of the visited vector so already-seen
+vertices never re-enter.
+
+Masks here are structural (presence = allowed); value masks can be built
+by first applying :meth:`CSRMatrix.select`/eWiseMult to the mask itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.dist_vector import DistSparseVector
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import DenseVector, SparseVector
+
+__all__ = ["mask_vector", "mask_matrix", "mask_vector_dense", "mask_dist_vector"]
+
+
+def mask_vector(
+    x: SparseVector, mask: SparseVector, *, complement: bool = False
+) -> SparseVector:
+    """Keep entries of ``x`` whose index is (not, if ``complement``) present
+    in the structural ``mask``."""
+    if x.capacity != mask.capacity:
+        raise ValueError("x and mask capacities differ")
+    if mask.nnz == 0:
+        hit = np.zeros(x.nnz, dtype=bool)
+    else:
+        pos = np.searchsorted(mask.indices, x.indices)
+        pos_c = np.minimum(pos, mask.nnz - 1)
+        hit = mask.indices[pos_c] == x.indices
+    keep = ~hit if complement else hit
+    return SparseVector(x.capacity, x.indices[keep].copy(), x.values[keep].copy())
+
+
+def mask_vector_dense(
+    x: SparseVector, mask: DenseVector | np.ndarray, *, complement: bool = False
+) -> SparseVector:
+    """Dense-mask variant: keep where ``mask`` is truthy (or falsy)."""
+    mv = mask.values if isinstance(mask, DenseVector) else np.asarray(mask)
+    if mv.size != x.capacity:
+        raise ValueError("mask length must equal vector capacity")
+    hit = mv[x.indices].astype(bool)
+    keep = ~hit if complement else hit
+    return SparseVector(x.capacity, x.indices[keep].copy(), x.values[keep].copy())
+
+
+def mask_matrix(
+    a: CSRMatrix, mask: CSRMatrix, *, complement: bool = False
+) -> CSRMatrix:
+    """Keep entries of ``a`` at positions (not) stored in ``mask``."""
+    if a.shape != mask.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {mask.shape}")
+    ka = a.row_indices() * a.ncols + a.colidx
+    km = mask.row_indices() * mask.ncols + mask.colidx
+    hit = np.isin(ka, km, assume_unique=True)
+    keep = ~hit if complement else hit
+    kept_rows = a.row_indices()[keep]
+    rowptr = np.zeros(a.nrows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(kept_rows, minlength=a.nrows), out=rowptr[1:])
+    return CSRMatrix(a.nrows, a.ncols, rowptr, a.colidx[keep], a.values[keep])
+
+
+def mask_dist_vector(
+    x: DistSparseVector, mask: DistSparseVector, *, complement: bool = False
+) -> DistSparseVector:
+    """Blockwise distributed mask (no communication: distributions match)."""
+    if x.capacity != mask.capacity or x.grid.size != mask.grid.size:
+        raise ValueError("x and mask must share capacity and grid")
+    blocks = [
+        mask_vector(xb, mb, complement=complement)
+        for xb, mb in zip(x.blocks, mask.blocks)
+    ]
+    return DistSparseVector(x.capacity, x.grid, blocks)

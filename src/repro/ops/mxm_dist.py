@@ -1,0 +1,104 @@
+"""Distributed SpGEMM — a SUMMA-style sparse matrix product on the 2-D grid.
+
+The paper's future work aims at "finishing a complete GraphBLAS-compliant
+library" including distributed matrix-matrix multiply; this is the classic
+sparse SUMMA of Buluç & Gilbert [8] on the same 2-D block distribution as
+SpMSpV_dist:
+
+for each stage ``s`` of ``q = √p`` stages:
+    * the owners of A's column-block ``s`` broadcast their block along
+      their processor **row**;
+    * the owners of B's row-block ``s`` broadcast theirs along their
+      processor **column**;
+    * every locale multiplies the received pair locally (ESC SpGEMM) and
+      accumulates into its output block with the semiring's add.
+
+Communication is bulk by construction — SUMMA is the bulk-synchronous
+answer to the fine-grained problems of §IV.  Requires a square grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.semiring import PLUS_TIMES, Semiring
+from ..distributed.dist_matrix import DistSparseMatrix
+from ..runtime.clock import Breakdown
+from ..runtime.comm import bulk
+from ..runtime.locale import Machine
+from ..runtime.tasks import coforall_spawn, parallel_time
+from ..sparse.csr import CSRMatrix
+from .ewise import ewiseadd_mm
+from .mxm import flops, mxm
+
+__all__ = ["mxm_dist"]
+
+
+def mxm_dist(
+    a: DistSparseMatrix,
+    b: DistSparseMatrix,
+    machine: Machine,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+) -> tuple[DistSparseMatrix, Breakdown]:
+    """Sparse SUMMA: ``C = A ⊗ B`` on matching square 2-D distributions.
+
+    Returns the distributed product and a Breakdown with ``broadcast`` /
+    ``multiply`` / ``merge`` components (per-stage costs, max over locales).
+    """
+    grid = a.grid
+    if grid.rows != grid.cols:
+        raise ValueError("sparse SUMMA requires a square locale grid")
+    if (b.grid.rows, b.grid.cols) != (grid.rows, grid.cols):
+        raise ValueError("A and B must share the locale grid")
+    if a.ncols != b.nrows:
+        raise ValueError(f"inner dimensions disagree: {a.ncols} vs {b.nrows}")
+    # inner-dimension blockings must agree (A's column blocks == B's row blocks)
+    if not np.array_equal(a.layout.col_blocks.bounds, b.layout.row_blocks.bounds):
+        raise ValueError("inner-dimension block boundaries of A and B disagree")
+    q = grid.rows
+    cfg = machine.config
+    threads = machine.threads_per_locale
+    itemsize = 16
+    pen = machine.compute_penalty
+
+    spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
+    total = Breakdown({"broadcast": spawn})
+    acc: list[CSRMatrix | None] = [None] * grid.size
+    for s in range(q):
+        stage_cast: list[Breakdown] = []
+        stage_mult: list[Breakdown] = []
+        for loc in grid:
+            i, j = loc.row, loc.col
+            a_blk = a.block(i, s)
+            b_blk = b.block(s, j)
+            # broadcast costs: each block travels to q-1 peers (tree), paid
+            # by every receiving locale as one bulk transfer per operand
+            cast = 0.0
+            if s != j:  # A(i, s) arrives from another column
+                cast += bulk(cfg, a_blk.nnz * itemsize, local=machine.oversubscribed)
+            if s != i:  # B(s, j) arrives from another row
+                cast += bulk(cfg, b_blk.nnz * itemsize, local=machine.oversubscribed)
+            stage_cast.append(Breakdown({"broadcast": cast}))
+            # local multiply + merge into the accumulator
+            c_blk = mxm(a_blk, b_blk, semiring=semiring)
+            work = flops(a_blk, b_blk) * cfg.element_cost * pen
+            stage_mult.append(
+                Breakdown(
+                    {
+                        "multiply": parallel_time(cfg, work, threads),
+                        "merge": parallel_time(
+                            cfg, c_blk.nnz * cfg.element_cost * pen, threads
+                        ),
+                    }
+                )
+            )
+            k = loc.id
+            acc[k] = c_blk if acc[k] is None else ewiseadd_mm(acc[k], c_blk, semiring.add)
+        total = total + Breakdown.parallel(stage_cast) + Breakdown.parallel(stage_mult)
+
+    # every cell received a product in stage 0, so acc is fully populated
+    blocks = [blk for blk in acc if blk is not None]
+    assert len(blocks) == grid.size
+    c = DistSparseMatrix(a.nrows, b.ncols, grid, blocks)
+    return c, machine.record("mxm_dist", total)

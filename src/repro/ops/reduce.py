@@ -1,0 +1,59 @@
+"""Reduce — fold a matrix or vector through a monoid (``GrB_reduce``).
+
+One of the core GraphBLAS functions (paper §III).  Matrix reductions come
+in three shapes: to a row-vector (reduce each column), to a column-vector
+(reduce each row), and to a scalar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.dist_vector import DistSparseVector
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import DenseVector, SparseVector
+from ..algebra.monoid import Monoid, PLUS_MONOID
+
+__all__ = [
+    "reduce_vector",
+    "reduce_rows_sparse",
+    "reduce_cols_sparse",
+    "reduce_matrix_scalar",
+    "reduce_dist_vector",
+]
+
+
+def reduce_vector(x: SparseVector | DenseVector, monoid: Monoid = PLUS_MONOID):
+    """Fold all stored entries of a vector to one scalar (identity if empty)."""
+    return monoid.reduce(x.values)
+
+
+def reduce_rows_sparse(a: CSRMatrix, monoid: Monoid = PLUS_MONOID) -> SparseVector:
+    """Reduce each row to a scalar; rows with no entries are absent from the
+    sparse result (GraphBLAS semantics, unlike the dense
+    :meth:`CSRMatrix.reduce_rows`)."""
+    dense = a.reduce_rows(monoid)
+    nonempty = np.flatnonzero(np.diff(a.rowptr) > 0).astype(np.int64)
+    return SparseVector(a.nrows, nonempty, np.asarray(dense)[nonempty])
+
+
+def reduce_cols_sparse(a: CSRMatrix, monoid: Monoid = PLUS_MONOID) -> SparseVector:
+    """Reduce each column to a scalar (absent for empty columns)."""
+    return reduce_rows_sparse(a.transposed(), monoid)
+
+
+def reduce_matrix_scalar(a: CSRMatrix, monoid: Monoid = PLUS_MONOID):
+    """Fold every stored entry of the matrix to one scalar."""
+    return monoid.reduce(a.values)
+
+
+def reduce_dist_vector(x: DistSparseVector, monoid: Monoid = PLUS_MONOID):
+    """Distributed vector reduction: local folds then a cross-locale fold
+    (the tree combine a real runtime would do with a collective)."""
+    partials = [monoid.reduce(b.values) for b in x.blocks if b.nnz]
+    if not partials:
+        return monoid.identity
+    acc = partials[0]
+    for v in partials[1:]:
+        acc = monoid.op(acc, v)
+    return acc

@@ -1,0 +1,71 @@
+"""Select — positional/value filtering of vectors (``GrB_select``).
+
+The matrix-side select lives on :meth:`repro.sparse.csr.CSRMatrix.select`;
+this module provides the vector counterpart plus the distributed variant,
+so the full GraphBLAS select surface is covered.  An
+:class:`~repro.algebra.functional.IndexUnaryOp` sees each stored entry's
+value and index (column slot doubles as the thunked position) and returns a
+keep mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.functional import IndexUnaryOp
+from ..distributed.dist_vector import DistSparseVector
+from ..runtime.clock import Breakdown
+from ..runtime.locale import Machine
+from ..runtime.tasks import coforall_spawn, parallel_time
+from ..sparse.vector import SparseVector
+
+__all__ = ["select_vector", "select_dist_vector"]
+
+
+def select_vector(x: SparseVector, op: IndexUnaryOp, thunk=None) -> SparseVector:
+    """Keep entries where ``op(value, index, index, thunk)`` is truthy.
+
+    The index is passed as both "row" and "column" so positional operators
+    (``VALUEGT``, ``ROWINDEX``-style) work unchanged on vectors.
+    """
+    keep = np.asarray(op(x.values, x.indices, x.indices, thunk), dtype=bool)
+    return SparseVector(x.capacity, x.indices[keep].copy(), x.values[keep].copy())
+
+
+def select_dist_vector(
+    x: DistSparseVector,
+    op: IndexUnaryOp,
+    machine: Machine,
+    thunk=None,
+) -> tuple[DistSparseVector, Breakdown]:
+    """Blockwise distributed select (no communication).
+
+    Each locale filters its own block against *global* indices (rebased
+    from block-local), so positional thunks mean the same thing as in the
+    shared-memory call.
+    """
+    cfg = machine.config
+    bounds = x.dist.bounds
+    blocks: list[SparseVector] = []
+    per_locale: list[Breakdown] = []
+    for k, blk in enumerate(x.blocks):
+        gidx = blk.indices + int(bounds[k])
+        keep = np.asarray(op(blk.values, gidx, gidx, thunk), dtype=bool)
+        blocks.append(
+            SparseVector(blk.capacity, blk.indices[keep].copy(), blk.values[keep].copy())
+        )
+        per_locale.append(
+            Breakdown(
+                {
+                    "select": parallel_time(
+                        cfg,
+                        blk.nnz * cfg.stream_cost * machine.compute_penalty,
+                        machine.threads_per_locale,
+                    )
+                }
+            )
+        )
+    spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
+    out = DistSparseVector(x.capacity, x.grid, blocks)
+    b = Breakdown({"select": spawn}) + Breakdown.parallel(per_locale)
+    return out, machine.record("select_dist", b)

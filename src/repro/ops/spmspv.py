@@ -1,0 +1,378 @@
+"""SpMSpV — sparse matrix × sparse vector over a semiring (paper §III-D).
+
+``y ← x A`` where ``A ∈ R^{m×n}`` is CSR and ``x ∈ R^{1×m}`` is sparse:
+for every stored ``x[i]`` fetch row ``A[i, :]`` and merge the products into
+a sparse accumulator (SPA).
+
+Shared memory (:func:`spmspv_shm`, Listing 7) has three timed components,
+plotted separately in the paper's Fig 7:
+
+* **SPA** — merge the selected rows through the accumulator;
+* **Sorting** — sort the accumulated indices (parallel merge sort in the
+  paper; radix sort available as the paper's proposed improvement);
+* **Output** — build the output sparse vector from the sorted SPA.
+
+Distributed memory (:func:`spmspv_dist`, Listing 8) uses the shared-memory
+kernel per locale and has the Fig 8-9 components:
+
+* **Gather Input** — assemble each locale's row-block slice of ``x`` from
+  the locales of its processor row (fine-grained in the paper; a
+  bulk-synchronous variant is provided for the §IV recommendation);
+* **Local Multiply** — per-locale :func:`spmspv_shm`;
+* **Scatter output** — merge per-locale partial outputs through a global
+  SPA across processor columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.dist_matrix import DistSparseMatrix, DistSparseMatrix1D
+from ..distributed.dist_vector import DistSparseVector
+from ..runtime.atomics import scattered_rmw
+from ..runtime.clock import Breakdown
+from ..runtime.comm import allgather, bulk, fine_grained, gather_parts_fine, reduce_scatter
+from ..runtime.locale import Machine
+from ..runtime.tasks import coforall_spawn, makespan, parallel_time, sort_time
+from ..sparse.csr import CSRMatrix
+from ..sparse.sort import merge_sort, radix_sort
+from ..sparse.spa import SPA
+from ..sparse.vector import SparseVector
+from ..algebra.semiring import PLUS_TIMES, Semiring
+
+__all__ = ["spmspv_shm", "spmspv_dist", "spmspv_dist_1d", "spmspv_shm_cost"]
+
+#: component labels, matching the paper's figure legends
+SPA_STEP = "SPA"
+SORT_STEP = "Sorting"
+OUTPUT_STEP = "Output"
+GATHER_STEP = "Gather Input"
+MULTIPLY_STEP = "Local Multiply"
+SCATTER_STEP = "Scatter output"
+
+
+def spmspv_shm_cost(
+    machine: Machine,
+    *,
+    row_nnzs: np.ndarray,
+    out_nnz: int,
+    ncols: int,
+    sort: str = "merge",
+) -> Breakdown:
+    """Simulated cost of the shared-memory SpMSpV.
+
+    ``row_nnzs`` are the lengths of the matrix rows selected by the input
+    vector's nonzeros — the real per-iteration work items, so skewed inputs
+    produce genuine load imbalance in the makespan.
+    """
+    cfg = machine.config
+    threads = machine.threads_per_locale
+    pen = machine.compute_penalty
+    t_mem = max(min(threads, cfg.mem_channels), 1)
+    touched = int(np.asarray(row_nnzs).sum())
+    # the SPA scatter is random access over an O(ncols) array: a large
+    # fraction of it is memory-latency/bandwidth bound and stops speeding
+    # up beyond the memory channels — this (not the atomics) is what caps
+    # SpMSpV at the paper's 9-11x rather than Apply's ~20x.
+    mem_fraction = 0.4
+    chunks = np.asarray(row_nnzs, dtype=np.float64) * cfg.element_cost * pen
+    spa_scan = makespan(cfg, chunks * (1.0 - mem_fraction), threads) + (
+        mem_fraction * touched * cfg.element_cost * pen / t_mem
+    )
+    spa_atomics = scattered_rmw(cfg, touched, threads, n_addresses=max(ncols, 1))
+    # radix passes depend on the actual key range: indices are < ncols
+    key_bits = max(int(ncols - 1).bit_length(), 1) if ncols > 1 else 1
+    sorting = sort_time(cfg, out_nnz, threads, algorithm=sort, key_bits=key_bits) * pen
+    output = parallel_time(cfg, 2.0 * out_nnz * cfg.element_cost * pen, threads)
+    return Breakdown(
+        {
+            SPA_STEP: spa_scan + spa_atomics * pen,
+            SORT_STEP: sorting,
+            OUTPUT_STEP: output,
+        }
+    )
+
+
+def spmspv_shm(
+    a: CSRMatrix,
+    x: SparseVector,
+    machine: Machine,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    sort: str = "merge",
+    mask: np.ndarray | None = None,
+    complement: bool = False,
+) -> tuple[SparseVector, Breakdown]:
+    """Listing 7: SPA-based shared-memory SpMSpV, ``y ← x A``.
+
+    Generalises the listing's "keep row index as value" special case to an
+    arbitrary semiring: products ``x[i] ⊗ A[i, j]`` are combined into
+    ``y[j]`` with the additive monoid.  ``sort`` selects the Step-2
+    algorithm: ``"merge"`` (the paper's) or ``"radix"`` (its recommended
+    replacement).
+
+    ``mask`` (a dense Boolean array over the output index space, optionally
+    ``complement``-ed) applies *during accumulation*: masked-out products
+    never enter the SPA, so the masked kernel does less work — the paper's
+    §V future-work feature ("masks … have not been attempted in distributed
+    memory before").
+    """
+    if x.capacity != a.nrows:
+        raise ValueError(
+            f"dimension mismatch: x has capacity {x.capacity}, A has {a.nrows} rows"
+        )
+    y, row_nnzs = _local_spmspv(
+        a, x, semiring, sort, mask=mask, complement=complement
+    )
+    b = spmspv_shm_cost(
+        machine, row_nnzs=row_nnzs, out_nnz=y.nnz, ncols=a.ncols, sort=sort
+    )
+    return y, machine.record("spmspv_shm", b)
+
+
+def _local_spmspv(
+    a: CSRMatrix,
+    x: SparseVector,
+    semiring: Semiring,
+    sort: str,
+    *,
+    mask: np.ndarray | None = None,
+    complement: bool = False,
+) -> tuple[SparseVector, np.ndarray]:
+    """Compute-only local SpMSpV; returns (result, selected row lengths).
+
+    ``mask`` filters products by output index *before* SPA insertion.
+    """
+    sub = a.extract_rows(x.indices)
+    row_nnzs = np.diff(sub.rowptr)
+    xvals = np.repeat(x.values, row_nnzs)
+    products = np.asarray(semiring.mult(xvals, sub.values))
+    cols = sub.colidx
+    if mask is not None:
+        allowed = np.asarray(mask, dtype=bool)
+        if allowed.size != a.ncols:
+            raise ValueError(
+                f"mask length {allowed.size} != output capacity {a.ncols}"
+            )
+        keep = ~allowed[cols] if complement else allowed[cols]
+        cols = cols[keep]
+        products = products[keep]
+    spa = SPA(a.ncols, dtype=products.dtype)
+    spa.scatter(cols, products, monoid=semiring.add)
+    nzinds = spa.nzinds
+    sorted_inds = radix_sort(nzinds) if sort == "radix" else merge_sort(nzinds)
+    return SparseVector(a.ncols, sorted_inds, spa.values[sorted_inds]), row_nnzs
+
+
+def spmspv_dist(
+    a: DistSparseMatrix,
+    x: DistSparseVector,
+    machine: Machine,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    sort: str = "merge",
+    gather_mode: str = "fine",
+    scatter_mode: str = "fine",
+    mask: np.ndarray | None = None,
+    complement: bool = False,
+) -> tuple[DistSparseVector, Breakdown]:
+    """Listing 8: distributed SpMSpV on a 2-D block distribution.
+
+    ``gather_mode`` / ``scatter_mode`` select ``"fine"`` (the paper's
+    element-at-a-time implementation, whose communication dominates at
+    scale — Figs 8-9) or ``"bulk"`` (the bulk-synchronous batched transfer
+    the paper recommends in §IV; compared in
+    ``benchmarks/test_abl_bulk_scatter.py``).
+
+    ``mask``/``complement`` implement the paper's §V future work —
+    *distributed masks*: each locale applies its column-block slice of the
+    dense Boolean mask during local accumulation, so masked-out entries are
+    neither computed nor scattered (BFS's visited-pruning moves inside the
+    kernel and the scatter volume drops accordingly).
+    """
+    if mask is not None and np.asarray(mask).size != a.ncols:
+        raise ValueError("mask length must equal the matrix column count")
+    if x.capacity != a.nrows:
+        raise ValueError("x capacity must equal the matrix row count")
+    if x.grid is not a.grid and (x.grid.rows, x.grid.cols) != (a.grid.rows, a.grid.cols):
+        raise ValueError("x and A must share the locale grid")
+    cfg = machine.config
+    grid = a.grid
+    pr, pc = grid.rows, grid.cols
+    threads = machine.threads_per_locale
+    layout = a.layout
+    itemsize = 16  # (int64 index, float64 value) per transferred element
+    local = machine.oversubscribed
+
+    spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
+    gather_bs: list[Breakdown] = []
+    multiply_bs: list[Breakdown] = []
+    scatter_bs: list[Breakdown] = []
+    # partial outputs grouped by owner locale of the global index
+    out_dist = x.dist  # Block1D of the output index space over all locales
+    owner_indices: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
+    owner_values: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
+
+    for loc in grid:
+        i, j = loc.row, loc.col
+        rlo, rhi, clo, chi = layout.extent(i, j)
+        # ---- Step 1: gather x parts along processor row i ----------------
+        row_team = grid.row_team(i)
+        part_sizes = [x.blocks[t.id].nnz for t in row_team]
+        xb_bounds = x.dist.bounds
+        idx_parts, val_parts = [], []
+        for t in row_team:
+            blk = x.blocks[t.id]
+            idx_parts.append(blk.indices + (xb_bounds[t.id] - rlo))
+            val_parts.append(blk.values)
+        lx = SparseVector(
+            rhi - rlo,
+            np.concatenate(idx_parts) if idx_parts else np.empty(0, np.int64),
+            np.concatenate(val_parts) if val_parts else np.empty(0),
+        )
+        remote_parts = [
+            s for t, s in zip(row_team, part_sizes) if t.id != loc.id
+        ]
+        # Listing 8 copies the locale's OWN part into lxDom too — a local
+        # memcpy that gives the 1-node gather its (small) measured cost
+        own_copy = bulk(cfg, x.blocks[loc.id].nnz * itemsize, local=True)
+        if gather_mode == "fine":
+            gt = own_copy + gather_parts_fine(
+                cfg, remote_parts, threads=threads, concurrent_peers=pc, local=local
+            )
+        elif gather_mode == "bulk":
+            gt = own_copy + sum(
+                bulk(cfg, s * itemsize, local=local) for s in remote_parts
+            )
+        else:
+            raise ValueError(f"unknown gather_mode {gather_mode!r}")
+        gather_bs.append(Breakdown({GATHER_STEP: gt}))
+
+        # ---- Step 2: local multiply (with this column block's mask slice)
+        mask_slice = (
+            np.asarray(mask, dtype=bool)[clo:chi] if mask is not None else None
+        )
+        ly, row_nnzs = _local_spmspv(
+            a.block(i, j), lx, semiring, sort,
+            mask=mask_slice, complement=complement,
+        )
+        mb = spmspv_shm_cost(
+            machine,
+            row_nnzs=row_nnzs,
+            out_nnz=ly.nnz,
+            ncols=chi - clo,
+            sort=sort,
+        )
+        multiply_bs.append(Breakdown({MULTIPLY_STEP: mb.total}))
+
+        # ---- Step 3: scatter ly into the global output -------------------
+        gidx = ly.indices + clo
+        owners = out_dist.owners(gidx) if gidx.size else gidx
+        for o in np.unique(owners):
+            sel = owners == o
+            owner_indices[int(o)].append(gidx[sel] - out_dist.bounds[int(o)])
+            owner_values[int(o)].append(ly.values[sel])
+        remote_elems = int((owners != loc.id).sum()) if gidx.size else 0
+        if scatter_mode == "fine":
+            st = fine_grained(
+                cfg, remote_elems, threads=threads, concurrent_peers=pr, local=local
+            )
+        elif scatter_mode == "bulk":
+            st = allgather(cfg, pr, (remote_elems // max(pr - 1, 1)) * itemsize)
+        else:
+            raise ValueError(f"unknown scatter_mode {scatter_mode!r}")
+        scatter_bs.append(Breakdown({SCATTER_STEP: st}))
+
+    # merge partial outputs at their owners (the "global SPA" + denseToSparse)
+    out_blocks: list[SparseVector] = []
+    finalize: list[Breakdown] = []
+    for k in range(grid.size):
+        cap = out_dist.size_of(k)
+        if owner_indices[k]:
+            idx = np.concatenate(owner_indices[k])
+            vals = np.concatenate(owner_values[k])
+            out_blocks.append(SparseVector.from_pairs(cap, idx, vals, dup=semiring.add))
+        else:
+            out_blocks.append(SparseVector.empty(cap))
+        # each locale compacts its dense SPA slice back to sparse
+        finalize.append(
+            Breakdown(
+                {
+                    SCATTER_STEP: parallel_time(
+                        cfg,
+                        out_blocks[-1].nnz * cfg.element_cost * machine.compute_penalty,
+                        threads,
+                    )
+                }
+            )
+        )
+    y = DistSparseVector(a.ncols, grid, out_blocks)
+    total = (
+        Breakdown({GATHER_STEP: spawn})
+        + Breakdown.parallel(gather_bs)
+        + Breakdown.parallel(multiply_bs)
+        + Breakdown.parallel(scatter_bs)
+        + Breakdown.parallel(finalize)
+    )
+    return y, machine.record("spmspv_dist", total)
+
+
+def spmspv_dist_1d(
+    a: DistSparseMatrix1D,
+    x: DistSparseVector,
+    machine: Machine,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    sort: str = "merge",
+) -> tuple[DistSparseVector, Breakdown]:
+    """SpMSpV on a 1-D row distribution — the 1-D vs 2-D ablation baseline.
+
+    With whole rows per locale the needed slice of ``x`` is locale-local
+    (no gather), but every locale produces a *full-width* partial output
+    that must be reduced across **all** p locales — a reduce-scatter over
+    the entire output index space, which is what makes 1-D lose at scale
+    (paper §II-B).
+    """
+    if x.capacity != a.nrows:
+        raise ValueError("x capacity must equal the matrix row count")
+    cfg = machine.config
+    grid = a.grid
+    p = grid.size
+    threads = machine.threads_per_locale
+    row_dist = a.row_dist
+    if not np.array_equal(x.dist.bounds, row_dist.bounds):
+        raise ValueError(
+            "x blocks must align with the 1-D row bands; distribute x on a "
+            "1-row locale grid (LocaleGrid(1, p))"
+        )
+    spawn = coforall_spawn(cfg, p, machine.locales_per_node)
+
+    multiply_bs: list[Breakdown] = []
+    partials: list[SparseVector] = []
+    for k in range(p):
+        # x's block k covers exactly the row band of locale k only when the
+        # two Block1D partitions agree — they do by construction.
+        lx = x.blocks[k]
+        ly, row_nnzs = _local_spmspv(a.blocks[k], lx, semiring, sort)
+        partials.append(ly)
+        mb = spmspv_shm_cost(
+            machine, row_nnzs=row_nnzs, out_nnz=ly.nnz, ncols=a.ncols, sort=sort
+        )
+        multiply_bs.append(Breakdown({MULTIPLY_STEP: mb.total}))
+
+    # reduce partial full-width outputs, then scatter blocks to owners
+    itemsize = 16
+    avg_partial = int(np.mean([ly.nnz for ly in partials])) if partials else 0
+    scatter = Breakdown(
+        {SCATTER_STEP: reduce_scatter(cfg, p, max(avg_partial, 1) * p * itemsize)}
+    )
+    idx = np.concatenate([ly.indices for ly in partials])
+    vals = np.concatenate([ly.values for ly in partials])
+    merged = SparseVector.from_pairs(a.ncols, idx, vals, dup=semiring.add)
+    y = DistSparseVector.from_global(merged, grid)
+    total = (
+        Breakdown({MULTIPLY_STEP: spawn})
+        + Breakdown.parallel(multiply_bs)
+        + scatter
+    )
+    return y, machine.record("spmspv_dist_1d", total)

@@ -1,0 +1,120 @@
+"""Sort-based SpMSpV — the SPA-free alternative algorithm.
+
+The paper notes "there exists more efficient but complex algorithms for
+SpMSpV in the literature [9]" (Azad & Buluç, IPDPS 2017).  One of that
+paper's families avoids the O(ncols) dense accumulator entirely:
+
+1. **expand** — materialise every product ``(colid, x[i] ⊗ A[i,j])``;
+2. **sort** — radix-sort the pairs by column id;
+3. **compress** — segmented-reduce runs of equal ids with the semiring.
+
+Work is O(flops · passes) with *no* dense auxiliary state, which wins at
+moderate densities, and loses to the SPA when flops ≫ output (heavy
+accumulation: the SPA sorts only the output indices, this kernel sorts
+every partial product together with its payload).
+``benchmarks/test_abl_spmspv_algorithms.py`` maps the crossover; the
+test-suite pins exact agreement with the SPA kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algebra.semiring import PLUS_TIMES, Semiring
+from ..runtime.clock import Breakdown
+from ..runtime.locale import Machine
+from ..runtime.tasks import makespan, parallel_time, sort_time
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+
+__all__ = ["spmspv_shm_merge", "spmspv_merge_cost"]
+
+EXPAND_STEP = "Expand"
+SORT_STEP = "Sorting"
+COMPRESS_STEP = "Compress"
+
+
+def spmspv_merge_cost(
+    machine: Machine,
+    *,
+    row_nnzs: np.ndarray,
+    flops: int,
+    out_nnz: int,
+    ncols: int,
+) -> Breakdown:
+    """Simulated cost of the sort-based SpMSpV.
+
+    Expansion streams the selected rows; the sort pays radix passes over
+    *flops* keys (vs the SPA kernel's ``out_nnz``); compression is one
+    segmented pass.  No dense-array term at all — the trade the algorithm
+    makes.
+    """
+    cfg = machine.config
+    threads = machine.threads_per_locale
+    pen = machine.compute_penalty
+    chunks = np.asarray(row_nnzs, dtype=np.float64) * cfg.stream_cost * pen
+    expand = makespan(cfg, chunks, threads)
+    key_bits = max(int(ncols - 1).bit_length(), 1) if ncols > 1 else 1
+    # the sort moves (key, payload) pairs, not bare keys: every stable
+    # scatter pass also permutes the product values — twice the traffic of
+    # the SPA kernel's index-only sort
+    sorting = (
+        2.0 * sort_time(cfg, flops, threads, algorithm="radix", key_bits=key_bits) * pen
+    )
+    compress = parallel_time(cfg, 2.0 * flops * cfg.stream_cost * pen, threads)
+    return Breakdown(
+        {EXPAND_STEP: expand, SORT_STEP: sorting, COMPRESS_STEP: compress}
+    )
+
+
+def spmspv_shm_merge(
+    a: CSRMatrix,
+    x: SparseVector,
+    machine: Machine,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+) -> tuple[SparseVector, Breakdown]:
+    """Sort-based shared-memory SpMSpV: expand → radix sort → compress.
+
+    Numerically identical to :func:`repro.ops.spmspv.spmspv_shm` for any
+    semiring; different cost profile (no O(ncols) accumulator, sort over
+    flops instead of output nnz).
+    """
+    if x.capacity != a.nrows:
+        raise ValueError(
+            f"dimension mismatch: x has capacity {x.capacity}, A has {a.nrows} rows"
+        )
+    # ---- expand -----------------------------------------------------------
+    sub = a.extract_rows(x.indices)
+    row_nnzs = np.diff(sub.rowptr)
+    xvals = np.repeat(x.values, row_nnzs)
+    products = np.asarray(semiring.mult(xvals, sub.values))
+    cols = sub.colidx
+    flops = int(cols.size)
+    # ---- sort pairs by column id (stable keeps product order per column) --
+    if flops:
+        # stable key sort carrying the product payload; stability keeps
+        # per-column products in row order, so non-commutative-looking
+        # reductions stay deterministic
+        order = np.argsort(cols, kind="stable")
+        sorted_cols = cols[order]
+        sorted_vals = products[order]
+    else:
+        sorted_cols = cols
+        sorted_vals = products
+    # ---- compress: segmented reduce runs of equal ids ----------------------
+    if flops:
+        is_first = np.empty(flops, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = sorted_cols[1:] != sorted_cols[:-1]
+        starts = np.flatnonzero(is_first)
+        out_vals = np.asarray(semiring.add.reduceat(sorted_vals, starts))
+        out_idx = sorted_cols[starts]
+    else:
+        out_idx = np.empty(0, dtype=np.int64)
+        out_vals = np.empty(0, dtype=products.dtype)
+    y = SparseVector(a.ncols, out_idx.copy(), out_vals)
+    b = spmspv_merge_cost(
+        machine, row_nnzs=row_nnzs, flops=flops, out_nnz=y.nnz, ncols=a.ncols
+    )
+    return y, machine.record("spmspv_shm_merge", b)

@@ -1,0 +1,54 @@
+"""Transpose — ``GrB_transpose`` plus the distributed variant.
+
+A thin operation over :meth:`CSRMatrix.transposed`; included as its own
+module so the op-level API mirrors the GraphBLAS function list (paper §III)
+and so the distributed block-exchange transpose has a home.
+"""
+
+from __future__ import annotations
+
+from ..distributed.dist_matrix import DistSparseMatrix
+from ..runtime.clock import Breakdown
+from ..runtime.comm import bulk
+from ..runtime.locale import Machine
+from ..runtime.tasks import coforall_spawn, parallel_time
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["transpose", "transpose_dist"]
+
+
+def transpose(a: CSRMatrix) -> CSRMatrix:
+    """``C = Aᵀ`` (see :meth:`CSRMatrix.transposed`)."""
+    return a.transposed()
+
+
+def transpose_dist(
+    a: DistSparseMatrix, machine: Machine
+) -> tuple[DistSparseMatrix, Breakdown]:
+    """Distributed transpose: locally transpose every block, then exchange
+    block ``(i, j)`` with block ``(j, i)`` across the grid.
+
+    Requires a square grid (the paper's power-of-four node counts); on a
+    non-square grid a general redistribution would be needed.
+    """
+    grid = a.grid
+    if grid.rows != grid.cols:
+        raise ValueError("distributed transpose requires a square locale grid")
+    cfg = machine.config
+    blocks = [None] * grid.size
+    per_locale: list[Breakdown] = []
+    for loc in grid:
+        i, j = loc.row, loc.col
+        blk = a.block(i, j)
+        blocks[j * grid.cols + i] = blk.transposed()
+        local_t = parallel_time(
+            cfg,
+            blk.nnz * cfg.element_cost * machine.compute_penalty,
+            machine.threads_per_locale,
+        )
+        xfer = 0.0 if i == j else bulk(cfg, blk.nnz * 16, local=machine.oversubscribed)
+        per_locale.append(Breakdown({"transpose": local_t + xfer}))
+    spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
+    c = DistSparseMatrix(a.ncols, a.nrows, grid, blocks)  # type: ignore[arg-type]
+    b = Breakdown({"transpose": spawn}) + Breakdown.parallel(per_locale)
+    return c, machine.record("transpose_dist", b)

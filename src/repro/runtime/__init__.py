@@ -1,0 +1,13 @@
+"""The Chapel-like runtime simulator: machine model, locales, tasks, comm."""
+
+from .clock import Breakdown, CostLedger
+from .config import EDISON, LAPTOP, MachineConfig
+from .machines import ETHERNET_CLUSTER, FAST_NETWORK, FAT_NODE, PRESETS, preset
+from .locale import Locale, LocaleGrid, Machine, shared_machine
+from .trace import Span, Trace
+
+__all__ = [
+    "Breakdown", "CostLedger", "MachineConfig", "EDISON", "LAPTOP", "FAT_NODE", "FAST_NETWORK", "ETHERNET_CLUSTER",
+    "PRESETS", "preset",
+    "Locale", "LocaleGrid", "Machine", "shared_machine",
+]

@@ -1,0 +1,66 @@
+"""Atomic-operation cost model.
+
+Two of the paper's kernels rely on atomics:
+
+* eWiseMult uses an ``atomic int`` fetch-add to collect surviving indices
+  into a compact array (§III-C, Listing 6 line 21) — a single hot counter;
+* SpMSpV's SPA marks visited columns with an ``atomic bool`` test-and-set
+  (§III-D, Listing 7) — many addresses, low contention each.
+
+The paper notes the counter "can be avoided … by keeping a thread-private
+array in each thread and merging via a prefix sum"; the ablation bench
+``test_abl_ewise_atomics`` compares both using these cost functions.
+"""
+
+from __future__ import annotations
+
+from .config import MachineConfig
+
+__all__ = ["contended_rmw", "scattered_rmw", "prefix_sum_merge"]
+
+
+def contended_rmw(cfg: MachineConfig, n_ops: int, threads: int) -> float:
+    """``n_ops`` read-modify-writes on ONE shared location.
+
+    A contended cache line ping-pongs between cores: throughput improves
+    little with threads and the line-transfer cost grows mildly with the
+    number of contenders.  Modelled as serialised ops whose unit cost
+    scales with log2(threads).
+    """
+    if n_ops <= 0:
+        return 0.0
+    import math
+
+    contention = 1.0 + math.log2(max(threads, 1))
+    return n_ops * cfg.atomic_cost * contention
+
+
+def scattered_rmw(cfg: MachineConfig, n_ops: int, threads: int, n_addresses: int) -> float:
+    """``n_ops`` RMWs spread over ``n_addresses`` distinct locations.
+
+    With many addresses (SPA ``isthere`` flags) collisions are rare and the
+    ops parallelise almost perfectly; contention interpolates toward the
+    hot-counter case as addresses shrink below the thread count.
+    """
+    if n_ops <= 0:
+        return 0.0
+    t = max(threads, 1)
+    if n_addresses >= t * 16:
+        # effectively uncontended: parallel across threads
+        return n_ops * cfg.atomic_cost / min(t, cfg.cores_per_node)
+    return contended_rmw(cfg, n_ops, t)
+
+
+def prefix_sum_merge(cfg: MachineConfig, n_items: int, threads: int) -> float:
+    """The atomic-free alternative: per-thread buffers + parallel prefix sum.
+
+    Each thread appends locally (streaming cost), then an exclusive scan
+    over ``threads`` counters (negligible) and a parallel compaction copy.
+    """
+    if n_items <= 0:
+        return 0.0
+    t = max(min(threads, cfg.cores_per_node), 1)
+    append = n_items * cfg.stream_cost / t
+    scan = threads * cfg.stream_cost
+    compact = n_items * cfg.stream_cost / t
+    return append + scan + compact

@@ -1,0 +1,121 @@
+"""Communication cost model: fine-grained access, bulk transfer, collectives.
+
+Paper §IV distils the findings this module encodes:
+
+* "a large volume of fine-grained communication negatively impacts the
+  performance" — :func:`fine_grained` charges a per-element software+NIC
+  latency that no amount of threading fully hides;
+* "bulk-synchronous communication of sparse arrays might improve the
+  performance" — :func:`bulk` charges the classic ``alpha + bytes/beta``
+  cost, orders of magnitude cheaper per element;
+* "support for collective communication might improve the productivity and
+  performance" — :func:`allgather` / :func:`reduce_scatter` model the
+  tree/ring collectives MPI would provide.
+
+All functions are pure functions of counts (see :mod:`repro.runtime.tasks`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .config import MachineConfig
+
+__all__ = [
+    "fine_grained",
+    "bulk",
+    "gather_parts_fine",
+    "allgather",
+    "reduce_scatter",
+    "barrier",
+]
+
+
+def fine_grained(
+    cfg: MachineConfig,
+    n_ops: int,
+    *,
+    threads: int = 1,
+    concurrent_peers: int = 1,
+    local: bool = False,
+) -> float:
+    """Cost of ``n_ops`` element-at-a-time remote gets/puts from one locale.
+
+    Each access pays ``remote_latency``; a locale can overlap at most
+    ``injection_depth`` outstanding accesses (more issuing threads do not
+    help beyond that).  ``concurrent_peers`` is the number of locales
+    simultaneously hammering the same target(s) — e.g. all ``pr`` locales of
+    a processor row reading the same vector parts during the SpMSpV gather.
+    Contention at the target serialises them super-linearly; the exponent is
+    the calibrated ``congestion_exponent`` anchored on the paper's Figs 8-9
+    gather blow-up.
+
+    ``local=True`` models co-located "remote" accesses between locales on
+    the same node (Fig 10): no NIC, but still the full software path —
+    two decimal orders cheaper.
+    """
+    if n_ops <= 0:
+        return 0.0
+    latency = cfg.remote_latency * (0.02 if local else 1.0)
+    depth = max(min(threads, cfg.injection_depth), 1)
+    congestion = max(concurrent_peers, 1) ** (cfg.congestion_exponent - 1.0)
+    return n_ops * latency * congestion / depth
+
+
+def bulk(cfg: MachineConfig, nbytes: int, *, local: bool = False) -> float:
+    """One bulk transfer: ``alpha + nbytes / beta``."""
+    if nbytes <= 0:
+        return 0.0
+    bw = cfg.remote_bandwidth * (8.0 if local else 1.0)
+    return cfg.alpha + nbytes / bw
+
+
+def gather_parts_fine(
+    cfg: MachineConfig,
+    part_sizes: list[int],
+    *,
+    threads: int = 1,
+    concurrent_peers: int = 1,
+    local: bool = False,
+) -> float:
+    """Assemble a vector from remote parts, element at a time.
+
+    This is the paper's Listing 8 Step 1: a serial loop over the parts of
+    ``x`` owned by the processor row, each part paying metadata/bookkeeping
+    (``part_setup``: remote domain size queries, ``nnzDom`` resize) plus a
+    fine-grained copy of its elements.
+    """
+    total = 0.0
+    for size in part_sizes:
+        total += cfg.part_setup * (0.02 if local else 1.0)
+        total += fine_grained(
+            cfg, size, threads=threads, concurrent_peers=concurrent_peers, local=local
+        )
+    return total
+
+
+def allgather(cfg: MachineConfig, p: int, nbytes_per_rank: int) -> float:
+    """Ring allgather of ``nbytes_per_rank`` from each of ``p`` ranks.
+
+    The bulk-synchronous alternative the paper recommends (§IV); used by
+    the ablation benchmark ``test_abl_bulk_scatter``.
+    """
+    if p <= 1:
+        return 0.0
+    steps = p - 1
+    return steps * (cfg.alpha + nbytes_per_rank / cfg.remote_bandwidth)
+
+
+def reduce_scatter(cfg: MachineConfig, p: int, nbytes_total: int) -> float:
+    """Ring reduce-scatter over a ``nbytes_total`` buffer."""
+    if p <= 1:
+        return 0.0
+    chunk = nbytes_total / p
+    return (p - 1) * (cfg.alpha + chunk / cfg.remote_bandwidth)
+
+
+def barrier(cfg: MachineConfig, p: int) -> float:
+    """Dissemination barrier: ceil(log2 p) rounds of small messages."""
+    if p <= 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * cfg.alpha * 2

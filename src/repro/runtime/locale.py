@@ -1,0 +1,175 @@
+"""Locales, locale grids, and the simulated Machine.
+
+Paper §II-B: "A locale is a Chapel abstraction for a piece of a target
+architecture that has processing and storage capabilities … a locale is
+often used to represent a node of a distributed-memory system."  And:
+"locales are organized in a two dimensional grid and array indices are
+partitioned 'evenly' across the target locales."
+
+:class:`Machine` bundles everything an operation needs to run in simulated
+parallel: the cost-model :class:`~repro.runtime.config.MachineConfig`, the
+:class:`LocaleGrid`, the thread count per locale, and how many locales share
+a physical node (paper Fig 10 places up to 32 locales on one Edison node).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .clock import Breakdown, CostLedger
+from .config import EDISON, MachineConfig
+
+__all__ = ["Locale", "LocaleGrid", "Machine", "shared_machine"]
+
+
+@dataclass(frozen=True)
+class Locale:
+    """One locale: a linear id plus its (row, col) grid coordinates."""
+
+    id: int
+    row: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Locale({self.id}@{self.row},{self.col})"
+
+
+class LocaleGrid:
+    """A 2-D grid of locales, row-major: locale ``(i, j)`` has id ``i*pc + j``.
+
+    The paper's SpMSpV gathers vector parts "along the processor row" and
+    scatters "across processor columns" — those teams are exactly the rows
+    and columns of this grid.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.locales = [
+            Locale(i * cols + j, i, j) for i in range(rows) for j in range(cols)
+        ]
+
+    @classmethod
+    def for_count(cls, p: int) -> "LocaleGrid":
+        """Most-square factorisation with ``rows <= cols``.
+
+        Powers of two (the paper's node counts) give 1x2, 2x2, 2x4, 4x4,
+        4x8, 8x8 — non-square grids at odd powers are what make some
+        distributed curves "oscillate" (paper §III-D).
+        """
+        if p < 1:
+            raise ValueError("need at least one locale")
+        r = int(math.isqrt(p))
+        while p % r:
+            r -= 1
+        return cls(r, p // r)
+
+    @property
+    def size(self) -> int:
+        """Number of locales in the grid."""
+        return self.rows * self.cols
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(self.locales)
+
+    def __getitem__(self, rc: tuple[int, int]) -> Locale:
+        i, j = rc
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(f"locale ({i},{j}) outside {self.rows}x{self.cols} grid")
+        return self.locales[i * self.cols + j]
+
+    def by_id(self, lid: int) -> Locale:
+        """By id."""
+        return self.locales[lid]
+
+    def row_team(self, i: int) -> list[Locale]:
+        """All locales in grid row ``i`` (the gather team)."""
+        return [self[(i, j)] for j in range(self.cols)]
+
+    def col_team(self, j: int) -> list[Locale]:
+        """All locales in grid column ``j`` (the scatter team)."""
+        return [self[(i, j)] for i in range(self.rows)]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LocaleGrid({self.rows}x{self.cols})"
+
+
+@dataclass
+class Machine:
+    """A simulated machine: cost model + locale layout + threading.
+
+    Parameters
+    ----------
+    config:
+        The machine cost model (:data:`~repro.runtime.config.EDISON` by
+        default).
+    grid:
+        Locale grid; ``LocaleGrid.for_count(p)`` for the paper's layouts.
+    threads_per_locale:
+        Worker threads each locale runs (the paper uses 1 or 24).
+    locales_per_node:
+        How many locales share one physical node (1 everywhere except the
+        Fig 10 oversubscription study).
+    ledger:
+        Optional ledger; operations record their breakdowns here when set.
+    """
+
+    config: MachineConfig = field(default_factory=lambda: EDISON)
+    grid: LocaleGrid = field(default_factory=lambda: LocaleGrid(1, 1))
+    threads_per_locale: int = 1
+    locales_per_node: int = 1
+    ledger: CostLedger | None = None
+
+    @property
+    def num_locales(self) -> int:
+        """Num locales."""
+        return self.grid.size
+
+    @property
+    def num_nodes(self) -> int:
+        """Physical nodes occupied."""
+        return math.ceil(self.num_locales / self.locales_per_node)
+
+    @property
+    def oversubscribed(self) -> bool:
+        """True when multiple locales share a node (Fig 10 regime)."""
+        return self.locales_per_node > 1
+
+    @property
+    def compute_penalty(self) -> float:
+        """Multiplier on local compute under oversubscription.
+
+        The paper observes that "placing multiple locales on a single
+        compute node does not perform well"; beyond one locale per socket
+        the qthreads runtimes interfere.
+        """
+        if self.locales_per_node <= self.config.sockets_per_node:
+            return 1.0
+        return self.config.oversubscription_penalty * (
+            self.locales_per_node / self.config.sockets_per_node
+        )
+
+    def record(self, label: str, breakdown: Breakdown) -> Breakdown:
+        """Log ``breakdown`` to the ledger (if any); returns it unchanged."""
+        if self.ledger is not None:
+            self.ledger.record(label, breakdown)
+        return breakdown
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Machine(locales={self.num_locales} as {self.grid.rows}x"
+            f"{self.grid.cols}, threads={self.threads_per_locale}, "
+            f"locales_per_node={self.locales_per_node})"
+        )
+
+
+def shared_machine(threads: int, config: MachineConfig = EDISON) -> Machine:
+    """A single-locale machine with ``threads`` workers — the paper's
+    "single node of Edison" configuration."""
+    return Machine(config=config, grid=LocaleGrid(1, 1), threads_per_locale=threads)

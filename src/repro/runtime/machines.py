@@ -1,0 +1,70 @@
+"""A catalogue of machine presets beyond Edison.
+
+The cost model is a function of a dozen parameters; these presets bound the
+paper's findings across plausible hardware, and power the what-if analyses
+in ``examples/machine_model.py``:
+
+* :data:`EDISON` (re-exported) — the paper's Cray XC30 (calibration target);
+* :data:`FAT_NODE` — a modern 2×48-core node: more cores, same memory walls;
+* :data:`FAST_NETWORK` — slingshot-class fine-grained latency and bandwidth;
+* :data:`ETHERNET_CLUSTER` — commodity 10 GbE: fine-grained access is ruinous;
+* :data:`LAPTOP` (re-exported) — tiny, cheap-spawn machine for tests.
+
+Presets are data, not behaviour: every figure function accepts a
+``MachineConfig`` through :class:`~repro.runtime.locale.Machine`, so any of
+these can replay the paper's experiments on hypothetical hardware.
+"""
+
+from __future__ import annotations
+
+from .config import EDISON, LAPTOP, MachineConfig
+
+__all__ = ["EDISON", "LAPTOP", "FAT_NODE", "FAST_NETWORK", "ETHERNET_CLUSTER", "preset", "PRESETS"]
+
+#: a modern dual-socket 96-core node: more parallelism, proportionally more
+#: memory channels, same per-element costs
+FAT_NODE = EDISON.with_(
+    cores_per_node=96,
+    mem_channels=16,
+    remote_bandwidth=2.0e10,
+)
+
+#: an HPE Slingshot-class network: ~4x cheaper fine-grained access and
+#: double the injection depth — Apply1 still loses, by less
+FAST_NETWORK = EDISON.with_(
+    remote_latency=6.0e-6,
+    injection_depth=16,
+    remote_bandwidth=2.4e10,
+    alpha=1.2e-6,
+    part_setup=5.0e-4,
+)
+
+#: commodity 10 GbE cluster: fine-grained access an order of magnitude
+#: worse than Aries, bulk bandwidth ~5x worse — the regime where the
+#: paper's bulk-synchronous recommendation is existential
+ETHERNET_CLUSTER = EDISON.with_(
+    remote_latency=2.5e-4,
+    injection_depth=4,
+    remote_bandwidth=1.2e9,
+    alpha=3.0e-5,
+    remote_spawn=1.0e-3,
+    part_setup=1.0e-2,
+)
+
+PRESETS: dict[str, MachineConfig] = {
+    "edison": EDISON,
+    "laptop": LAPTOP,
+    "fat-node": FAT_NODE,
+    "fast-network": FAST_NETWORK,
+    "ethernet": ETHERNET_CLUSTER,
+}
+
+
+def preset(name: str) -> MachineConfig:
+    """Look up a machine preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,89 @@
+"""Simulated-time tracing: turn a cost ledger into an execution timeline.
+
+The paper diagnoses performance by decomposing time into named phases
+(Figs 7-9).  :class:`Trace` generalises that: it replays a
+:class:`~repro.runtime.clock.CostLedger` into a sequential timeline of
+spans (op label × component), supports summarising by either axis, and
+renders an ASCII Gantt-style chart — handy when an algorithm (e.g. a BFS)
+runs dozens of operations and one wants to see *where* simulated time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .clock import Breakdown, CostLedger
+
+__all__ = ["Span", "Trace"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval: [start, start+duration) of a component."""
+
+    label: str
+    component: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """End time of the span (start + duration)."""
+        return self.start + self.duration
+
+
+class Trace:
+    """A sequential replay of a ledger's recorded operations."""
+
+    def __init__(self, ledger: CostLedger) -> None:
+        self.spans: list[Span] = []
+        clock = 0.0
+        for label, breakdown in ledger.entries:
+            for component, seconds in breakdown.items():
+                if seconds <= 0:
+                    continue
+                self.spans.append(Span(label, component, clock, seconds))
+                clock += seconds
+        self.makespan = clock
+
+    # -- summaries ---------------------------------------------------------
+
+    def by_component(self) -> Breakdown:
+        """Total simulated seconds per component across all ops."""
+        out = Breakdown()
+        for s in self.spans:
+            out.charge(s.component, s.duration)
+        return out
+
+    def by_label(self) -> Breakdown:
+        """Total simulated seconds per operation label."""
+        out = Breakdown()
+        for s in self.spans:
+            out.charge(s.label, s.duration)
+        return out
+
+    def top(self, k: int = 5) -> list[Span]:
+        """The k longest spans."""
+        return sorted(self.spans, key=lambda s: s.duration, reverse=True)[:k]
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, width: int = 60) -> str:
+        """ASCII Gantt chart: one row per span, bars proportional to time."""
+        if not self.spans or self.makespan <= 0:
+            return "(empty trace)"
+        name_w = max(len(f"{s.label}:{s.component}") for s in self.spans)
+        lines = [f"total simulated time: {self.makespan:.6g} s"]
+        for s in self.spans:
+            lo = int(round(s.start / self.makespan * width))
+            ln = max(int(round(s.duration / self.makespan * width)), 1)
+            bar = " " * lo + "#" * min(ln, width - lo)
+            name = f"{s.label}:{s.component}".ljust(name_w)
+            lines.append(f"{name} |{bar.ljust(width)}| {s.duration:.3g}s")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Trace(spans={len(self.spans)}, makespan={self.makespan:.3g}s)"

@@ -1,0 +1,85 @@
+"""Compressed Sparse Columns — the column-major mirror of CSR.
+
+The paper stores matrices only in CSR ("because this is supported in
+Chapel", §II-A) and notes that its SpMSpV drawing is column-wise while the
+implementation is row-wise, with identical algorithm and complexity.  CSC is
+provided here for completeness of the substrate: column extraction for
+``vxm``-style products, and as the natural output of transposition without
+re-sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["CSCMatrix"]
+
+
+@dataclass
+class CSCMatrix:
+    """Sparse matrix in CSC format: ``colptr`` / ``rowidx`` / ``values``.
+
+    Row ids within each column are kept sorted (mirror of the CSR
+    invariant).
+    """
+
+    nrows: int
+    ncols: int
+    colptr: np.ndarray
+    rowidx: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.colptr = np.asarray(self.colptr, dtype=np.int64)
+        self.rowidx = np.asarray(self.rowidx, dtype=np.int64)
+        self.values = np.asarray(self.values)
+        if self.colptr.size != self.ncols + 1:
+            raise ValueError("colptr length must be ncols+1")
+        if self.rowidx.size != self.values.size:
+            raise ValueError("rowidx/values length mismatch")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.rowidx.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self.nrows, self.ncols)
+
+    @classmethod
+    def from_csr(cls, a: CSRMatrix) -> "CSCMatrix":
+        """Convert CSR→CSC (a transpose of the index structure, not values)."""
+        t = a.transposed()  # CSR of Aᵀ == CSC of A
+        return cls(a.nrows, a.ncols, t.rowptr, t.colidx, t.values)
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR."""
+        # CSC of A is CSR of Aᵀ; transposing that CSR yields CSR of A.
+        as_csr_of_t = CSRMatrix(self.ncols, self.nrows, self.colptr, self.rowidx, self.values)
+        return as_csr_of_t.transposed()
+
+    def col_extent(self, j: int) -> tuple[int, int]:
+        """Half-open [start, stop) slice of column ``j``."""
+        return int(self.colptr[j]), int(self.colptr[j + 1])
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of (row indices, values) of column ``j``."""
+        s, e = self.col_extent(j)
+        return self.rowidx[s:e], self.values[s:e]
+
+    def col_degrees(self) -> np.ndarray:
+        """nnz per column."""
+        return np.diff(self.colptr)
+
+    def check(self) -> None:
+        """Raise ``AssertionError`` on violated CSC invariants."""
+        CSRMatrix(self.ncols, self.nrows, self.colptr, self.rowidx, self.values).check()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CSCMatrix({self.nrows}x{self.ncols}, nnz={self.nnz})"

@@ -1,0 +1,120 @@
+"""From-scratch sorting kernels used by the SpMSpV output stage.
+
+Paper §III-D: "we use parallel merge sort available in Chapel.  Since SpMSpV
+requires sorting of integer indices, a less expensive integer sorting
+algorithm (e.g., radix sort) is expected to reduce the sorting cost down".
+
+Two real implementations are provided (neither defers to :func:`numpy.sort`
+for the actual ordering decision):
+
+* :func:`merge_sort` — bottom-up merge sort whose merge step is vectorised
+  with :func:`numpy.searchsorted` rank arithmetic.  Mirrors the Chapel
+  ``mergeSort`` call in Listing 7.
+* :func:`radix_sort` — LSD radix sort over 8-bit digits using counting
+  passes (:func:`numpy.bincount` + prefix sums).  The paper's proposed
+  improvement, benchmarked against merge sort in
+  ``benchmarks/test_abl_sort.py``.
+
+Both return the sorted array (and optionally the permutation) and both are
+stable, which :mod:`repro.ops.spmspv` relies on when it sorts SPA indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["merge_sort", "radix_sort", "merge_two", "merge_sort_cost", "radix_sort_cost"]
+
+
+def merge_two(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two individually sorted arrays into one sorted array.
+
+    Vectorised merge: the final position of ``a[i]`` is ``i`` plus the
+    number of elements of ``b`` strictly smaller than ``a[i]`` (ties broken
+    toward ``a`` for stability), computed with one ``searchsorted`` per side.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.size == 0:
+        return b.copy()
+    if b.size == 0:
+        return a.copy()
+    out = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    pos_a = np.arange(a.size) + np.searchsorted(b, a, side="left")
+    pos_b = np.arange(b.size) + np.searchsorted(a, b, side="right")
+    out[pos_a] = a
+    out[pos_b] = b
+    return out
+
+
+def merge_sort(keys: np.ndarray) -> np.ndarray:
+    """Bottom-up merge sort; returns a new sorted array.
+
+    Runs double in width each pass; each pass merges adjacent run pairs with
+    the vectorised :func:`merge_two`.  O(n log n) comparisons, log2(n)
+    passes — the pass count is what the simulated parallel-sort cost model
+    charges (each pass is a parallel step in Chapel's merge sort).
+    """
+    keys = np.asarray(keys)
+    n = keys.size
+    if n <= 1:
+        return keys.copy()
+    cur = keys.copy()
+    width = 1
+    while width < n:
+        nxt = np.empty_like(cur)
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            nxt[lo:hi] = merge_two(cur[lo:mid], cur[mid:hi])
+        cur = nxt
+        width *= 2
+    return cur
+
+
+def radix_sort(keys: np.ndarray, key_bits: int | None = None) -> np.ndarray:
+    """LSD radix sort of non-negative integer keys; returns a sorted copy.
+
+    Counting sort per 8-bit digit: histogram with ``bincount``, exclusive
+    prefix sum for bucket offsets, stable scatter.  Number of passes is
+    ``ceil(key_bits / 8)`` where ``key_bits`` defaults to the bit width of
+    the maximum key — sorting n-bounded graph indices takes 3-4 passes
+    instead of merge sort's log2(nnz) passes, which is the paper's argument
+    for radix sort.
+    """
+    keys = np.asarray(keys)
+    if keys.size <= 1:
+        return keys.copy()
+    if keys.min() < 0:
+        raise ValueError("radix_sort requires non-negative keys")
+    if key_bits is None:
+        mx = int(keys.max())
+        key_bits = max(int(mx).bit_length(), 1)
+    cur = keys.astype(np.int64, copy=True)
+    n_passes = (key_bits + 7) // 8
+    out = np.empty_like(cur)
+    for p in range(n_passes):
+        digits = (cur >> (8 * p)) & 0xFF
+        counts = np.bincount(digits, minlength=256)
+        offsets = np.zeros(256, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        # stable counting-sort scatter: flatnonzero yields each bucket's
+        # members in ascending original order, preserving stability.
+        for b in np.flatnonzero(counts):
+            members = np.flatnonzero(digits == b)
+            out[offsets[b] : offsets[b] + members.size] = cur[members]
+        cur, out = out, cur
+    return cur.copy()
+
+
+def merge_sort_cost(n: int) -> float:
+    """Abstract work units for merge-sorting ``n`` keys (n·log2 n compares)."""
+    if n <= 1:
+        return float(n)
+    return float(n) * max(np.log2(n), 1.0)
+
+
+def radix_sort_cost(n: int, key_bits: int = 32) -> float:
+    """Abstract work units for radix-sorting ``n`` keys (n per digit pass)."""
+    passes = max((key_bits + 7) // 8, 1)
+    return float(n) * passes

@@ -1,0 +1,68 @@
+"""Cross-cutting structural validators.
+
+Centralised checkers used by the test-suite's property tests and by
+``examples``/benchmarks in debug mode.  Each returns the validated object so
+they compose in pipelines; on violation they raise :class:`ValidationError`
+with a precise message rather than a bare assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .vector import DenseVector, SparseVector
+
+__all__ = ["ValidationError", "validate_csr", "validate_vector", "validate_coo", "same_pattern"]
+
+
+class ValidationError(ValueError):
+    """A structural invariant was violated."""
+
+
+def validate_csr(a: CSRMatrix) -> CSRMatrix:
+    """Full CSR invariant check; raises :class:`ValidationError`."""
+    try:
+        a.check()
+    except AssertionError as exc:
+        raise ValidationError(f"invalid CSR matrix: {exc}") from exc
+    return a
+
+
+def validate_vector(x) -> object:
+    """Check a sparse or dense vector's invariants."""
+    if isinstance(x, SparseVector):
+        try:
+            x.check()
+        except AssertionError as exc:
+            raise ValidationError(f"invalid sparse vector: {exc}") from exc
+    elif isinstance(x, DenseVector):
+        if x.values.ndim != 1:
+            raise ValidationError("dense vector must be 1-D")
+    else:
+        raise ValidationError(f"not a vector: {type(x).__name__}")
+    return x
+
+
+def validate_coo(a: COOMatrix) -> COOMatrix:
+    """Check COO coordinate bounds (duplicates are allowed pre-coalesce)."""
+    if a.rows.size:
+        if a.rows.min() < 0 or a.rows.max() >= a.nrows:
+            raise ValidationError("COO row index out of bounds")
+        if a.cols.min() < 0 or a.cols.max() >= a.ncols:
+            raise ValidationError("COO col index out of bounds")
+    return a
+
+
+def same_pattern(a: CSRMatrix, b: CSRMatrix) -> bool:
+    """True when two CSR matrices have identical sparsity structure.
+
+    The paper's simplified Assign (§III-B) requires matching domains; this
+    is the predicate that formalises "the domains of A and B match".
+    """
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.rowptr, b.rowptr)
+        and np.array_equal(a.colidx, b.colidx)
+    )

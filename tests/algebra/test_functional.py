@@ -1,0 +1,134 @@
+"""Unit tests for the operator algebra primitives."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import functional as F
+
+
+class TestUnaryOps:
+    def test_identity_copies(self):
+        x = np.array([1.0, 2.0])
+        out = F.IDENTITY(x)
+        assert np.array_equal(out, x)
+        out[0] = 99
+        assert x[0] == 1.0  # must not alias the input
+
+    def test_ainv(self):
+        assert np.array_equal(F.AINV(np.array([1.0, -2.0])), [-1.0, 2.0])
+
+    def test_minv(self):
+        assert np.allclose(F.MINV(np.array([2.0, 4.0])), [0.5, 0.25])
+
+    def test_abs(self):
+        assert np.array_equal(F.ABS(np.array([-3.0, 3.0])), [3.0, 3.0])
+
+    def test_lnot(self):
+        assert np.array_equal(
+            F.LNOT(np.array([True, False])), [False, True]
+        )
+
+    def test_one(self):
+        assert np.array_equal(F.ONE(np.array([7.0, -2.0])), [1.0, 1.0])
+
+    def test_square(self):
+        assert np.array_equal(F.SQUARE(np.array([3.0, -2.0])), [9.0, 4.0])
+
+    def test_sqrt_exp_log_roundtrip(self):
+        x = np.array([1.0, 4.0, 9.0])
+        assert np.allclose(F.SQUARE(F.SQRT(x)), x)
+        assert np.allclose(F.LOG(F.EXP(x)), x)
+
+
+class TestBinaryOps:
+    def test_plus_times_min_max(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, 2.0])
+        assert np.array_equal(F.PLUS(a, b), [4.0, 7.0])
+        assert np.array_equal(F.TIMES(a, b), [3.0, 10.0])
+        assert np.array_equal(F.MIN(a, b), [1.0, 2.0])
+        assert np.array_equal(F.MAX(a, b), [3.0, 5.0])
+
+    def test_minus_div_not_commutative_flags(self):
+        assert not F.MINUS.commutative
+        assert not F.DIV.commutative
+        assert F.PLUS.commutative and F.PLUS.associative
+
+    def test_first_second(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        assert np.array_equal(F.FIRST(a, b), a)
+        assert np.array_equal(F.SECOND(a, b), b)
+
+    def test_first_broadcasts_scalar(self):
+        out = F.FIRST(5.0, np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(out, [5.0, 5.0, 5.0])
+
+    def test_pair_is_one(self):
+        out = F.PAIR(np.array([9.0, 0.5]), np.array([1.0, 2.0]))
+        assert np.array_equal(out, [1.0, 1.0])
+
+    def test_logical_ops(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert np.array_equal(F.LAND(a, b), [True, False, False])
+        assert np.array_equal(F.LOR(a, b), [True, True, False])
+        assert np.array_equal(F.LXOR(a, b), [False, True, False])
+
+    def test_comparisons(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([2.0, 2.0, 2.0])
+        assert np.array_equal(F.EQ(a, b), [False, True, False])
+        assert np.array_equal(F.NE(a, b), [True, False, True])
+        assert np.array_equal(F.LT(a, b), [True, False, False])
+        assert np.array_equal(F.GE(a, b), [False, True, True])
+
+
+class TestIndexUnaryOps:
+    def test_tril_triu_partition(self):
+        r = np.array([0, 0, 1, 2])
+        c = np.array([0, 2, 1, 0])
+        v = np.zeros(4)
+        low = F.TRIL(v, r, c, None)
+        up = F.TRIU(v, r, c, None)
+        assert np.array_equal(low, [True, False, True, True])
+        assert np.array_equal(up, [True, True, True, False])
+
+    def test_tril_with_offset(self):
+        r = np.array([0, 1, 2])
+        c = np.array([1, 2, 3])
+        assert np.array_equal(F.TRIL(None, r, c, 1), [True, True, True])
+        assert np.array_equal(F.TRIL(None, r, c, 0), [False, False, False])
+
+    def test_diag_offdiag(self):
+        r = np.array([0, 1])
+        c = np.array([0, 2])
+        assert np.array_equal(F.DIAG_ONLY(None, r, c, None), [True, False])
+        assert np.array_equal(F.OFFDIAG(None, r, c, None), [False, True])
+
+    def test_value_filters(self):
+        v = np.array([1.0, 5.0, 3.0])
+        assert np.array_equal(F.VALUEGT(v, None, None, 2.0), [False, True, True])
+        assert np.array_equal(F.VALUEEQ(v, None, None, 5.0), [False, True, False])
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert F.unary("abs") is F.ABS
+        assert F.binary("plus") is F.PLUS
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown unary"):
+            F.unary("nope")
+        with pytest.raises(KeyError, match="unknown binary"):
+            F.binary("nope")
+
+    def test_register_custom_op(self):
+        op = F.register_binary(
+            F.BinaryOp("testop_clamp", lambda x, y: np.minimum(x, y) * 0 + 1)
+        )
+        assert F.binary("testop_clamp") is op
+
+    def test_repr(self):
+        assert "plus" in repr(F.PLUS)
+        assert "abs" in repr(F.ABS)

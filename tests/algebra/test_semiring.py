@@ -1,0 +1,67 @@
+"""Unit tests for semirings."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import (
+    LOR_LAND,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    Semiring,
+    semiring,
+)
+from repro.algebra.monoid import PLUS_MONOID
+from repro.algebra.functional import TIMES
+
+
+class TestSemiring:
+    def test_name_and_zero(self):
+        assert PLUS_TIMES.name == "plus_times"
+        assert PLUS_TIMES.zero == 0
+        assert MIN_PLUS.zero == np.inf
+        assert LOR_LAND.zero is False
+
+    def test_mult_and_reduce(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        assert np.array_equal(PLUS_TIMES.mult(a, b), [3.0, 8.0])
+        assert PLUS_TIMES.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_min_plus_is_tropical(self):
+        # (min, +): multiplication is addition of path lengths
+        assert MIN_PLUS.mult(2.0, 3.0) == 5.0
+        assert MIN_PLUS.reduce(np.array([4.0, 2.0, 9.0])) == 2.0
+
+    def test_plus_pair_counts(self):
+        # pair always multiplies to 1 -> reduce counts intersections
+        prods = PLUS_PAIR.mult(np.array([5.0, 7.0]), np.array([2.0, 0.1]))
+        assert np.array_equal(prods, [1.0, 1.0])
+
+    def test_lookup(self):
+        assert semiring("plus_times") is PLUS_TIMES
+        assert semiring("min_plus") is MIN_PLUS
+        with pytest.raises(KeyError, match="unknown semiring"):
+            semiring("frob_nitz")
+
+    def test_custom_semiring(self):
+        s = Semiring(PLUS_MONOID, TIMES)
+        assert s.name == "plus_times"
+        assert s.zero == 0
+
+    def test_repr(self):
+        assert "plus_times" in repr(PLUS_TIMES)
+
+    def test_distributivity_spot_check(self):
+        # a*(b+c) == a*b + a*c for plus_times on samples
+        rng = np.random.default_rng(0)
+        a, b, c = rng.random(3)
+        lhs = PLUS_TIMES.mult(a, PLUS_TIMES.add.op(b, c))
+        rhs = PLUS_TIMES.add.op(PLUS_TIMES.mult(a, b), PLUS_TIMES.mult(a, c))
+        assert lhs == pytest.approx(rhs)
+
+    def test_min_plus_distributivity(self):
+        a, b, c = 3.0, 5.0, 2.0
+        lhs = MIN_PLUS.mult(a, MIN_PLUS.add.op(b, c))
+        rhs = MIN_PLUS.add.op(MIN_PLUS.mult(a, b), MIN_PLUS.mult(a, c))
+        assert lhs == rhs

@@ -1,0 +1,74 @@
+"""Tests for algebraic Brandes betweenness centrality against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algebra.functional import MAX, OFFDIAG
+from repro.algorithms import betweenness_centrality
+from repro.generators import erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.sparse import CSRMatrix
+
+
+def to_nx_directed(a: CSRMatrix) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(a.nrows))
+    coo = a.to_coo()
+    g.add_edges_from(zip(coo.rows.tolist(), coo.cols.tolist()))
+    return g
+
+
+class TestBetweenness:
+    def test_path_graph_middle_dominates(self):
+        d = np.zeros((3, 3))
+        d[0, 1] = d[1, 2] = 1.0
+        bc = betweenness_centrality(CSRMatrix.from_dense(d))
+        assert bc[1] == 1.0  # the single 0->2 shortest path passes 1
+        assert bc[0] == 0.0 and bc[2] == 0.0
+
+    def test_star_center(self):
+        # directed star out-and-back: centre on all leaf-to-leaf paths
+        n = 5
+        d = np.zeros((n, n))
+        for leaf in range(1, n):
+            d[0, leaf] = d[leaf, 0] = 1.0
+        bc = betweenness_centrality(CSRMatrix.from_dense(d))
+        assert bc[0] == pytest.approx((n - 1) * (n - 2))
+        assert np.allclose(bc[1:], 0.0)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_networkx_directed(self, seed):
+        a = erdos_renyi(40, 3, seed=seed, values="one")
+        bc = betweenness_centrality(a)
+        expected = nx.betweenness_centrality(to_nx_directed(a), normalized=False)
+        for v in range(40):
+            assert bc[v] == pytest.approx(expected[v], abs=1e-8), f"vertex {v}"
+
+    def test_matches_networkx_undirected_structure(self):
+        a = erdos_renyi(30, 4, seed=4, values="one")
+        sym = ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+        bc = betweenness_centrality(sym)
+        expected = nx.betweenness_centrality(
+            to_nx_directed(sym), normalized=False
+        )
+        for v in range(30):
+            assert bc[v] == pytest.approx(expected[v], abs=1e-8)
+
+    def test_sampled_sources_scale(self):
+        a = erdos_renyi(50, 4, seed=5, values="one")
+        exact = betweenness_centrality(a)
+        sampled = betweenness_centrality(a, sources=np.arange(50))
+        assert np.allclose(exact, sampled)
+
+    def test_empty_sources(self):
+        a = erdos_renyi(10, 2, seed=6)
+        assert np.allclose(betweenness_centrality(a, sources=np.array([], dtype=np.int64)), 0.0)
+
+    def test_source_bounds(self):
+        with pytest.raises(IndexError):
+            betweenness_centrality(CSRMatrix.empty(3, 3), sources=np.array([5]))
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            betweenness_centrality(CSRMatrix.empty(2, 3))

@@ -1,0 +1,60 @@
+"""Tests for direction-optimising BFS."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import MAX
+from repro.algorithms import bfs_levels
+from repro.algorithms.bfs_do import bfs_levels_do
+from repro.generators import erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.sparse import CSRMatrix
+
+
+def sym(n, d, seed):
+    a = erdos_renyi(n, d, seed=seed)
+    return ewiseadd_mm(a, a.transposed(), MAX)
+
+
+class TestDirectionOptimizingBFS:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_identical_to_plain_bfs(self, seed):
+        a = sym(300, 5, seed)
+        assert np.array_equal(bfs_levels(a, 0), bfs_levels_do(a, 0))
+
+    def test_pull_engages_on_dense_frontier(self):
+        # a well-connected graph grows a frontier past alpha*n quickly
+        a = sym(500, 10, 4)
+        stats: dict = {}
+        bfs_levels_do(a, 0, alpha=0.05, stats=stats)
+        assert stats["pull"] >= 1
+        assert stats["push"] >= 1
+
+    def test_pure_push_with_high_alpha(self):
+        a = sym(200, 4, 5)
+        stats: dict = {}
+        bfs_levels_do(a, 0, alpha=1.1, stats=stats)
+        assert stats["pull"] == 0
+
+    def test_pure_pull_with_zero_alpha(self):
+        a = sym(200, 4, 6)
+        stats: dict = {}
+        levels = bfs_levels_do(a, 0, alpha=0.0, stats=stats)
+        assert stats["push"] == 0
+        assert np.array_equal(levels, bfs_levels(a, 0))
+
+    def test_directed_graph(self):
+        d = np.zeros((4, 4))
+        d[0, 1] = d[1, 2] = d[2, 3] = 1.0
+        a = CSRMatrix.from_dense(d)
+        assert np.array_equal(bfs_levels_do(a, 0, alpha=0.0), [0, 1, 2, 3])
+
+    def test_source_bounds(self):
+        with pytest.raises(IndexError):
+            bfs_levels_do(CSRMatrix.empty(3, 3), 7)
+
+    def test_unreachable(self):
+        a = CSRMatrix.empty(5, 5)
+        levels = bfs_levels_do(a, 2)
+        assert levels[2] == 0
+        assert (np.delete(levels, 2) == -1).all()

@@ -1,0 +1,72 @@
+"""Tests for delta-stepping SSSP against Bellman-Ford and networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import delta_stepping, sssp
+from repro.generators import erdos_renyi, path_graph
+from repro.sparse import CSRMatrix
+
+
+class TestDeltaStepping:
+    def test_path_graph(self):
+        dist = delta_stepping(path_graph(5), 0)
+        assert np.array_equal(dist, [0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_matches_bellman_ford(self):
+        for seed in [1, 2, 3]:
+            a = erdos_renyi(120, 5, seed=seed)
+            assert np.allclose(
+                delta_stepping(a, 0), sssp(a, 0), equal_nan=True
+            ), f"seed {seed}"
+
+    def test_matches_networkx_dijkstra(self):
+        a = erdos_renyi(100, 5, seed=4)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(100))
+        coo = a.to_coo()
+        for r, c, v in zip(coo.rows, coo.cols, coo.values):
+            g.add_edge(int(r), int(c), weight=float(v))
+        expected = nx.single_source_dijkstra_path_length(g, 0)
+        dist = delta_stepping(a, 0)
+        for v in range(100):
+            if v in expected:
+                assert dist[v] == pytest.approx(expected[v])
+            else:
+                assert dist[v] == np.inf
+
+    @pytest.mark.parametrize("delta", [0.1, 0.5, 2.0, 100.0])
+    def test_delta_choice_does_not_change_result(self, delta):
+        a = erdos_renyi(80, 4, seed=5)
+        assert np.allclose(
+            delta_stepping(a, 0, delta=delta), sssp(a, 0), equal_nan=True
+        )
+
+    def test_zero_weight_edges(self):
+        d = np.zeros((3, 3))
+        a = CSRMatrix.from_triples(3, 3, [0, 1], [1, 2], [0.0, 0.0])
+        # explicit zeros survive as stored edges
+        dist = delta_stepping(a, 0)
+        assert np.array_equal(dist, [0.0, 0.0, 0.0])
+
+    def test_rejects_negative_weights(self):
+        a = CSRMatrix.from_triples(2, 2, [0], [1], [-1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            delta_stepping(a, 0)
+
+    def test_unreachable_inf(self):
+        a = CSRMatrix.from_triples(3, 3, [0], [1], [2.0])
+        dist = delta_stepping(a, 0)
+        assert dist[2] == np.inf
+
+    def test_bounds_and_shape(self):
+        with pytest.raises(IndexError):
+            delta_stepping(CSRMatrix.empty(3, 3), 9)
+        with pytest.raises(ValueError):
+            delta_stepping(CSRMatrix.empty(2, 3), 0)
+
+    def test_empty_graph(self):
+        dist = delta_stepping(CSRMatrix.empty(4, 4), 1)
+        assert dist[1] == 0.0
+        assert np.isinf(np.delete(dist, 1)).all()

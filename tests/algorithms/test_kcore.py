@@ -1,0 +1,57 @@
+"""Tests for k-core decomposition against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algebra.functional import MAX, OFFDIAG
+from repro.algorithms import kcore_decomposition, kcore_subgraph
+from repro.generators import erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.sparse import CSRMatrix
+
+
+def sym_graph(n, d, seed):
+    a = erdos_renyi(n, d, seed=seed, values="one")
+    return ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+
+
+def to_nx(a: CSRMatrix) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    coo = a.to_coo()
+    g.add_edges_from(zip(coo.rows.tolist(), coo.cols.tolist()))
+    return g
+
+
+class TestKCore:
+    def test_triangle_plus_tail(self):
+        # triangle {0,1,2} has coreness 2; the tail vertex 3 has 1
+        d = np.zeros((4, 4))
+        for i, j in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            d[i, j] = d[j, i] = 1.0
+        core = kcore_decomposition(CSRMatrix.from_dense(d))
+        assert np.array_equal(core, [2, 2, 2, 1])
+
+    def test_isolated_vertices_are_zero(self):
+        core = kcore_decomposition(CSRMatrix.empty(3, 3))
+        assert np.array_equal(core, [0, 0, 0])
+
+    @pytest.mark.parametrize("seed,d", [(1, 3), (2, 6), (3, 10)])
+    def test_matches_networkx(self, seed, d):
+        a = sym_graph(100, d, seed)
+        ours = kcore_decomposition(a)
+        theirs = nx.core_number(to_nx(a))
+        for v in range(100):
+            assert ours[v] == theirs[v], f"vertex {v}"
+
+    def test_subgraph_membership(self):
+        a = sym_graph(80, 6, 4)
+        core = kcore_decomposition(a)
+        for k in [1, 2, 3]:
+            members = kcore_subgraph(a, k)
+            assert np.array_equal(members, core >= k)
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            kcore_decomposition(CSRMatrix.empty(2, 3))

@@ -1,0 +1,117 @@
+"""Tests for k-truss and clustering coefficients against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algebra.functional import MAX, OFFDIAG
+from repro.algorithms import (
+    average_clustering,
+    edge_support,
+    ktruss,
+    local_clustering,
+    triangles_per_vertex,
+)
+from repro.generators import complete_graph, cycle_graph, erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.sparse import CSRMatrix
+
+
+def sym_graph(n, d, seed):
+    a = erdos_renyi(n, d, seed=seed, values="one")
+    return ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+
+
+def to_nx(a: CSRMatrix) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    coo = a.to_coo()
+    g.add_edges_from(zip(coo.rows.tolist(), coo.cols.tolist()))
+    return g
+
+
+class TestEdgeSupport:
+    def test_triangle_edges_support_one(self):
+        a = cycle_graph(3)
+        s = edge_support(a)
+        assert s.nnz == 6
+        assert (s.values == 1.0).all()
+
+    def test_square_edges_support_zero(self):
+        s = edge_support(cycle_graph(4))
+        assert s.nnz == 0  # no common neighbours on any edge
+
+
+class TestKTruss:
+    def test_k2_is_identity_pattern(self):
+        a = sym_graph(50, 4, seed=1)
+        t = ktruss(a, 2)
+        assert t.nnz == a.nnz
+
+    def test_k3_keeps_triangle_edges_only(self):
+        # a triangle with a pendant edge: pendant drops at k=3
+        d = np.zeros((4, 4))
+        for i, j in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            d[i, j] = d[j, i] = 1.0
+        t = ktruss(CSRMatrix.from_dense(d), 3)
+        assert t[2, 3] is None
+        assert t[0, 1] == 1.0
+        assert t.nnz == 6
+
+    def test_complete_graph_survives_high_k(self):
+        a = complete_graph(6)  # every edge in 4 triangles
+        assert ktruss(a, 6).nnz == a.nnz
+        assert ktruss(a, 7).nnz == 0
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_matches_networkx(self, k):
+        a = sym_graph(60, 8, seed=2)
+        ours = ktruss(a, k)
+        theirs = nx.k_truss(to_nx(a), k)
+        our_edges = {
+            (int(u), int(v))
+            for u, v in zip(ours.row_indices(), ours.colidx)
+            if u < v
+        }
+        their_edges = {(min(u, v), max(u, v)) for u, v in theirs.edges()}
+        assert our_edges == their_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ktruss(CSRMatrix.empty(2, 3), 3)
+        with pytest.raises(ValueError):
+            ktruss(CSRMatrix.empty(3, 3), 1)
+
+
+class TestClustering:
+    def test_triangle_all_ones(self):
+        assert np.allclose(local_clustering(cycle_graph(3)), 1.0)
+
+    def test_square_all_zero(self):
+        assert np.allclose(local_clustering(cycle_graph(4)), 0.0)
+
+    def test_triangles_per_vertex_complete(self):
+        # K5: each vertex participates in C(4,2) = 6 triangles
+        assert np.array_equal(triangles_per_vertex(complete_graph(5)), [6] * 5)
+
+    def test_degree_below_two_is_zero(self):
+        d = np.zeros((3, 3))
+        d[0, 1] = d[1, 0] = 1.0
+        assert np.allclose(local_clustering(CSRMatrix.from_dense(d)), 0.0)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_matches_networkx(self, seed):
+        a = sym_graph(80, 8, seed)
+        ours = local_clustering(a)
+        theirs = nx.clustering(to_nx(a))
+        for v in range(80):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-12), f"vertex {v}"
+
+    def test_average_matches_networkx(self):
+        a = sym_graph(60, 6, seed=5)
+        assert average_clustering(a) == pytest.approx(
+            nx.average_clustering(to_nx(a)), abs=1e-12
+        )
+
+    def test_empty_graph(self):
+        assert average_clustering(CSRMatrix.empty(4, 4)) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for greedy maximal bipartite matching against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.matching import _is_maximal, is_valid_matching, maximal_matching
+from repro.generators import erdos_renyi
+from repro.sparse import CSRMatrix
+
+
+def to_nx_bipartite(a: CSRMatrix) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows), bipartite=0)
+    g.add_nodes_from(range(a.nrows, a.nrows + a.ncols), bipartite=1)
+    coo = a.to_coo()
+    g.add_edges_from(
+        (int(r), a.nrows + int(c)) for r, c in zip(coo.rows, coo.cols)
+    )
+    return g
+
+
+class TestMaximalMatching:
+    def test_perfect_on_identity(self):
+        a = CSRMatrix.identity(5)
+        rm, cm = maximal_matching(a)
+        assert (rm == np.arange(5)).all()
+        assert is_valid_matching(a, rm, cm)
+
+    def test_empty_graph(self):
+        rm, cm = maximal_matching(CSRMatrix.empty(4, 6))
+        assert (rm == -1).all() and (cm == -1).all()
+
+    def test_star_matches_once(self):
+        # one row connected to every column: exactly one match possible
+        a = CSRMatrix.from_triples(1, 5, [0] * 5, list(range(5)), [1.0] * 5)
+        rm, cm = maximal_matching(a)
+        assert rm[0] >= 0
+        assert (cm >= 0).sum() == 1
+
+    def test_column_contention(self):
+        # many rows want column 0; exactly one gets it, others fall through
+        a = CSRMatrix.from_triples(
+            3, 2, [0, 1, 2, 1], [0, 0, 0, 1], [1.0] * 4
+        )
+        rm, cm = maximal_matching(a)
+        assert is_valid_matching(a, rm, cm)
+        assert (rm >= 0).sum() == 2  # col 0 + col 1
+
+    @pytest.mark.parametrize("seed,d", [(1, 2), (2, 4), (3, 8)])
+    def test_valid_maximal_and_half_approx(self, seed, d):
+        a = erdos_renyi(120, d, seed=seed)
+        rm, cm = maximal_matching(a)
+        assert is_valid_matching(a, rm, cm)
+        assert _is_maximal(a, rm, cm)
+        ours = int((rm >= 0).sum())
+        maximum = len(nx.bipartite.maximum_matching(
+            to_nx_bipartite(a), top_nodes=range(120)
+        )) // 2
+        assert ours >= maximum / 2
+        assert ours <= maximum
+
+    def test_rectangular(self):
+        a = erdos_renyi(40, 3, seed=4)
+        # chop to a 40x25 rectangle
+        from repro.ops import extract_matrix
+
+        rect = extract_matrix(a, np.arange(40), np.arange(25))
+        rm, cm = maximal_matching(rect)
+        assert rm.size == 40 and cm.size == 25
+        assert is_valid_matching(rect, rm, cm)

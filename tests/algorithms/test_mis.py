@@ -1,0 +1,60 @@
+"""Tests for Luby's maximal independent set."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import MAX, OFFDIAG
+from repro.algorithms import maximal_independent_set
+from repro.algorithms.mis import _is_independent
+from repro.generators import erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.sparse import CSRMatrix
+
+
+def sym_graph(n, d, seed):
+    a = erdos_renyi(n, d, seed=seed, values="one")
+    return ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+
+
+class TestMIS:
+    def test_empty_graph_takes_everything(self):
+        out = maximal_independent_set(CSRMatrix.empty(5, 5))
+        assert out.all()
+
+    def test_complete_graph_takes_one(self):
+        d = 1.0 - np.eye(4)
+        out = maximal_independent_set(CSRMatrix.from_dense(d))
+        assert out.sum() == 1
+
+    def test_path_graph(self):
+        n = 7
+        d = np.zeros((n, n))
+        for i in range(n - 1):
+            d[i, i + 1] = d[i + 1, i] = 1.0
+        out = maximal_independent_set(CSRMatrix.from_dense(d), seed=3)
+        a = CSRMatrix.from_dense(d)
+        assert _is_independent(a, out)
+        # maximality: every non-member has a member neighbour
+        dense = d != 0
+        for v in range(n):
+            if not out[v]:
+                assert out[dense[v]].any(), f"vertex {v} could join"
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_independent_and_maximal_on_random(self, seed):
+        a = sym_graph(120, 5, seed)
+        out = maximal_independent_set(a, seed=seed)
+        assert _is_independent(a, out)
+        dense = a.to_dense() != 0
+        for v in np.flatnonzero(~out):
+            assert out[dense[v]].any(), f"vertex {v} could join"
+
+    def test_deterministic(self):
+        a = sym_graph(60, 4, 5)
+        assert np.array_equal(
+            maximal_independent_set(a, seed=9), maximal_independent_set(a, seed=9)
+        )
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            maximal_independent_set(CSRMatrix.empty(2, 3))

@@ -1,0 +1,64 @@
+"""Triangle-counting tests against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import count_triangles
+from repro.generators import erdos_renyi
+from repro.ops import ewiseadd_mm
+from repro.algebra.functional import MAX
+from repro.sparse import CSRMatrix
+
+
+def sym_simple(n, d, seed) -> CSRMatrix:
+    from repro.algebra.functional import OFFDIAG
+
+    a = erdos_renyi(n, d, seed=seed, values="one")
+    return ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+
+
+def to_nx(a: CSRMatrix) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    coo = a.to_coo()
+    g.add_edges_from(zip(coo.rows.tolist(), coo.cols.tolist()))
+    return g
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        d = np.zeros((3, 3))
+        for i, j in [(0, 1), (1, 2), (0, 2)]:
+            d[i, j] = d[j, i] = 1.0
+        assert count_triangles(CSRMatrix.from_dense(d)) == 1
+
+    def test_k4_has_four(self):
+        d = 1.0 - np.eye(4)
+        assert count_triangles(CSRMatrix.from_dense(d)) == 4
+
+    def test_square_has_none(self):
+        d = np.zeros((4, 4))
+        for i, j in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            d[i, j] = d[j, i] = 1.0
+        assert count_triangles(CSRMatrix.from_dense(d)) == 0
+
+    def test_empty_graph(self):
+        assert count_triangles(CSRMatrix.empty(10, 10)) == 0
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            count_triangles(CSRMatrix.empty(2, 3))
+
+    @pytest.mark.parametrize("seed,d", [(1, 4), (2, 8), (3, 12)])
+    def test_matches_networkx(self, seed, d):
+        a = sym_simple(80, d, seed)
+        expected = sum(nx.triangles(to_nx(a)).values()) // 3
+        assert count_triangles(a) == expected
+
+    def test_weights_do_not_leak(self):
+        # PLUS_PAIR must count structure, not multiply weights
+        d = np.zeros((3, 3))
+        for i, j in [(0, 1), (1, 2), (0, 2)]:
+            d[i, j] = d[j, i] = 7.5
+        assert count_triangles(CSRMatrix.from_dense(d)) == 1

@@ -1,0 +1,74 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import NODE_SWEEP, Series, THREAD_SWEEP, format_figure, scaled_nnz, speedup
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", [1, 2], [0.5])
+
+    def test_component_length_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", [1, 2], [0.5, 0.4], components={"c": [0.1]})
+
+    def test_y_at_and_speedup(self):
+        s = Series("x", [1, 2, 4], [1.0, 0.5, 0.25])
+        assert s.y_at(2) == 0.5
+        assert s.speedup_at(4) == 4.0
+        assert s.best == 0.25
+        assert speedup(s) == 4.0
+
+    def test_missing_x_raises(self):
+        s = Series("x", [1, 2], [1.0, 0.5])
+        with pytest.raises(ValueError):
+            s.y_at(3)
+
+
+class TestScaledNnz:
+    def test_respects_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled_nnz(10_000, minimum=5000) == 5000
+
+    def test_applies_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scaled_nnz(1_000_000) == 500_000
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        assert scaled_nnz(123_456) == 123_456
+
+
+class TestFormatFigure:
+    def test_basic_table(self):
+        s1 = Series("A", [1, 2], [1.0, 0.5])
+        s2 = Series("B", [1, 2], [2.0, 1.0])
+        out = format_figure("Demo", "threads", [s1, s2])
+        assert "Demo" in out
+        assert "threads" in out
+        assert "A" in out and "B" in out
+        assert out.count("\n") >= 4  # header + separator + 2 rows
+
+    def test_component_expansion(self):
+        s = Series(
+            "A", [1, 2], [1.0, 0.5],
+            components={"SPA": [0.6, 0.3], "Sort": [0.4, 0.2]},
+        )
+        out = format_figure("Demo", "t", [s], show_components=True)
+        assert "SPA" in out and "Sort" in out
+
+    def test_mismatched_axes_rejected(self):
+        with pytest.raises(ValueError, match="x-axis"):
+            format_figure(
+                "D", "t",
+                [Series("A", [1, 2], [1.0, 1.0]), Series("B", [1, 4], [1.0, 1.0])],
+            )
+
+    def test_empty(self):
+        assert "no series" in format_figure("D", "t", [])
+
+    def test_sweeps_are_papers(self):
+        assert THREAD_SWEEP[0] == 1 and THREAD_SWEEP[-1] == 32
+        assert NODE_SWEEP == [1, 2, 4, 8, 16, 32, 64]

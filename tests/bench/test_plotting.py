@@ -1,0 +1,46 @@
+"""Tests for the SVG chart renderer."""
+
+import pytest
+
+from repro.bench import Series, render_svg, save_svg
+
+
+def demo_series():
+    return [
+        Series("fast", [1, 2, 4, 8], [1.0, 0.5, 0.25, 0.125]),
+        Series("slow", [1, 2, 4, 8], [2.0, 1.9, 1.8, 1.7]),
+    ]
+
+
+class TestRenderSvg:
+    def test_well_formed(self):
+        svg = render_svg("Demo", "threads", demo_series())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "Demo" in svg and "threads" in svg
+        assert "fast" in svg and "slow" in svg
+
+    def test_marker_per_point(self):
+        svg = render_svg("D", "x", demo_series())
+        assert svg.count("<circle") == 8
+
+    def test_single_point_series(self):
+        svg = render_svg("D", "x", [Series("one", [4], [0.5])])
+        assert "<circle" in svg
+        assert "<polyline" not in svg  # no line with a single point
+
+    def test_zero_values_skipped(self):
+        svg = render_svg("D", "x", [Series("z", [1, 2], [0.0, 1.0])])
+        assert svg.count("<circle") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg("D", "x", [])
+        with pytest.raises(ValueError):
+            render_svg("D", "x", [Series("z", [1], [0.0])])
+
+    def test_save(self, tmp_path):
+        out = save_svg(tmp_path / "f.svg", "T", "x", demo_series())
+        assert out.exists()
+        assert out.read_text().startswith("<svg")

@@ -1,0 +1,128 @@
+"""Unit and property tests for block partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import Block1D, Block2D, GridBlock1D
+from repro.runtime import LocaleGrid
+
+
+class TestBlock1D:
+    def test_bounds_even(self):
+        assert np.array_equal(Block1D(12, 4).bounds, [0, 3, 6, 9, 12])
+
+    def test_bounds_remainder_first(self):
+        assert np.array_equal(Block1D(10, 4).bounds, [0, 3, 6, 8, 10])
+
+    def test_extent_and_size(self):
+        d = Block1D(10, 4)
+        assert d.extent(0) == (0, 3)
+        assert d.extent(3) == (8, 10)
+        assert d.size_of(2) == 2
+
+    def test_owner(self):
+        d = Block1D(10, 4)
+        assert d.owner(0) == 0
+        assert d.owner(2) == 0
+        assert d.owner(3) == 1
+        assert d.owner(9) == 3
+
+    def test_owner_bounds(self):
+        with pytest.raises(IndexError):
+            Block1D(10, 4).owner(10)
+        with pytest.raises(IndexError):
+            Block1D(10, 4).owner(-1)
+
+    def test_owners_vectorised(self):
+        d = Block1D(10, 4)
+        out = d.owners(np.array([0, 3, 6, 8, 9]))
+        assert np.array_equal(out, [0, 1, 2, 3, 3])
+
+    def test_split_sorted_roundtrip(self):
+        d = Block1D(20, 3)
+        idx = np.array([0, 5, 6, 7, 13, 19])
+        parts = d.split_sorted(idx)
+        rebuilt = np.concatenate(
+            [p + d.bounds[k] for k, p in enumerate(parts)]
+        )
+        assert np.array_equal(rebuilt, idx)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block1D(-1, 2)
+        with pytest.raises(ValueError):
+            Block1D(5, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 1000), st.integers(1, 17))
+    def test_partition_complete_and_disjoint(self, n, p):
+        d = Block1D(n, p)
+        b = d.bounds
+        assert b[0] == 0 and b[-1] == n
+        assert np.all(np.diff(b) >= 0)
+        sizes = np.diff(b)
+        assert sizes.max() - sizes.min() <= 1 if n else True
+
+
+class TestGridBlock1D:
+    def test_equals_flat_when_divisible(self):
+        g = LocaleGrid(2, 2)
+        assert np.array_equal(
+            GridBlock1D.for_grid(8, g).bounds, Block1D(8, 4).bounds
+        )
+
+    def test_hierarchical_alignment(self):
+        # n=10 over a 2x2 grid: row blocks [0,5) and [5,10), each split in 2
+        g = LocaleGrid(2, 2)
+        d = GridBlock1D.for_grid(10, g)
+        assert np.array_equal(d.bounds, [0, 3, 5, 8, 10])
+
+    def test_row_blocks_tile_row_team_ranges(self):
+        # the property the SpMSpV gather depends on
+        for n in [10, 37, 100, 101]:
+            for rows, cols in [(2, 2), (2, 4), (4, 8), (3, 5)]:
+                g = LocaleGrid(rows, cols)
+                d = GridBlock1D.for_grid(n, g)
+                rb = Block1D(n, rows)
+                for i in range(rows):
+                    lo = d.bounds[i * cols]
+                    hi = d.bounds[(i + 1) * cols]
+                    assert (lo, hi) == rb.extent(i)
+
+    def test_row_block_method(self):
+        g = LocaleGrid(2, 3)
+        d = GridBlock1D.for_grid(10, g)
+        assert d.row_block(0) == (0, 5)
+        assert d.row_block(1) == (5, 10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 500), st.integers(1, 5), st.integers(1, 5))
+    def test_partition_complete(self, n, pr, pc):
+        d = GridBlock1D(n, pr, pc)
+        b = d.bounds
+        assert b[0] == 0 and b[-1] == n
+        assert b.size == pr * pc + 1
+        assert np.all(np.diff(b) >= 0)
+
+
+class TestBlock2D:
+    def test_extents_tile_matrix(self):
+        layout = Block2D(10, 7, 2, 3)
+        seen = np.zeros((10, 7), dtype=int)
+        for i in range(2):
+            for j in range(3):
+                rlo, rhi, clo, chi = layout.extent(i, j)
+                seen[rlo:rhi, clo:chi] += 1
+        assert (seen == 1).all()
+
+    def test_owner(self):
+        layout = Block2D(10, 10, 2, 2)
+        assert layout.owner(0, 0) == (0, 0)
+        assert layout.owner(9, 9) == (1, 1)
+        assert layout.owner(4, 7) == (0, 1)
+
+    def test_for_grid(self):
+        g = LocaleGrid(2, 4)
+        layout = Block2D.for_grid(100, 100, g)
+        assert layout.grid_rows == 2 and layout.grid_cols == 4

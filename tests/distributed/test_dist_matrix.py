@@ -1,0 +1,97 @@
+"""Unit and property tests for distributed matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import DistSparseMatrix, DistSparseMatrix1D
+from repro.generators import erdos_renyi
+from repro.runtime import LocaleGrid
+from repro.sparse import CSRMatrix
+
+
+class TestDistSparseMatrix:
+    def test_roundtrip(self):
+        a = erdos_renyi(50, 5, seed=1)
+        for p in [1, 2, 4, 6, 9]:
+            g = LocaleGrid.for_count(p)
+            ad = DistSparseMatrix.from_global(a, g)
+            ad.check()
+            back = ad.gather()
+            assert np.allclose(back.to_dense(), a.to_dense())
+
+    def test_nnz_conserved(self):
+        a = erdos_renyi(60, 4, seed=2)
+        ad = DistSparseMatrix.from_global(a, LocaleGrid.for_count(4))
+        assert ad.nnz == a.nnz
+        assert ad.nnz_per_locale().sum() == a.nnz
+
+    def test_block_shapes_match_layout(self):
+        a = erdos_renyi(37, 3, seed=3)  # deliberately awkward size
+        g = LocaleGrid(2, 3)
+        ad = DistSparseMatrix.from_global(a, g)
+        layout = ad.layout
+        for i in range(2):
+            for j in range(3):
+                rlo, rhi, clo, chi = layout.extent(i, j)
+                assert ad.block(i, j).shape == (rhi - rlo, chi - clo)
+
+    def test_block_contents_match_submatrix(self):
+        a = erdos_renyi(20, 4, seed=4)
+        g = LocaleGrid(2, 2)
+        ad = DistSparseMatrix.from_global(a, g)
+        dense = a.to_dense()
+        layout = ad.layout
+        for i in range(2):
+            for j in range(2):
+                rlo, rhi, clo, chi = layout.extent(i, j)
+                assert np.allclose(
+                    ad.block(i, j).to_dense(), dense[rlo:rhi, clo:chi]
+                )
+
+    def test_block_index_bounds(self):
+        ad = DistSparseMatrix.from_global(erdos_renyi(10, 2, seed=0), LocaleGrid(2, 2))
+        with pytest.raises(IndexError):
+            ad.block(2, 0)
+
+    def test_wrong_block_count(self):
+        with pytest.raises(ValueError):
+            DistSparseMatrix(4, 4, LocaleGrid(2, 2), [CSRMatrix.empty(2, 2)])
+
+    def test_empty_matrix(self):
+        ad = DistSparseMatrix.from_global(CSRMatrix.empty(10, 10), LocaleGrid(2, 2))
+        assert ad.nnz == 0
+        assert ad.gather().nnz == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 9), st.data())
+    def test_roundtrip_property(self, n, p, data):
+        d = data.draw(st.floats(0, 4))
+        a = erdos_renyi(n, min(d, n), seed=7)
+        ad = DistSparseMatrix.from_global(a, LocaleGrid.for_count(p))
+        ad.check()
+        assert np.allclose(ad.gather().to_dense(), a.to_dense())
+
+
+class TestDistSparseMatrix1D:
+    def test_roundtrip(self):
+        a = erdos_renyi(30, 4, seed=5)
+        g = LocaleGrid(1, 4)
+        ad = DistSparseMatrix1D.from_global(a, g)
+        assert np.allclose(ad.gather().to_dense(), a.to_dense())
+        assert ad.nnz == a.nnz
+
+    def test_blocks_are_full_width(self):
+        a = erdos_renyi(30, 4, seed=5)
+        ad = DistSparseMatrix1D.from_global(a, LocaleGrid(1, 3))
+        for blk in ad.blocks:
+            assert blk.ncols == 30
+
+    def test_row_bands(self):
+        a = erdos_renyi(10, 2, seed=6)
+        ad = DistSparseMatrix1D.from_global(a, LocaleGrid(1, 3))
+        dist = ad.row_dist
+        dense = a.to_dense()
+        for k, blk in enumerate(ad.blocks):
+            lo, hi = dist.extent(k)
+            assert np.allclose(blk.to_dense(), dense[lo:hi])

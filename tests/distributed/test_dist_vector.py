@@ -1,0 +1,110 @@
+"""Unit and property tests for distributed vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import DistDenseVector, DistSparseVector
+from repro.generators import random_sparse_vector
+from repro.runtime import LocaleGrid
+from repro.sparse import DenseVector, SparseVector
+
+
+class TestDistSparseVector:
+    def test_distribute_gather_roundtrip(self):
+        x = random_sparse_vector(100, nnz=30, seed=1)
+        for p in [1, 2, 4, 6, 8]:
+            g = LocaleGrid.for_count(p)
+            xd = DistSparseVector.from_global(x, g)
+            xd.check()
+            back = xd.gather()
+            assert np.array_equal(back.indices, x.indices)
+            assert np.array_equal(back.values, x.values)
+
+    def test_nnz_conserved(self):
+        x = random_sparse_vector(1000, nnz=137, seed=2)
+        xd = DistSparseVector.from_global(x, LocaleGrid.for_count(8))
+        assert xd.nnz == 137
+        assert xd.nnz_per_locale().sum() == 137
+
+    def test_blocks_respect_partition(self):
+        x = random_sparse_vector(100, nnz=40, seed=3)
+        g = LocaleGrid(2, 3)
+        xd = DistSparseVector.from_global(x, g)
+        bounds = xd.dist.bounds
+        for k, blk in enumerate(xd.blocks):
+            assert blk.capacity == bounds[k + 1] - bounds[k]
+            if blk.nnz:
+                assert blk.indices.max() < blk.capacity
+
+    def test_empty(self):
+        xd = DistSparseVector.empty(50, LocaleGrid(2, 2))
+        assert xd.nnz == 0
+        assert xd.gather().nnz == 0
+        xd.check()
+
+    def test_wrong_block_count(self):
+        with pytest.raises(ValueError, match="blocks"):
+            DistSparseVector(10, LocaleGrid(2, 2), [SparseVector.empty(10)])
+
+    def test_copy_is_deep(self):
+        x = random_sparse_vector(50, nnz=10, seed=4)
+        xd = DistSparseVector.from_global(x, LocaleGrid(1, 2))
+        yd = xd.copy()
+        for blk in yd.blocks:
+            blk.values[...] = -1
+        assert xd.gather().values.min() >= 0
+
+    def test_block_of(self):
+        x = random_sparse_vector(50, nnz=10, seed=4)
+        xd = DistSparseVector.from_global(x, LocaleGrid(2, 2))
+        assert xd.block_of(0) is xd.blocks[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 12),
+        st.data(),
+    )
+    def test_roundtrip_property(self, n, p, data):
+        nnz = data.draw(st.integers(0, n))
+        x = random_sparse_vector(n, nnz=nnz, seed=1)
+        xd = DistSparseVector.from_global(x, LocaleGrid.for_count(p))
+        xd.check()
+        back = xd.gather()
+        assert np.array_equal(back.indices, x.indices)
+        assert np.array_equal(back.values, x.values)
+
+
+class TestDistDenseVector:
+    def test_roundtrip(self):
+        v = np.arange(23, dtype=float)
+        for p in [1, 2, 5, 8]:
+            g = LocaleGrid.for_count(p)
+            vd = DistDenseVector.from_global(v, g)
+            assert np.array_equal(vd.gather().values, v)
+
+    def test_from_dense_vector_object(self):
+        v = DenseVector(np.arange(10, dtype=float))
+        vd = DistDenseVector.from_global(v, LocaleGrid(1, 2))
+        assert np.array_equal(vd.gather().values, v.values)
+
+    def test_full(self):
+        vd = DistDenseVector.full(10, LocaleGrid(2, 2), 3.5)
+        assert np.array_equal(vd.gather().values, np.full(10, 3.5))
+
+    def test_blocks_align_with_grid_partition(self):
+        vd = DistDenseVector.from_global(np.arange(10.0), LocaleGrid(2, 2))
+        bounds = vd.dist.bounds
+        for k, blk in enumerate(vd.blocks):
+            assert blk.size == bounds[k + 1] - bounds[k]
+
+    def test_copy_deep(self):
+        vd = DistDenseVector.from_global(np.arange(6.0), LocaleGrid(1, 2))
+        wd = vd.copy()
+        wd.blocks[0][...] = -1
+        assert vd.gather().values.min() >= 0
+
+    def test_wrong_block_count(self):
+        with pytest.raises(ValueError):
+            DistDenseVector(4, LocaleGrid(2, 2), [np.zeros(4)])

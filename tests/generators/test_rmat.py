@@ -1,0 +1,48 @@
+"""Tests for the R-MAT generator (extension workload)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import rmat
+
+
+class TestRmat:
+    def test_shape(self):
+        a = rmat(6, 8, seed=1)
+        assert a.shape == (64, 64)
+
+    def test_edge_count_after_dedup(self):
+        a = rmat(7, 8, seed=2)
+        assert 0 < a.nnz <= 128 * 8
+        a.check()
+
+    def test_deterministic(self):
+        a = rmat(6, 4, seed=3)
+        b = rmat(6, 4, seed=3)
+        assert np.array_equal(a.colidx, b.colidx)
+
+    def test_skewed_degrees(self):
+        # R-MAT with Graph500 params is much more skewed than Erdős–Rényi
+        a = rmat(10, 16, seed=4)
+        deg = a.row_degrees()
+        assert deg.max() > 6 * max(deg.mean(), 1.0)
+
+    def test_values_one_collapses_duplicates(self):
+        a = rmat(5, 16, seed=5, values="one")
+        assert (a.values == 1.0).all()
+
+    def test_uniform_values(self):
+        a = rmat(5, 4, seed=6, values="uniform")
+        assert (a.values > 0).all()
+
+    def test_scale_zero(self):
+        a = rmat(0, 3, seed=7)
+        assert a.shape == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat(-1, 3)
+        with pytest.raises(ValueError):
+            rmat(4, 2, a=0.9, b=0.2, c=0.2)  # probabilities exceed 1
+        with pytest.raises(ValueError):
+            rmat(4, 2, values="nope")

@@ -1,0 +1,105 @@
+"""Tests for deterministic structured-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs_levels, count_triangles, num_components
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    tree_graph,
+)
+
+
+class TestPath:
+    def test_structure(self):
+        a = path_graph(5)
+        a.check()
+        assert a.nnz == 8  # 4 undirected edges
+        assert np.array_equal(a.row_degrees(), [1, 2, 2, 2, 1])
+
+    def test_bfs_levels_are_positions(self):
+        a = path_graph(6)
+        assert np.array_equal(bfs_levels(a, 0), np.arange(6))
+
+    def test_single_vertex(self):
+        assert path_graph(1).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+
+class TestCycle:
+    def test_degrees_all_two(self):
+        a = cycle_graph(7)
+        assert (a.row_degrees() == 2).all()
+
+    def test_connected(self):
+        assert num_components(cycle_graph(9)) == 1
+
+    def test_triangle_is_a_triangle(self):
+        assert count_triangles(cycle_graph(3)) == 1
+        assert count_triangles(cycle_graph(4)) == 0
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestGrid:
+    def test_plain_grid_degrees(self):
+        a = grid_graph(3, 4)
+        deg = a.row_degrees()
+        # corners have 2, edges 3, interior 4
+        assert deg[0] == 2
+        assert deg[1] == 3
+        assert deg[5] == 4  # (1,1) interior
+
+    def test_torus_degrees_all_four(self):
+        a = grid_graph(4, 5, torus=True)
+        assert (a.row_degrees() == 4).all()
+
+    def test_edge_count(self):
+        a = grid_graph(3, 3)
+        assert a.nnz == 2 * (3 * 2 + 2 * 3)  # 12 undirected edges
+
+    def test_connected(self):
+        assert num_components(grid_graph(5, 7)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestStarCompleteTree:
+    def test_star(self):
+        a = star_graph(6)
+        deg = a.row_degrees()
+        assert deg[0] == 5
+        assert (deg[1:] == 1).all()
+
+    def test_complete(self):
+        a = complete_graph(5)
+        assert (a.row_degrees() == 4).all()
+        assert count_triangles(a) == 10  # C(5,3)
+
+    def test_tree_structure(self):
+        a = tree_graph(7, branching=2)  # perfect binary tree
+        assert np.array_equal(bfs_levels(a, 0), [0, 1, 1, 2, 2, 2, 2])
+        assert count_triangles(a) == 0
+
+    def test_tree_branching_3(self):
+        a = tree_graph(13, branching=3)
+        assert a.row_degrees()[0] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            complete_graph(0)
+        with pytest.raises(ValueError):
+            tree_graph(3, branching=0)

@@ -1,0 +1,81 @@
+"""Tests for vector generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import random_bool_dense, random_sparse_vector, sample_distinct
+
+
+class TestSampleDistinct:
+    def test_exact_count_and_sorted(self):
+        rng = np.random.default_rng(0)
+        out = sample_distinct(1000, 100, rng)
+        assert out.size == 100
+        assert np.array_equal(out, np.sort(out))
+        assert np.unique(out).size == 100
+
+    def test_all_elements(self):
+        rng = np.random.default_rng(1)
+        out = sample_distinct(10, 10, rng)
+        assert np.array_equal(out, np.arange(10))
+
+    def test_zero(self):
+        rng = np.random.default_rng(2)
+        assert sample_distinct(10, 0, rng).size == 0
+
+    def test_dense_path(self):
+        rng = np.random.default_rng(3)
+        out = sample_distinct(100, 90, rng)  # k > n/2 branch
+        assert out.size == 90
+        assert np.unique(out).size == 90
+
+    def test_bounds(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            sample_distinct(5, 6, rng)
+        with pytest.raises(ValueError):
+            sample_distinct(5, -1, rng)
+
+
+class TestRandomSparseVector:
+    def test_nnz_exact(self):
+        x = random_sparse_vector(1000, nnz=137, seed=1)
+        assert x.nnz == 137
+        x.check()
+
+    def test_density_parameter(self):
+        x = random_sparse_vector(1000, density=0.02, seed=2)
+        assert x.nnz == 20
+
+    def test_exactly_one_size_parameter(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            random_sparse_vector(10, nnz=2, density=0.5)
+        with pytest.raises(ValueError, match="exactly one"):
+            random_sparse_vector(10)
+
+    def test_deterministic(self):
+        a = random_sparse_vector(500, nnz=50, seed=3)
+        b = random_sparse_vector(500, nnz=50, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+    def test_values_modes(self):
+        x = random_sparse_vector(100, nnz=10, seed=4, values="one")
+        assert (x.values == 1.0).all()
+        x = random_sparse_vector(100, nnz=10, seed=4, values="index")
+        assert np.array_equal(x.values, x.indices.astype(float))
+        with pytest.raises(ValueError):
+            random_sparse_vector(100, nnz=10, values="huh")
+
+
+class TestRandomBoolDense:
+    def test_fraction(self):
+        y = random_bool_dense(100_000, true_fraction=0.5, seed=5)
+        assert abs(y.values.mean() - 0.5) < 0.01
+
+    def test_extremes(self):
+        assert not random_bool_dense(100, true_fraction=0.0, seed=6).values.any()
+        assert random_bool_dense(100, true_fraction=1.0, seed=7).values.all()
+
+    def test_dtype(self):
+        assert random_bool_dense(10, seed=8).values.dtype == bool

@@ -1,0 +1,61 @@
+"""Tests for .npz binary persistence."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.io import load_npz, load_vector_npz, save_npz, save_vector_npz
+from repro.sparse import CSRMatrix
+
+
+class TestMatrixNpz:
+    def test_roundtrip(self, tmp_path):
+        a = erdos_renyi(100, 5, seed=1)
+        p = tmp_path / "a.npz"
+        save_npz(p, a)
+        b = load_npz(p)
+        assert b.shape == a.shape
+        assert np.array_equal(b.rowptr, a.rowptr)
+        assert np.array_equal(b.colidx, a.colidx)
+        assert np.array_equal(b.values, a.values)
+
+    def test_dtype_preserved(self, tmp_path):
+        a = CSRMatrix.from_triples(3, 3, [0, 1], [1, 2], np.array([2, 3], dtype=np.int32))
+        p = tmp_path / "i.npz"
+        save_npz(p, a)
+        assert load_npz(p).values.dtype == np.int32
+
+    def test_uncompressed(self, tmp_path):
+        a = erdos_renyi(50, 4, seed=2)
+        p = tmp_path / "u.npz"
+        save_npz(p, a, compressed=False)
+        assert np.allclose(load_npz(p).to_dense(), a.to_dense())
+
+    def test_empty_matrix(self, tmp_path):
+        p = tmp_path / "e.npz"
+        save_npz(p, CSRMatrix.empty(5, 7))
+        b = load_npz(p)
+        assert b.shape == (5, 7) and b.nnz == 0
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        p = tmp_path / "x.npz"
+        np.savez(p, stuff=np.arange(4))
+        with pytest.raises(ValueError, match="not a"):
+            load_npz(p)
+
+
+class TestVectorNpz:
+    def test_roundtrip(self, tmp_path):
+        x = random_sparse_vector(500, nnz=60, seed=3)
+        p = tmp_path / "v.npz"
+        save_vector_npz(p, x)
+        y = load_vector_npz(p)
+        assert y.capacity == x.capacity
+        assert np.array_equal(y.indices, x.indices)
+        assert np.array_equal(y.values, x.values)
+
+    def test_rejects_matrix_file(self, tmp_path):
+        p = tmp_path / "m.npz"
+        save_npz(p, erdos_renyi(10, 2, seed=4))
+        with pytest.raises(ValueError, match="not a"):
+            load_vector_npz(p)

@@ -1,0 +1,73 @@
+"""Edge-list I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi
+from repro.io import read_edgelist, write_edgelist
+
+
+class TestRead:
+    def test_basic(self):
+        text = "0 1\n1 2 2.5\n"
+        a = read_edgelist(io.StringIO(text))
+        assert a.shape == (3, 3)
+        assert a[0, 1] == 1.0
+        assert a[1, 2] == 2.5
+
+    def test_comments_and_blanks(self):
+        text = "# SNAP header\n% other comment\n\n0 1\n"
+        a = read_edgelist(io.StringIO(text))
+        assert a.nnz == 1
+
+    def test_symmetric(self):
+        a = read_edgelist(io.StringIO("0 2\n"), symmetric=True)
+        assert a[0, 2] == 1.0 and a[2, 0] == 1.0
+
+    def test_n_override(self):
+        a = read_edgelist(io.StringIO("0 1\n"), n=10)
+        assert a.shape == (10, 10)
+
+    def test_compact_relabeling(self):
+        text = "100 205\n205 999\n"
+        a, ids = read_edgelist(io.StringIO(text), compact=True)
+        assert a.shape == (3, 3)
+        assert np.array_equal(ids, [100, 205, 999])
+        assert a[0, 1] == 1.0 and a[1, 2] == 1.0
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edgelist(io.StringIO("7\n"))
+
+    def test_negative_id(self):
+        with pytest.raises(ValueError, match="negative"):
+            read_edgelist(io.StringIO("-1 2\n"))
+
+    def test_empty_file(self):
+        a = read_edgelist(io.StringIO(""))
+        assert a.shape == (0, 0)
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        a = erdos_renyi(30, 4, seed=1)
+        p = tmp_path / "g.el"
+        write_edgelist(p, a, comment="test graph")
+        b = read_edgelist(p, n=30)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_weightless_roundtrip(self):
+        a = erdos_renyi(20, 3, seed=2, values="one")
+        buf = io.StringIO()
+        write_edgelist(buf, a, weights=False)
+        buf.seek(0)
+        b = read_edgelist(buf, n=20)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_comment_written(self, tmp_path):
+        p = tmp_path / "c.el"
+        write_edgelist(p, erdos_renyi(5, 1, seed=3), comment="hello\nworld")
+        text = p.read_text()
+        assert text.startswith("# hello\n# world\n")

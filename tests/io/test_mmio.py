@@ -1,0 +1,141 @@
+"""Matrix Market I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.io import read_matrix_market, read_vector, write_matrix_market, write_vector
+from repro.io.mmio import MatrixMarketError
+from repro.sparse import CSRMatrix
+
+
+class TestRoundtrip:
+    def test_matrix_file_roundtrip(self, tmp_path):
+        a = erdos_renyi(40, 4, seed=1)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, a, comment="test matrix")
+        b = read_matrix_market(path)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_stream_roundtrip(self):
+        a = erdos_renyi(20, 3, seed=2)
+        buf = io.StringIO()
+        write_matrix_market(buf, a)
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_vector_roundtrip(self, tmp_path):
+        x = random_sparse_vector(50, nnz=12, seed=3)
+        path = tmp_path / "v.mtx"
+        write_vector(path, x)
+        y = read_vector(path)
+        assert np.array_equal(x.indices, y.indices)
+        assert np.allclose(x.values, y.values)
+
+    def test_empty_matrix(self):
+        buf = io.StringIO()
+        write_matrix_market(buf, CSRMatrix.empty(3, 4))
+        buf.seek(0)
+        b = read_matrix_market(buf)
+        assert b.shape == (3, 4)
+        assert b.nnz == 0
+
+
+class TestParsing:
+    def test_pattern_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n"
+            "1 2\n"
+            "3 1\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a[0, 1] == 1.0
+        assert a[2, 0] == 1.0
+
+    def test_integer_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "1 1 7\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a[0, 0] == 7.0
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 1.0\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a[1, 0] == 5.0
+        assert a[0, 1] == 5.0  # mirrored
+        assert a[2, 2] == 1.0  # diagonal not duplicated
+        assert a.nnz == 3
+
+    def test_skew_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a[1, 0] == 3.0
+        assert a[0, 1] == -3.0
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "1 1 2.5\n"
+        )
+        a = read_matrix_market(io.StringIO(text))
+        assert a[0, 0] == 2.5
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(MatrixMarketError, match="header"):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_unsupported_field(self):
+        with pytest.raises(MatrixMarketError, match="field"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+            )
+
+    def test_bad_size_line(self):
+        with pytest.raises(MatrixMarketError, match="size"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate real general\n1 1\n")
+            )
+
+    def test_entry_count_mismatch(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError, match="expected 3"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_vector_requires_column(self):
+        a = erdos_renyi(4, 2, seed=4)
+        buf = io.StringIO()
+        write_matrix_market(buf, a)
+        buf.seek(0)
+        with pytest.raises(MatrixMarketError, match="column vector"):
+            read_vector(buf)

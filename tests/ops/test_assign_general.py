@@ -1,0 +1,105 @@
+"""Tests for the general (index-set) Assign."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import PLUS
+from repro.generators import erdos_renyi
+from repro.ops import assign_matrix, assign_vector
+from repro.sparse import CSRMatrix, SparseVector
+
+
+class TestAssignVector:
+    def test_scatter_into_empty(self):
+        w = SparseVector.empty(10)
+        u = SparseVector.from_pairs(3, [0, 2], [1.0, 2.0])
+        out = assign_vector(w, [7, 3, 5], u)
+        assert out[7] == 1.0
+        assert out[5] == 2.0
+        assert out.nnz == 2
+        out.check()
+
+    def test_replace_clears_assigned_region(self):
+        w = SparseVector.from_pairs(10, [3, 7, 9], [9.0, 9.0, 9.0])
+        u = SparseVector.from_pairs(2, [0], [1.0])
+        out = assign_vector(w, [3, 7], u)  # position 7 not stored in u
+        assert out[3] == 1.0
+        assert out[7] is None  # cleared (inside region, absent from u)
+        assert out[9] == 9.0   # untouched (outside region)
+
+    def test_accumulate(self):
+        w = SparseVector.from_pairs(10, [3], [5.0])
+        u = SparseVector.from_pairs(2, [0, 1], [1.0, 2.0])
+        out = assign_vector(w, [3, 4], u, accum=PLUS)
+        assert out[3] == 6.0
+        assert out[4] == 2.0
+
+    def test_wrong_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            assign_vector(SparseVector.empty(10), [1, 2], SparseVector.empty(3))
+
+    def test_repeated_indices(self):
+        with pytest.raises(ValueError, match="repeated"):
+            assign_vector(SparseVector.empty(10), [1, 1], SparseVector.empty(2))
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            assign_vector(SparseVector.empty(3), [5], SparseVector.empty(1))
+
+    def test_matches_dense_oracle(self):
+        rng = np.random.default_rng(0)
+        wd = (rng.random(20) < 0.4) * rng.random(20)
+        idx = rng.permutation(20)[:8]
+        ud = (rng.random(8) < 0.6) * rng.random(8)
+        w = SparseVector.from_dense(wd)
+        u = SparseVector.from_dense(ud)
+        out = assign_vector(w, idx, u)
+        expected = wd.copy()
+        expected[idx] = ud
+        assert np.allclose(out.to_dense(), expected)
+
+
+class TestAssignMatrix:
+    def test_replace_region(self):
+        c = CSRMatrix.from_dense(np.arange(16, dtype=float).reshape(4, 4))
+        b = CSRMatrix.from_dense(np.array([[100.0, 0.0], [0.0, 200.0]]))
+        out = assign_matrix(c, [1, 3], [0, 2], b)
+        d = c.to_dense()
+        d[np.ix_([1, 3], [0, 2])] = b.to_dense()
+        assert np.allclose(out.to_dense(), d)
+        out.check()
+
+    def test_accumulate(self):
+        c = CSRMatrix.from_dense(np.ones((3, 3)))
+        b = CSRMatrix.from_dense(np.array([[5.0]]))
+        out = assign_matrix(c, [1], [1], b, accum=PLUS)
+        assert out[1, 1] == 6.0
+        assert out[0, 0] == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            assign_matrix(CSRMatrix.empty(4, 4), [0, 1], [0], CSRMatrix.empty(1, 1))
+
+    def test_matches_dense_oracle(self):
+        rng = np.random.default_rng(1)
+        c = erdos_renyi(15, 4, seed=2)
+        rows = rng.permutation(15)[:5]
+        cols = rng.permutation(15)[:6]
+        bd = (rng.random((5, 6)) < 0.5) * rng.random((5, 6))
+        b = CSRMatrix.from_dense(bd)
+        out = assign_matrix(c, rows, cols, b)
+        expected = c.to_dense()
+        expected[np.ix_(rows, cols)] = bd
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_accumulate_matches_dense_oracle(self):
+        rng = np.random.default_rng(3)
+        c = erdos_renyi(12, 3, seed=4)
+        rows = np.array([0, 5, 7])
+        cols = np.array([2, 3])
+        bd = rng.random((3, 2))
+        b = CSRMatrix.from_dense(bd)
+        out = assign_matrix(c, rows, cols, b, accum=PLUS)
+        expected = c.to_dense()
+        expected[np.ix_(rows, cols)] += bd
+        assert np.allclose(out.to_dense(), expected)

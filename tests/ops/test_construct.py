@@ -1,0 +1,88 @@
+"""Tests for structural constructors (kron, stack, diag)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import PLUS
+from repro.generators import erdos_renyi
+from repro.ops import block_diag, diag, diag_extract, hstack, kronecker, vstack
+from repro.sparse import CSRMatrix, SparseVector
+
+
+class TestKronecker:
+    def test_matches_numpy(self):
+        a = erdos_renyi(5, 2, seed=1)
+        b = erdos_renyi(4, 2, seed=2)
+        c = kronecker(a, b)
+        assert np.allclose(c.to_dense(), np.kron(a.to_dense(), b.to_dense()))
+        c.check()
+
+    def test_custom_op(self):
+        a = CSRMatrix.from_dense(np.array([[2.0]]))
+        b = CSRMatrix.from_dense(np.array([[3.0]]))
+        assert kronecker(a, b, PLUS)[0, 0] == 5.0
+
+    def test_empty_operand(self):
+        a = erdos_renyi(3, 1, seed=3)
+        e = CSRMatrix.empty(2, 2)
+        assert kronecker(a, e).nnz == 0
+        assert kronecker(a, e).shape == (6, 6)
+
+    def test_identity_kron_identity(self):
+        c = kronecker(CSRMatrix.identity(2), CSRMatrix.identity(3))
+        assert np.array_equal(c.to_dense(), np.eye(6))
+
+
+class TestStacking:
+    def test_hstack(self):
+        a = erdos_renyi(4, 2, seed=4)
+        b = erdos_renyi(4, 2, seed=5)
+        c = hstack([a, b])
+        assert np.allclose(c.to_dense(), np.hstack([a.to_dense(), b.to_dense()]))
+
+    def test_vstack(self):
+        a = erdos_renyi(4, 2, seed=6)
+        b = erdos_renyi(4, 2, seed=7)
+        c = vstack([a, b])
+        assert np.allclose(c.to_dense(), np.vstack([a.to_dense(), b.to_dense()]))
+
+    def test_block_diag(self):
+        a = CSRMatrix.from_dense(np.array([[1.0]]))
+        b = CSRMatrix.from_dense(np.array([[2.0, 3.0]]))
+        c = block_diag([a, b])
+        expected = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 3.0]])
+        assert np.allclose(c.to_dense(), expected)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="row count"):
+            hstack([CSRMatrix.empty(2, 2), CSRMatrix.empty(3, 2)])
+        with pytest.raises(ValueError, match="column count"):
+            vstack([CSRMatrix.empty(2, 2), CSRMatrix.empty(2, 3)])
+        with pytest.raises(ValueError):
+            hstack([])
+
+
+class TestDiag:
+    def test_main_diagonal_roundtrip(self):
+        x = SparseVector.from_pairs(5, [1, 3], [2.0, 4.0])
+        m = diag(x)
+        assert m.shape == (5, 5)
+        assert m[1, 1] == 2.0 and m[3, 3] == 4.0
+        back = diag_extract(m)
+        assert np.array_equal(back.indices, x.indices)
+        assert np.array_equal(back.values, x.values)
+
+    def test_offset_diagonals(self):
+        x = SparseVector.from_pairs(3, [0, 2], [1.0, 3.0])
+        up = diag(x, 1)
+        assert up.shape == (4, 4)
+        assert up[0, 1] == 1.0 and up[2, 3] == 3.0
+        down = diag(x, -2)
+        assert down[2, 0] == 1.0 and down[4, 2] == 3.0
+
+    def test_diag_extract_matches_numpy(self):
+        a = erdos_renyi(8, 4, seed=8)
+        for k in [-2, 0, 3]:
+            got = diag_extract(a, k)
+            expected = np.diagonal(a.to_dense(), offset=k)
+            assert np.allclose(got.to_dense(), expected)

@@ -1,0 +1,95 @@
+"""Property tests for construct / assign_general algebraic identities."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import erdos_renyi
+from repro.ops import (
+    assign_matrix,
+    block_diag,
+    diag,
+    diag_extract,
+    extract_matrix,
+    hstack,
+    kronecker,
+    transpose,
+    vstack,
+)
+from repro.sparse import SparseVector
+
+
+@st.composite
+def small_er(draw, max_n=12):
+    n = draw(st.integers(1, max_n))
+    d = draw(st.floats(0, 4))
+    seed = draw(st.integers(0, 9999))
+    return erdos_renyi(n, min(d, n), seed=seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_er(), small_er())
+def test_kron_transpose_identity(a, b):
+    """(A ⊗ B)ᵀ == Aᵀ ⊗ Bᵀ."""
+    lhs = transpose(kronecker(a, b))
+    rhs = kronecker(transpose(a), transpose(b))
+    assert np.allclose(lhs.to_dense(), rhs.to_dense())
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_er(), small_er())
+def test_kron_nnz_product(a, b):
+    assert kronecker(a, b).nnz == a.nnz * b.nnz
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_er())
+def test_stack_splits_recombine(a):
+    """vstack of the two row halves reproduces the matrix; same for hstack."""
+    if a.nrows < 2:
+        return
+    mid = a.nrows // 2
+    top = extract_matrix(a, np.arange(mid), np.arange(a.ncols))
+    bottom = extract_matrix(a, np.arange(mid, a.nrows), np.arange(a.ncols))
+    assert np.allclose(vstack([top, bottom]).to_dense(), a.to_dense())
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_er(), small_er())
+def test_block_diag_equals_stacks(a, b):
+    """block_diag == vstack of hstacks with zero blocks."""
+    from repro.sparse import CSRMatrix
+
+    z_top = CSRMatrix.empty(a.nrows, b.ncols)
+    z_bot = CSRMatrix.empty(b.nrows, a.ncols)
+    expected = vstack([hstack([a, z_top]), hstack([z_bot, b])])
+    assert np.allclose(block_diag([a, b]).to_dense(), expected.to_dense())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 20), st.data())
+def test_diag_roundtrip(n, data):
+    idx = data.draw(st.lists(st.integers(0, n - 1), unique=True, max_size=n))
+    x = SparseVector.from_pairs(n, idx, np.arange(1.0, len(idx) + 1))
+    k = data.draw(st.integers(-3, 3))
+    m = diag(x, k)
+    back = diag_extract(m, k)
+    assert np.array_equal(back.indices, x.indices)
+    assert np.array_equal(back.values, x.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_er(), st.data())
+def test_assign_then_extract_returns_b(a, data):
+    """After C(I,J)=B, extracting (I,J) gives exactly B."""
+    rows = data.draw(
+        st.lists(st.integers(0, a.nrows - 1), unique=True, min_size=1, max_size=a.nrows)
+    )
+    cols = data.draw(
+        st.lists(st.integers(0, a.ncols - 1), unique=True, min_size=1, max_size=a.ncols)
+    )
+    size = max(len(rows), len(cols))
+    b = erdos_renyi(size, min(2, size), seed=data.draw(st.integers(0, 99)))
+    b = extract_matrix(b, np.arange(len(rows)), np.arange(len(cols)))
+    c = assign_matrix(a, rows, cols, b)
+    got = extract_matrix(c, np.array(rows), np.array(cols))
+    assert np.allclose(got.to_dense(), b.to_dense())

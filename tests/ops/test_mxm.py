@@ -1,0 +1,128 @@
+"""Unit tests for SpGEMM (ESC and Gustavson) and masked products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import MIN_PLUS, PLUS_PAIR, PLUS_TIMES
+from repro.generators import erdos_renyi
+from repro.ops import flops, mxm, mxm_gustavson
+from repro.sparse import CSRMatrix
+
+
+def rand(seed, n=10, m=None, density=0.3):
+    rng = np.random.default_rng(seed)
+    m = n if m is None else m
+    d = (rng.random((n, m)) < density) * rng.integers(1, 5, (n, m)).astype(float)
+    return CSRMatrix.from_dense(d)
+
+
+class TestESC:
+    def test_matches_numpy(self):
+        a, b = rand(1), rand(2)
+        c = mxm(a, b)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+        c.check()
+
+    def test_rectangular(self):
+        a = rand(3, n=4, m=7)
+        b = rand(4, n=7, m=5)
+        c = mxm(a, b)
+        assert c.shape == (4, 5)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_identity_neutral(self):
+        a = rand(5)
+        c = mxm(a, CSRMatrix.identity(10))
+        assert np.allclose(c.to_dense(), a.to_dense())
+
+    def test_empty_product(self):
+        a = CSRMatrix.empty(4, 4)
+        assert mxm(a, a).nnz == 0
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ValueError, match="inner"):
+            mxm(CSRMatrix.empty(2, 3), CSRMatrix.empty(4, 2))
+
+    def test_min_plus_shortest_two_hop(self):
+        inf = 0.0  # unstored means "no edge"
+        d = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 2.0], [0.0, 0.0, 0.0]])
+        a = CSRMatrix.from_dense(d)
+        c = mxm(a, a, semiring=MIN_PLUS)
+        assert c[0, 2] == 3.0  # 0->1->2
+
+    def test_plus_pair_counts_paths(self):
+        d = np.array([[0.0, 1.0, 1.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        a = CSRMatrix.from_dense(d)
+        c = mxm(a, a, semiring=PLUS_PAIR)
+        assert c[0, 2] == 1.0  # exactly one 2-path 0->1->2
+
+
+class TestGustavson:
+    def test_agrees_with_esc(self):
+        a, b = rand(6), rand(7)
+        c1 = mxm(a, b)
+        c2 = mxm_gustavson(a, b)
+        assert np.allclose(c1.to_dense(), c2.to_dense())
+        c2.check()
+
+    def test_empty_rows(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        c = mxm_gustavson(a, a)
+        assert np.allclose(c.to_dense(), a.to_dense() @ a.to_dense())
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ValueError, match="inner"):
+            mxm_gustavson(CSRMatrix.empty(2, 3), CSRMatrix.empty(4, 2))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12), st.integers(0, 10**6))
+    def test_both_match_numpy_property(self, n, k, m, seed):
+        a = rand(seed, n=n, m=k)
+        b = rand(seed + 1, n=k, m=m)
+        expected = a.to_dense() @ b.to_dense()
+        assert np.allclose(mxm(a, b).to_dense(), expected)
+        assert np.allclose(mxm_gustavson(a, b).to_dense(), expected)
+
+
+class TestMasked:
+    def test_mask_restricts_pattern(self):
+        a, b = rand(8), rand(9)
+        mask = rand(10, density=0.4)
+        c = mxm(a, b, mask=mask)
+        full = a.to_dense() @ b.to_dense()
+        expected = np.where(mask.to_dense() != 0, full, 0.0)
+        assert np.allclose(c.to_dense(), expected)
+
+    def test_complement_mask(self):
+        a, b = rand(11), rand(12)
+        mask = rand(13, density=0.4)
+        c = mxm(a, b, mask=mask, complement=True)
+        full = a.to_dense() @ b.to_dense()
+        expected = np.where(mask.to_dense() == 0, full, 0.0)
+        assert np.allclose(c.to_dense(), expected)
+
+    def test_gustavson_mask_agrees(self):
+        a, b = rand(14), rand(15)
+        mask = rand(16, density=0.3)
+        c1 = mxm(a, b, mask=mask)
+        c2 = mxm_gustavson(a, b, mask=mask)
+        assert np.allclose(c1.to_dense(), c2.to_dense())
+
+
+class TestFlops:
+    def test_counts_partial_products(self):
+        d1 = np.array([[1.0, 1.0], [0.0, 1.0]])
+        d2 = np.array([[1.0, 0.0], [1.0, 1.0]])
+        a, b = CSRMatrix.from_dense(d1), CSRMatrix.from_dense(d2)
+        # row0 of a hits rows 0 (1 nnz) and 1 (2 nnz); row1 hits row 1 (2)
+        assert flops(a, b) == 5
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            flops(CSRMatrix.empty(2, 3), CSRMatrix.empty(2, 3))
+
+    def test_er_flops_scale_with_density(self):
+        a = erdos_renyi(100, 4, seed=1)
+        b = erdos_renyi(100, 8, seed=2)
+        assert flops(a, b) > flops(a, erdos_renyi(100, 2, seed=3))

@@ -1,0 +1,76 @@
+"""Tests for the sort-based SpMSpV variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import MAX_TIMES, MIN_PLUS, PLUS_TIMES
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_shm, spmspv_shm_merge
+from repro.ops.spmspv_merge import COMPRESS_STEP, EXPAND_STEP, SORT_STEP
+from repro.runtime import shared_machine
+from repro.sparse import CSRMatrix, SparseVector
+
+
+class TestSortBasedSpMSpV:
+    def test_matches_numpy(self):
+        a = erdos_renyi(80, 5, seed=1)
+        x = random_sparse_vector(80, nnz=20, seed=2)
+        y, _ = spmspv_shm_merge(a, x, shared_machine(2))
+        y.check()
+        assert np.allclose(y.to_dense(), x.to_dense() @ a.to_dense())
+
+    @pytest.mark.parametrize("semiring", [PLUS_TIMES, MIN_PLUS, MAX_TIMES])
+    def test_agrees_with_spa_kernel(self, semiring):
+        a = erdos_renyi(100, 6, seed=3)
+        x = random_sparse_vector(100, nnz=30, seed=4)
+        m = shared_machine(2)
+        y1, _ = spmspv_shm(a, x, m, semiring=semiring)
+        y2, _ = spmspv_shm_merge(a, x, m, semiring=semiring)
+        assert np.array_equal(y1.indices, y2.indices)
+        assert np.allclose(y1.values, y2.values)
+
+    def test_empty_inputs(self):
+        a = erdos_renyi(20, 3, seed=5)
+        y, b = spmspv_shm_merge(a, SparseVector.empty(20), shared_machine(1))
+        assert y.nnz == 0
+        assert b.total >= 0
+        y2, _ = spmspv_shm_merge(CSRMatrix.empty(10, 10),
+                                 random_sparse_vector(10, nnz=3, seed=6),
+                                 shared_machine(1))
+        assert y2.nnz == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            spmspv_shm_merge(CSRMatrix.empty(4, 4), SparseVector.empty(5),
+                             shared_machine(1))
+
+    def test_breakdown_components(self):
+        a = erdos_renyi(50, 4, seed=7)
+        x = random_sparse_vector(50, nnz=10, seed=8)
+        _, b = spmspv_shm_merge(a, x, shared_machine(4))
+        assert set(b) == {EXPAND_STEP, SORT_STEP, COMPRESS_STEP}
+
+    def test_no_dense_state_cost_advantage_when_hypersparse(self):
+        # huge column space, tiny frontier: the SPA kernel pays for the
+        # dense accumulator pattern; sort-based does not
+        a = erdos_renyi(200_000, 2, seed=9)
+        x = random_sparse_vector(200_000, nnz=20, seed=10)
+        m = shared_machine(24)
+        _, b_spa = spmspv_shm(a, x, m)
+        _, b_merge = spmspv_shm_merge(a, x, m)
+        # both tiny; merge must not be worse than a small factor
+        assert b_merge.total < 5 * b_spa.total
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(5, 50), st.data())
+    def test_property_agrees_with_spa(self, n, data):
+        d = data.draw(st.floats(0, 5))
+        nnz = data.draw(st.integers(0, n))
+        a = erdos_renyi(n, min(d, n), seed=11)
+        x = random_sparse_vector(n, nnz=nnz, seed=12)
+        m = shared_machine(2)
+        y1, _ = spmspv_shm(a, x, m)
+        y2, _ = spmspv_shm_merge(a, x, m)
+        assert np.array_equal(y1.indices, y2.indices)
+        assert np.allclose(y1.values, y2.values)

@@ -1,0 +1,48 @@
+"""Unit tests for the atomics cost model."""
+
+import pytest
+
+from repro.runtime import EDISON
+from repro.runtime.atomics import contended_rmw, prefix_sum_merge, scattered_rmw
+
+
+class TestContendedRMW:
+    def test_zero_free(self):
+        assert contended_rmw(EDISON, 0, 24) == 0.0
+
+    def test_linear_in_ops(self):
+        assert contended_rmw(EDISON, 2000, 4) == pytest.approx(
+            2 * contended_rmw(EDISON, 1000, 4)
+        )
+
+    def test_threads_make_it_worse(self):
+        # a hot counter does not parallelise
+        assert contended_rmw(EDISON, 1000, 24) > contended_rmw(EDISON, 1000, 1)
+
+
+class TestScatteredRMW:
+    def test_many_addresses_parallelise(self):
+        spread = scattered_rmw(EDISON, 10_000, 24, n_addresses=1_000_000)
+        hot = contended_rmw(EDISON, 10_000, 24)
+        assert spread < hot
+
+    def test_few_addresses_degrade_to_contended(self):
+        few = scattered_rmw(EDISON, 10_000, 24, n_addresses=2)
+        assert few == contended_rmw(EDISON, 10_000, 24)
+
+    def test_zero_free(self):
+        assert scattered_rmw(EDISON, 0, 8, n_addresses=10) == 0.0
+
+
+class TestPrefixSumMerge:
+    def test_zero_free(self):
+        assert prefix_sum_merge(EDISON, 0, 8) == 0.0
+
+    def test_beats_contended_atomics_at_scale(self):
+        # the paper's §III-C claim: prefix sums avoid the atomic bottleneck
+        n = 10_000_000
+        assert prefix_sum_merge(EDISON, n, 24) < contended_rmw(EDISON, n, 24)
+
+    def test_parallelises(self):
+        n = 1_000_000
+        assert prefix_sum_merge(EDISON, n, 24) < prefix_sum_merge(EDISON, n, 1)

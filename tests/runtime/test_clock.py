@@ -1,0 +1,87 @@
+"""Unit tests for Breakdown algebra and the cost ledger."""
+
+import pytest
+
+from repro.runtime import Breakdown, CostLedger
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = Breakdown({"a": 1.0, "b": 2.5})
+        assert b.total == 3.5
+
+    def test_charge_accumulates(self):
+        b = Breakdown()
+        b.charge("x", 1.0).charge("x", 2.0)
+        assert b["x"] == 3.0
+
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Breakdown().charge("x", -1.0)
+
+    def test_sequential_add(self):
+        out = Breakdown({"a": 1.0}) + Breakdown({"a": 2.0, "b": 1.0})
+        assert out == {"a": 3.0, "b": 1.0}
+
+    def test_parallel_or_takes_max(self):
+        out = Breakdown({"a": 1.0, "b": 5.0}) | Breakdown({"a": 2.0, "b": 1.0})
+        assert out == {"a": 2.0, "b": 5.0}
+
+    def test_parallel_static(self):
+        parts = [Breakdown({"a": float(i)}) for i in range(4)]
+        assert Breakdown.parallel(parts) == {"a": 3.0}
+        assert Breakdown.parallel([]) == {}
+
+    def test_sequential_static(self):
+        parts = [Breakdown({"a": 1.0}), Breakdown({"b": 2.0})]
+        assert Breakdown.sequential(parts) == {"a": 1.0, "b": 2.0}
+
+    def test_scaled(self):
+        assert Breakdown({"a": 2.0}).scaled(3) == {"a": 6.0}
+
+    def test_restricted(self):
+        b = Breakdown({"a": 1.0, "b": 2.0})
+        assert b.restricted(["a", "c"]) == {"a": 1.0, "c": 0.0}
+
+    def test_operands_not_mutated(self):
+        a = Breakdown({"x": 1.0})
+        b = Breakdown({"x": 2.0})
+        _ = a + b
+        _ = a | b
+        assert a == {"x": 1.0} and b == {"x": 2.0}
+
+
+class TestCostLedger:
+    def test_record_and_total(self):
+        led = CostLedger()
+        led.record("op1", Breakdown({"a": 1.0}))
+        led.record("op2", Breakdown({"a": 2.0, "b": 1.0}))
+        assert len(led) == 2
+        assert led.total == 4.0
+
+    def test_by_label_aggregates(self):
+        led = CostLedger()
+        led.record("spmspv", Breakdown({"SPA": 1.0}))
+        led.record("spmspv", Breakdown({"SPA": 2.0}))
+        agg = led.by_label()
+        assert agg["spmspv"]["SPA"] == 3.0
+
+    def test_by_component(self):
+        led = CostLedger()
+        led.record("x", Breakdown({"a": 1.0}))
+        led.record("y", Breakdown({"a": 1.0, "b": 2.0}))
+        assert led.by_component() == {"a": 2.0, "b": 2.0}
+
+    def test_record_copies(self):
+        led = CostLedger()
+        b = Breakdown({"a": 1.0})
+        led.record("x", b)
+        b.charge("a", 5.0)
+        assert led.total == 1.0
+
+    def test_reset(self):
+        led = CostLedger()
+        led.record("x", Breakdown({"a": 1.0}))
+        led.reset()
+        assert len(led) == 0
+        assert led.total == 0.0

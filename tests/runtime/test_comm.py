@@ -1,0 +1,93 @@
+"""Unit tests for the communication cost model."""
+
+import pytest
+
+from repro.runtime import EDISON
+from repro.runtime.comm import (
+    allgather,
+    barrier,
+    bulk,
+    fine_grained,
+    gather_parts_fine,
+    reduce_scatter,
+)
+
+
+class TestFineGrained:
+    def test_zero_ops_free(self):
+        assert fine_grained(EDISON, 0) == 0.0
+
+    def test_linear_in_ops(self):
+        t1 = fine_grained(EDISON, 1000)
+        t2 = fine_grained(EDISON, 2000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_threads_help_up_to_injection_depth(self):
+        base = fine_grained(EDISON, 1000, threads=1)
+        deep = fine_grained(EDISON, 1000, threads=EDISON.injection_depth)
+        deeper = fine_grained(EDISON, 1000, threads=100)
+        assert deep < base
+        assert deeper == pytest.approx(deep)
+
+    def test_congestion_superlinear(self):
+        # the Figs 8-9 gather blow-up: peers contending at the target
+        t1 = fine_grained(EDISON, 1000, concurrent_peers=1)
+        t4 = fine_grained(EDISON, 1000, concurrent_peers=4)
+        assert t4 > 2 * t1
+
+    def test_local_much_cheaper(self):
+        remote = fine_grained(EDISON, 1000)
+        local = fine_grained(EDISON, 1000, local=True)
+        assert local < remote / 10
+
+    def test_fine_grained_dwarfs_bulk(self):
+        # the paper's central communication finding (§IV)
+        n = 100_000
+        assert fine_grained(EDISON, n) > 100 * bulk(EDISON, n * 16)
+
+
+class TestBulk:
+    def test_zero_bytes_free(self):
+        assert bulk(EDISON, 0) == 0.0
+
+    def test_alpha_beta(self):
+        t = bulk(EDISON, 1_000_000)
+        assert t == pytest.approx(EDISON.alpha + 1_000_000 / EDISON.remote_bandwidth)
+
+    def test_local_faster(self):
+        assert bulk(EDISON, 10**6, local=True) < bulk(EDISON, 10**6)
+
+
+class TestGatherPartsFine:
+    def test_empty_parts(self):
+        assert gather_parts_fine(EDISON, []) == 0.0
+
+    def test_part_setup_charged_per_part(self):
+        one = gather_parts_fine(EDISON, [0])
+        four = gather_parts_fine(EDISON, [0, 0, 0, 0])
+        assert four == pytest.approx(4 * one)
+
+    def test_elements_add_cost(self):
+        empty = gather_parts_fine(EDISON, [0])
+        full = gather_parts_fine(EDISON, [1000])
+        assert full > empty
+
+
+class TestCollectives:
+    def test_single_rank_free(self):
+        assert allgather(EDISON, 1, 100) == 0.0
+        assert reduce_scatter(EDISON, 1, 100) == 0.0
+        assert barrier(EDISON, 1) == 0.0
+
+    def test_allgather_grows_with_ranks(self):
+        assert allgather(EDISON, 8, 1000) > allgather(EDISON, 2, 1000)
+
+    def test_reduce_scatter_chunks(self):
+        # total bytes fixed: more ranks => smaller chunks per step
+        t2 = reduce_scatter(EDISON, 2, 1_000_000)
+        t16 = reduce_scatter(EDISON, 16, 1_000_000)
+        # (p-1)*(alpha + total/p/bw): grows sublinearly
+        assert t16 < 15 * t2
+
+    def test_barrier_logarithmic(self):
+        assert barrier(EDISON, 64) == pytest.approx(6 * EDISON.alpha * 2)

@@ -1,0 +1,101 @@
+"""Unit tests for locales, grids, and Machine."""
+
+import pytest
+
+from repro.runtime import Breakdown, CostLedger, EDISON, LocaleGrid, Machine, shared_machine
+
+
+class TestLocaleGrid:
+    def test_row_major_ids(self):
+        g = LocaleGrid(2, 3)
+        assert g[(0, 0)].id == 0
+        assert g[(0, 2)].id == 2
+        assert g[(1, 0)].id == 3
+        assert g[(1, 2)].id == 5
+
+    def test_for_count_square_factorisations(self):
+        assert (LocaleGrid.for_count(1).rows, LocaleGrid.for_count(1).cols) == (1, 1)
+        assert (LocaleGrid.for_count(2).rows, LocaleGrid.for_count(2).cols) == (1, 2)
+        assert (LocaleGrid.for_count(4).rows, LocaleGrid.for_count(4).cols) == (2, 2)
+        assert (LocaleGrid.for_count(8).rows, LocaleGrid.for_count(8).cols) == (2, 4)
+        assert (LocaleGrid.for_count(64).rows, LocaleGrid.for_count(64).cols) == (8, 8)
+
+    def test_for_count_prime(self):
+        g = LocaleGrid.for_count(7)
+        assert g.rows * g.cols == 7
+        assert g.rows == 1
+
+    def test_row_and_col_teams(self):
+        g = LocaleGrid(2, 3)
+        assert [l.id for l in g.row_team(1)] == [3, 4, 5]
+        assert [l.id for l in g.col_team(2)] == [2, 5]
+
+    def test_iteration_and_len(self):
+        g = LocaleGrid(2, 2)
+        assert len(g) == 4
+        assert [l.id for l in g] == [0, 1, 2, 3]
+
+    def test_by_id(self):
+        g = LocaleGrid(2, 2)
+        assert g.by_id(3).row == 1 and g.by_id(3).col == 1
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            LocaleGrid(0, 3)
+        with pytest.raises(ValueError):
+            LocaleGrid.for_count(0)
+
+    def test_index_bounds(self):
+        g = LocaleGrid(2, 2)
+        with pytest.raises(IndexError):
+            g[(2, 0)]
+
+
+class TestMachine:
+    def test_shared_machine(self):
+        m = shared_machine(24)
+        assert m.num_locales == 1
+        assert m.threads_per_locale == 24
+        assert not m.oversubscribed
+        assert m.compute_penalty == 1.0
+
+    def test_num_nodes(self):
+        m = Machine(grid=LocaleGrid.for_count(8), locales_per_node=4)
+        assert m.num_nodes == 2
+
+    def test_oversubscription_penalty(self):
+        one = Machine(grid=LocaleGrid(1, 1), locales_per_node=1)
+        two = Machine(grid=LocaleGrid(1, 2), locales_per_node=2)
+        many = Machine(grid=LocaleGrid.for_count(16), locales_per_node=16)
+        assert one.compute_penalty == 1.0
+        # two locales on a 2-socket node is fine (one per socket)
+        assert two.compute_penalty == 1.0
+        assert many.compute_penalty > 1.0
+
+    def test_penalty_grows_with_oversubscription(self):
+        p8 = Machine(grid=LocaleGrid.for_count(8), locales_per_node=8).compute_penalty
+        p32 = Machine(grid=LocaleGrid.for_count(32), locales_per_node=32).compute_penalty
+        assert p32 > p8
+
+    def test_ledger_recording(self):
+        led = CostLedger()
+        m = Machine(ledger=led)
+        b = Breakdown({"x": 1.0})
+        out = m.record("label", b)
+        assert out is b
+        assert led.total == 1.0
+
+    def test_no_ledger_is_fine(self):
+        m = Machine()
+        m.record("label", Breakdown({"x": 1.0}))  # no-op, no error
+
+
+class TestConfig:
+    def test_with_override(self):
+        cfg = EDISON.with_(cores_per_node=4)
+        assert cfg.cores_per_node == 4
+        assert EDISON.cores_per_node == 24  # original frozen
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EDISON.cores_per_node = 1

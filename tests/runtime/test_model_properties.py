@@ -1,0 +1,120 @@
+"""Property-based tests of the cost model's structural guarantees.
+
+The model is calibrated, but calibration must not break *sanity*: more
+work never costs less, parallelism never beats the serial sum, congestion
+never helps, and so on.  Hypothesis sweeps the parameter space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import EDISON
+from repro.runtime.atomics import contended_rmw, prefix_sum_merge, scattered_rmw
+from repro.runtime.comm import allgather, bulk, fine_grained, reduce_scatter
+from repro.runtime.tasks import chunk_sizes, coforall_spawn, makespan, parallel_time, sort_time
+
+work = st.floats(min_value=0.0, max_value=1e3)
+threads = st.integers(1, 128)
+counts = st.integers(0, 10**9)
+
+
+class TestParallelTime:
+    @settings(max_examples=60, deadline=None)
+    @given(work, work, threads)
+    def test_monotone_in_work(self, w1, w2, t):
+        lo, hi = sorted([w1, w2])
+        assert parallel_time(EDISON, lo, t) <= parallel_time(EDISON, hi, t)
+
+    @settings(max_examples=60, deadline=None)
+    @given(work, threads)
+    def test_never_faster_than_ideal(self, w, t):
+        ideal = w / min(t, EDISON.cores_per_node)
+        assert parallel_time(EDISON, w, t) >= ideal
+
+    @settings(max_examples=60, deadline=None)
+    @given(work, threads)
+    def test_burden_floor(self, w, t):
+        assert parallel_time(EDISON, w, t) >= EDISON.forall_overhead
+
+
+class TestMakespan:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(0, 10), max_size=50), threads)
+    def test_bounded_by_serial_and_max_chunk(self, chunks, t):
+        arr = np.asarray(chunks)
+        span = makespan(EDISON, arr, t)
+        serial = makespan(EDISON, arr, 1)
+        assert span <= serial + 1e-9 + EDISON.task_spawn * t
+        if arr.size:
+            assert span >= arr.max()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=50))
+    def test_more_threads_never_hurt_much(self, chunks):
+        arr = np.asarray(chunks)
+        t8 = makespan(EDISON, arr, 8)
+        t16 = makespan(EDISON, arr, 16)
+        # extra threads add only spawn burden
+        assert t16 <= t8 + EDISON.task_spawn * 8 + 1e-12
+
+
+class TestComm:
+    @settings(max_examples=60, deadline=None)
+    @given(counts, st.integers(1, 64))
+    def test_congestion_never_helps(self, n, peers):
+        base = fine_grained(EDISON, n, concurrent_peers=1)
+        congested = fine_grained(EDISON, n, concurrent_peers=peers)
+        assert congested >= base
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts)
+    def test_bulk_cheaper_per_element(self, n):
+        if n == 0:
+            return
+        assert bulk(EDISON, n * 16) <= fine_grained(EDISON, n) + EDISON.alpha
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 64), st.integers(1, 10**8))
+    def test_collectives_positive_and_monotone(self, p, nbytes):
+        assert allgather(EDISON, p, nbytes) > 0
+        assert reduce_scatter(EDISON, p, nbytes) > 0
+        assert allgather(EDISON, p, 2 * nbytes) >= allgather(EDISON, p, nbytes)
+
+
+class TestAtomicsAndSorts:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(10**5, 10**8), st.integers(16, 64))
+    def test_prefix_sum_beats_contended_when_parallel(self, n, t):
+        # the paper's §III-C claim holds in the regime it is about: many
+        # threads, sizeable input (sequentially the atomic stream is cheap)
+        assert prefix_sum_merge(EDISON, n, t) < contended_rmw(EDISON, n, t)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), threads, st.integers(1, 10**7))
+    def test_scattered_never_worse_than_contended(self, n, t, addrs):
+        assert scattered_rmw(EDISON, n, t, n_addresses=addrs) <= contended_rmw(
+            EDISON, n, t
+        ) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 10**7), threads)
+    def test_sorts_monotone_in_n(self, n, t):
+        for alg in ["merge", "radix"]:
+            assert sort_time(EDISON, n, t, algorithm=alg) >= sort_time(
+                EDISON, max(n // 2, 1), t, algorithm=alg
+            ) - 1e-12
+
+
+class TestStructural:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 256))
+    def test_chunk_sizes_complete_and_balanced(self, n, p):
+        out = chunk_sizes(n, p)
+        assert out.sum() == n
+        assert out.max() - out.min() <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 512))
+    def test_coforall_spawn_monotone(self, p):
+        assert coforall_spawn(EDISON, p + 1) >= coforall_spawn(EDISON, p) - 1e-12

@@ -1,0 +1,136 @@
+"""Unit tests for the task-parallel cost model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import EDISON, MachineConfig
+from repro.runtime.tasks import (
+    chunk_sizes,
+    coforall_spawn,
+    makespan,
+    parallel_time,
+    sort_time,
+)
+
+
+class TestParallelTime:
+    def test_more_threads_is_faster_up_to_cores(self):
+        w = 0.1
+        times = [parallel_time(EDISON, w, t) for t in [1, 2, 4, 8, 16, 24]]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_oversubscription_does_not_help(self):
+        w = 0.1
+        t24 = parallel_time(EDISON, w, 24)
+        t32 = parallel_time(EDISON, w, 32)
+        assert t32 >= t24  # extra tasks only add spawn burden
+
+    def test_apply_speedup_matches_paper(self):
+        # paper Fig 1 left: ~20x speedup on 24 cores for 10M elements
+        w = 10_000_000 * EDISON.stream_cost
+        s = parallel_time(EDISON, w, 1) / parallel_time(EDISON, w, 24)
+        assert 17.0 <= s <= 23.0
+
+    def test_small_work_is_overhead_bound(self):
+        # burdened parallelism: tiny work gains nothing from threads
+        w = 100 * EDISON.stream_cost
+        assert parallel_time(EDISON, w, 24) > parallel_time(EDISON, w, 1) * 0.9
+
+    def test_serial_fraction_amdahl(self):
+        w = 0.1
+        with_serial = parallel_time(EDISON, w, 24, serial_seconds=0.05)
+        without = parallel_time(EDISON, w, 24)
+        assert with_serial == pytest.approx(without + 0.05)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            parallel_time(EDISON, 1.0, 0)
+
+
+class TestMakespan:
+    def test_balanced_chunks(self):
+        chunks = np.full(24, 0.01)
+        t = makespan(EDISON, chunks, 24)
+        assert t == pytest.approx(0.01, rel=0.5)
+
+    def test_single_heavy_chunk_dominates(self):
+        chunks = np.array([1.0] + [0.001] * 23)
+        t = makespan(EDISON, chunks, 24)
+        assert t >= 1.0
+
+    def test_one_thread_sums_everything(self):
+        chunks = np.array([0.1, 0.2, 0.3])
+        t = makespan(EDISON, chunks, 1)
+        assert t == pytest.approx(0.6, rel=0.01)
+
+    def test_empty_chunks(self):
+        t = makespan(EDISON, np.array([]), 8)
+        assert t > 0  # still pays the burden
+
+    def test_makespan_at_most_serial(self):
+        rng = np.random.default_rng(0)
+        chunks = rng.random(100) * 0.01
+        assert makespan(EDISON, chunks, 8) <= makespan(EDISON, chunks, 1)
+
+
+class TestCoforallSpawn:
+    def test_single_locale_is_cheap(self):
+        assert coforall_spawn(EDISON, 1) == EDISON.task_spawn
+
+    def test_grows_logarithmically(self):
+        s8 = coforall_spawn(EDISON, 8)
+        s64 = coforall_spawn(EDISON, 64)
+        assert s64 > s8
+        assert s64 < 8 * s8  # tree, not linear
+
+    def test_oversubscribed_is_linear(self):
+        s = coforall_spawn(EDISON, 32, locales_per_node=32)
+        assert s == pytest.approx(EDISON.remote_spawn * 32)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            coforall_spawn(EDISON, 0)
+
+
+class TestChunkSizes:
+    def test_even_division(self):
+        assert np.array_equal(chunk_sizes(12, 4), [3, 3, 3, 3])
+
+    def test_remainder_goes_first(self):
+        assert np.array_equal(chunk_sizes(10, 4), [3, 3, 2, 2])
+
+    def test_more_parts_than_items(self):
+        assert np.array_equal(chunk_sizes(2, 4), [1, 1, 0, 0])
+
+    def test_zero_items(self):
+        assert np.array_equal(chunk_sizes(0, 3), [0, 0, 0])
+
+    def test_sums_to_total(self):
+        for n in [0, 1, 7, 100, 12345]:
+            for p in [1, 2, 3, 24]:
+                assert chunk_sizes(n, p).sum() == n
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(5, 0)
+
+
+class TestSortTime:
+    def test_radix_cheaper_than_merge_at_scale(self):
+        # the paper's §III-D prediction
+        n = 1 << 20
+        assert sort_time(EDISON, n, 24, algorithm="radix") < sort_time(
+            EDISON, n, 24, algorithm="merge"
+        )
+
+    def test_parallel_sort_is_faster(self):
+        n = 1 << 20
+        assert sort_time(EDISON, n, 24) < sort_time(EDISON, n, 1)
+
+    def test_tiny_input(self):
+        assert sort_time(EDISON, 0, 4) == EDISON.forall_overhead
+        assert sort_time(EDISON, 1, 4) == EDISON.forall_overhead
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown sort"):
+            sort_time(EDISON, 100, 4, algorithm="bogo")

@@ -1,0 +1,59 @@
+"""Tests for the simulated-time trace."""
+
+from repro.runtime import Breakdown, CostLedger, Trace
+
+
+def make_ledger() -> CostLedger:
+    led = CostLedger()
+    led.record("spmspv", Breakdown({"SPA": 1.0, "Sorting": 2.0}))
+    led.record("mask", Breakdown({"ewisemult": 0.5}))
+    led.record("spmspv", Breakdown({"SPA": 1.5}))
+    return led
+
+
+class TestTrace:
+    def test_spans_sequential_and_complete(self):
+        t = Trace(make_ledger())
+        assert len(t) == 4
+        assert t.makespan == 5.0
+        # spans tile [0, makespan) without overlap
+        clock = 0.0
+        for s in t.spans:
+            assert s.start == clock
+            clock = s.end
+        assert clock == t.makespan
+
+    def test_zero_components_skipped(self):
+        led = CostLedger()
+        led.record("op", Breakdown({"a": 0.0, "b": 1.0}))
+        t = Trace(led)
+        assert len(t) == 1
+        assert t.spans[0].component == "b"
+
+    def test_by_component(self):
+        t = Trace(make_ledger())
+        agg = t.by_component()
+        assert agg["SPA"] == 2.5
+        assert agg["Sorting"] == 2.0
+        assert agg["ewisemult"] == 0.5
+
+    def test_by_label(self):
+        t = Trace(make_ledger())
+        agg = t.by_label()
+        assert agg["spmspv"] == 4.5
+        assert agg["mask"] == 0.5
+
+    def test_top(self):
+        t = Trace(make_ledger())
+        top2 = t.top(2)
+        assert top2[0].duration == 2.0
+        assert top2[1].duration == 1.5
+
+    def test_render(self):
+        out = Trace(make_ledger()).render(width=40)
+        assert "total simulated time" in out
+        assert "spmspv:SPA" in out
+        assert "#" in out
+
+    def test_render_empty(self):
+        assert "(empty trace)" in Trace(CostLedger()).render()

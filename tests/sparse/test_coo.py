@@ -1,0 +1,78 @@
+"""Unit tests for COO triples and coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import MAX_MONOID, MIN_MONOID
+from repro.sparse import COOMatrix, coalesce
+
+
+class TestCoalesce:
+    def test_sorts_row_major(self):
+        r, c, v = coalesce([2, 0, 1], [0, 1, 2], [1.0, 2.0, 3.0])
+        assert np.array_equal(r, [0, 1, 2])
+        assert np.array_equal(c, [1, 2, 0])
+        assert np.array_equal(v, [2.0, 3.0, 1.0])
+
+    def test_merges_duplicates_with_plus(self):
+        r, c, v = coalesce([0, 0, 0], [1, 1, 2], [1.0, 2.0, 5.0])
+        assert np.array_equal(r, [0, 0])
+        assert np.array_equal(c, [1, 2])
+        assert np.array_equal(v, [3.0, 5.0])
+
+    def test_merges_duplicates_with_other_monoids(self):
+        r, c, v = coalesce([0, 0], [1, 1], [3.0, 7.0], dup=MAX_MONOID)
+        assert np.array_equal(v, [7.0])
+        r, c, v = coalesce([0, 0], [1, 1], [3.0, 7.0], dup=MIN_MONOID)
+        assert np.array_equal(v, [3.0])
+
+    def test_empty(self):
+        r, c, v = coalesce([], [], [])
+        assert r.size == c.size == v.size == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="disagree"):
+            coalesce([0, 1], [0], [1.0, 2.0])
+
+    def test_no_duplicates_fast_path(self):
+        r, c, v = coalesce([0, 1], [0, 1], [1.0, 2.0])
+        assert np.array_equal(v, [1.0, 2.0])
+
+
+class TestCOOMatrix:
+    def test_construction_and_props(self):
+        m = COOMatrix(3, 4, [0, 2], [1, 3], [1.0, 2.0])
+        assert m.shape == (3, 4)
+        assert m.nnz == 2
+
+    def test_bounds_checking(self):
+        with pytest.raises(ValueError, match="row index"):
+            COOMatrix(2, 2, [2], [0], [1.0])
+        with pytest.raises(ValueError, match="col index"):
+            COOMatrix(2, 2, [0], [5], [1.0])
+        with pytest.raises(ValueError, match="mismatch"):
+            COOMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_empty_constructor(self):
+        m = COOMatrix.empty(5, 5)
+        assert m.nnz == 0
+        assert m.shape == (5, 5)
+
+    def test_coalesced(self):
+        m = COOMatrix(2, 2, [0, 0], [1, 1], [1.0, 4.0]).coalesced()
+        assert m.nnz == 1
+        assert m.values[0] == 5.0
+
+    def test_transposed(self):
+        m = COOMatrix(2, 3, [0, 1], [2, 0], [1.0, 2.0]).transposed()
+        assert m.shape == (3, 2)
+        assert np.array_equal(m.rows, [2, 0])
+        assert np.array_equal(m.cols, [0, 1])
+
+    def test_to_csr_roundtrip(self):
+        m = COOMatrix(3, 3, [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+        a = m.to_csr()
+        back = a.to_coo()
+        assert np.array_equal(back.rows, [0, 1, 2])
+        assert np.array_equal(back.cols, [2, 1, 0])
+        assert np.array_equal(back.values, [2.0, 3.0, 1.0])

@@ -1,0 +1,55 @@
+"""Unit tests for the CSC mirror format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSCMatrix, CSRMatrix
+
+
+def sample_dense():
+    return np.array(
+        [[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0], [0.0, 0.0, 6.0]]
+    )
+
+
+class TestConversion:
+    def test_from_csr_roundtrip(self):
+        a = CSRMatrix.from_dense(sample_dense())
+        c = CSCMatrix.from_csr(a)
+        c.check()
+        back = c.to_csr()
+        assert np.array_equal(back.to_dense(), sample_dense())
+
+    def test_shape_and_nnz(self):
+        c = CSCMatrix.from_csr(CSRMatrix.from_dense(sample_dense()))
+        assert c.shape == (4, 3)
+        assert c.nnz == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="colptr"):
+            CSCMatrix(2, 2, np.array([0]), np.empty(0, np.int64), np.empty(0))
+        with pytest.raises(ValueError, match="mismatch"):
+            CSCMatrix(2, 2, np.array([0, 0, 1]), np.array([0]), np.empty(0))
+
+
+class TestColumnAccess:
+    def test_col(self):
+        c = CSCMatrix.from_csr(CSRMatrix.from_dense(sample_dense()))
+        rows, vals = c.col(2)
+        assert np.array_equal(rows, [0, 2, 3])
+        assert np.array_equal(vals, [2.0, 5.0, 6.0])
+
+    def test_col_extent(self):
+        c = CSCMatrix.from_csr(CSRMatrix.from_dense(sample_dense()))
+        s, e = c.col_extent(1)
+        assert e - s == 1
+
+    def test_col_degrees(self):
+        c = CSCMatrix.from_csr(CSRMatrix.from_dense(sample_dense()))
+        assert np.array_equal(c.col_degrees(), [2, 1, 3])
+
+    def test_empty_column(self):
+        d = np.array([[1.0, 0.0], [2.0, 0.0]])
+        c = CSCMatrix.from_csr(CSRMatrix.from_dense(d))
+        rows, vals = c.col(1)
+        assert rows.size == 0

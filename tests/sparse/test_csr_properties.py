@@ -1,0 +1,97 @@
+"""Property-based tests for CSR against dense/scipy oracles."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+try:
+    import scipy.sparse as sps
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    HAVE_SCIPY = False
+
+
+@st.composite
+def random_coo(draw, max_dim=12, max_nnz=40):
+    nrows = draw(st.integers(min_value=1, max_value=max_dim))
+    ncols = draw(st.integers(min_value=1, max_value=max_dim))
+    nnz = draw(st.integers(min_value=0, max_value=max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(nrows, ncols, rows, cols, vals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_coo())
+def test_from_coo_matches_scipy(coo):
+    if not HAVE_SCIPY:
+        return
+    ours = CSRMatrix.from_coo(coo)
+    ours.check()
+    theirs = sps.coo_matrix(
+        (coo.values, (coo.rows, coo.cols)), shape=coo.shape
+    ).toarray()
+    assert np.allclose(ours.to_dense(), theirs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_coo())
+def test_coo_csr_coo_roundtrip_preserves_matrix(coo):
+    a = CSRMatrix.from_coo(coo)
+    again = CSRMatrix.from_coo(a.to_coo())
+    assert np.allclose(a.to_dense(), again.to_dense())
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_coo())
+def test_transpose_is_involution_and_matches_dense(coo):
+    a = CSRMatrix.from_coo(coo)
+    at = a.transposed()
+    at.check()
+    assert np.allclose(at.to_dense(), a.to_dense().T)
+    assert np.allclose(at.transposed().to_dense(), a.to_dense())
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_coo())
+def test_tril_triu_partition_nonzeros(coo):
+    a = CSRMatrix.from_coo(coo)
+    strict_lower = a.tril(-1)
+    upper = a.triu(0)
+    assert strict_lower.nnz + upper.nnz == a.nnz
+    assert np.allclose(
+        strict_lower.to_dense() + upper.to_dense(), a.to_dense()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_coo(), st.data())
+def test_extract_rows_matches_dense(coo, data):
+    a = CSRMatrix.from_coo(coo)
+    rows = data.draw(
+        st.lists(st.integers(0, a.nrows - 1), min_size=0, max_size=2 * a.nrows)
+    )
+    sub = a.extract_rows(np.array(rows, dtype=np.int64))
+    sub.check()
+    assert np.allclose(sub.to_dense(), a.to_dense()[rows])
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_coo())
+def test_reduce_rows_matches_dense_sum(coo):
+    a = CSRMatrix.from_coo(coo)
+    # only compare where rows are non-empty; empty rows give the identity 0
+    assert np.allclose(np.asarray(a.reduce_rows()), a.to_dense().sum(axis=1))

@@ -1,0 +1,87 @@
+"""Tests for the hypersparse DCSR format."""
+
+import numpy as np
+import pytest
+
+from repro.generators import erdos_renyi
+from repro.sparse import CSRMatrix, DCSRMatrix
+
+
+def hypersparse(n=1000, nnz_rows=20, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(n, nnz_rows, replace=False)
+    cols = rng.integers(0, n, nnz_rows)
+    return CSRMatrix.from_triples(n, n, rows, cols, rng.random(nnz_rows))
+
+
+class TestConversion:
+    def test_roundtrip(self):
+        a = erdos_renyi(50, 3, seed=1)
+        d = DCSRMatrix.from_csr(a)
+        d.check()
+        assert np.allclose(d.to_csr().to_dense(), a.to_dense())
+
+    def test_hypersparse_roundtrip(self):
+        a = hypersparse()
+        d = DCSRMatrix.from_csr(a)
+        d.check()
+        assert d.nzr <= 20
+        assert np.allclose(d.to_csr().to_dense(), a.to_dense())
+
+    def test_empty(self):
+        d = DCSRMatrix.empty(100, 100)
+        assert d.nnz == 0 and d.nzr == 0
+        assert d.to_csr().nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rowptr"):
+            DCSRMatrix(4, 4, np.array([1]), np.array([0]), np.empty(0, np.int64), np.empty(0))
+
+
+class TestAccess:
+    def test_row_present_and_absent(self):
+        a = hypersparse(seed=2)
+        d = DCSRMatrix.from_csr(a)
+        dense = a.to_dense()
+        for i in range(0, 1000, 97):
+            cols, vals = d.row(i)
+            expected = np.flatnonzero(dense[i])
+            assert np.array_equal(cols, expected)
+
+    def test_rows_of_vectorised(self):
+        a = hypersparse(seed=3)
+        d = DCSRMatrix.from_csr(a)
+        queries = np.arange(0, 1000, 13, dtype=np.int64)
+        hp, starts, stops = d.rows_of(queries)
+        # every hit has a non-empty extent matching row()
+        for k, s, e in zip(hp, starts, stops):
+            cols, _ = d.row(int(queries[k]))
+            assert np.array_equal(d.colidx[s:e], cols)
+
+    def test_rows_of_empty_matrix(self):
+        d = DCSRMatrix.empty(10, 10)
+        hp, starts, stops = d.rows_of(np.array([1, 2, 3]))
+        assert hp.size == 0
+
+
+class TestMemory:
+    def test_hypersparse_saves_memory(self):
+        # nnz=20 in a 100k-row matrix: CSR's rowptr alone is ~800 KB
+        a = hypersparse(n=100_000, nnz_rows=20, seed=4)
+        d = DCSRMatrix.from_csr(a)
+        csr_bytes = a.rowptr.nbytes + a.colidx.nbytes + a.values.nbytes
+        assert d.memory_bytes() < csr_bytes / 100
+
+    def test_dense_rows_no_blowup(self):
+        a = erdos_renyi(100, 5, seed=5)  # nearly every row non-empty
+        d = DCSRMatrix.from_csr(a)
+        csr_bytes = a.rowptr.nbytes + a.colidx.nbytes + a.values.nbytes
+        assert d.memory_bytes() < 2 * csr_bytes
+
+    def test_check_rejects_stored_empty_rows(self):
+        d = DCSRMatrix(
+            4, 4, np.array([1, 2]), np.array([0, 0, 1]),
+            np.array([3]), np.array([1.0]),
+        )
+        with pytest.raises(AssertionError):
+            d.check()

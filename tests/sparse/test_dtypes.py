@@ -1,0 +1,101 @@
+"""Dtype-preservation and numeric edge-case tests across the sparse layer."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.functional import LNOT, SQUARE, TIMES
+from repro.ops import ewisemult_vv, mxm, spmv
+from repro.sparse import CSRMatrix, SPA, SparseVector
+
+
+class TestIntegerValues:
+    def test_csr_keeps_int_dtype(self):
+        a = CSRMatrix.from_triples(
+            3, 3, [0, 1], [1, 2], np.array([2, 3], dtype=np.int64)
+        )
+        assert a.values.dtype == np.int64
+        assert a.apply(SQUARE).values.dtype == np.int64
+
+    def test_vector_keeps_int_dtype(self):
+        x = SparseVector.from_pairs(5, [1, 2], np.array([4, 5], dtype=np.int32))
+        assert x.values.dtype == np.int32
+        assert x.to_dense().dtype == np.int32
+
+    def test_int_reduce(self):
+        a = CSRMatrix.from_triples(2, 2, [0, 1], [0, 1], np.array([3, 4]))
+        assert a.reduce_scalar() == 7
+
+
+class TestBooleanValues:
+    def test_bool_vector_roundtrip(self):
+        x = SparseVector(4, np.array([1, 3]), np.array([True, True]))
+        d = x.to_dense()
+        assert d.dtype == bool
+        back = SparseVector.from_dense(d)
+        assert np.array_equal(back.indices, x.indices)
+
+    def test_bool_apply(self):
+        x = SparseVector(3, np.array([0]), np.array([True]))
+        from repro.runtime import shared_machine
+        from repro.ops import apply_shm
+
+        apply_shm(x, LNOT, shared_machine(1))
+        assert x.values[0] == np.False_
+
+    def test_bool_matrix_product(self):
+        d = np.array([[True, False], [True, True]])
+        a = CSRMatrix.from_dense(d.astype(float))
+        from repro.algebra import LOR_LAND
+
+        c = mxm(a, a, semiring=LOR_LAND)
+        expected = d @ d  # boolean matmul
+        assert np.array_equal(c.to_dense(zero=0).astype(bool), expected)
+
+
+class TestNumericEdgeCases:
+    def test_explicit_zeros_are_stored(self):
+        # GraphBLAS semantics: an explicit zero is a stored value
+        a = CSRMatrix.from_triples(2, 2, [0], [1], [0.0])
+        assert a.nnz == 1
+        assert a[0, 1] == 0.0
+
+    def test_negative_values_survive_everything(self):
+        x = SparseVector.from_pairs(4, [0, 2], [-1.5, -2.5])
+        y = SparseVector.from_pairs(4, [0, 2], [2.0, 2.0])
+        z = ewisemult_vv(x, y, TIMES)
+        assert np.array_equal(z.values, [-3.0, -5.0])
+
+    def test_large_values_no_overflow(self):
+        a = CSRMatrix.from_triples(2, 2, [0], [0], [1e300])
+        y = spmv(a, np.array([1e8, 0.0]))
+        assert np.isinf(y.values[0]) or y.values[0] == 1e308
+
+    def test_inf_in_tropical_context(self):
+        from repro.algebra import MIN_PLUS
+
+        a = CSRMatrix.from_triples(2, 2, [0], [1], [5.0])
+        y = spmv(a, np.array([np.inf, np.inf]), semiring=MIN_PLUS)
+        assert np.isinf(y.values).all()
+
+    def test_spa_with_float32(self):
+        spa = SPA(8, dtype=np.float32)
+        spa.scatter(np.array([1, 1]), np.array([1.5, 2.5], dtype=np.float32))
+        assert spa.values.dtype == np.float32
+        assert spa[1] == pytest.approx(4.0)
+
+    def test_tiny_capacity(self):
+        x = SparseVector.empty(1)
+        assert x.capacity == 1
+        x2 = SparseVector.from_pairs(1, [0], [7.0])
+        assert x2[0] == 7.0
+
+    def test_zero_capacity_vector(self):
+        x = SparseVector.empty(0)
+        assert x.nnz == 0
+        assert x.to_dense().size == 0
+
+    def test_one_by_one_matrix(self):
+        a = CSRMatrix.from_dense(np.array([[5.0]]))
+        assert (a.transposed()).to_dense()[0, 0] == 5.0
+        c = mxm(a, a)
+        assert c[0, 0] == 25.0

@@ -1,0 +1,166 @@
+"""Unit and property tests for the sparse accumulator (paper Fig 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import MAX_MONOID, MIN_MONOID, PLUS_MONOID
+from repro.sparse import SPA
+
+
+class TestScatter:
+    def test_single_batch(self):
+        spa = SPA(10)
+        spa.scatter(np.array([3, 7]), np.array([1.0, 2.0]))
+        assert spa.nnz == 2
+        assert spa[3] == 1.0
+        assert spa[7] == 2.0
+
+    def test_collision_within_batch(self):
+        spa = SPA(10)
+        spa.scatter(np.array([3, 3, 3]), np.array([1.0, 2.0, 4.0]))
+        assert spa.nnz == 1
+        assert spa[3] == 7.0
+
+    def test_collision_across_batches(self):
+        spa = SPA(10)
+        spa.scatter(np.array([3]), np.array([1.0]))
+        spa.scatter(np.array([3]), np.array([5.0]))
+        assert spa[3] == 6.0
+        assert spa.nnz == 1
+
+    def test_monoid_parameter(self):
+        spa = SPA(10)
+        spa.scatter(np.array([1, 1]), np.array([3.0, 9.0]), monoid=MAX_MONOID)
+        assert spa[1] == 9.0
+        spa.scatter(np.array([1]), np.array([1.0]), monoid=MIN_MONOID)
+        assert spa[1] == 1.0
+
+    def test_empty_scatter(self):
+        spa = SPA(10)
+        spa.scatter(np.empty(0, np.int64), np.empty(0))
+        assert spa.nnz == 0
+
+    def test_out_of_range(self):
+        spa = SPA(4)
+        with pytest.raises(IndexError):
+            spa.scatter(np.array([4]), np.array([1.0]))
+        with pytest.raises(IndexError):
+            spa.scatter(np.array([-1]), np.array([1.0]))
+
+    def test_offset_lo(self):
+        spa = SPA(5, lo=100)
+        spa.scatter(np.array([102, 104]), np.array([1.0, 2.0]))
+        assert 102 in spa
+        assert spa[104] == 2.0
+        assert np.array_equal(np.sort(spa.nzinds), [102, 104])
+
+
+class TestScatterFirst:
+    def test_first_wins_within_batch(self):
+        spa = SPA(10)
+        spa.scatter_first(np.array([2, 2]), np.array([7.0, 9.0]))
+        assert spa[2] == 7.0
+
+    def test_first_wins_across_batches(self):
+        spa = SPA(10)
+        spa.scatter_first(np.array([2]), np.array([7.0]))
+        spa.scatter_first(np.array([2]), np.array([9.0]))
+        assert spa[2] == 7.0
+
+    def test_paper_listing7_semantics(self):
+        # "only keeping the first index … keep row index as value"
+        spa = SPA(6)
+        # row 1 visits columns (2, 4); row 3 visits columns (4, 5)
+        spa.scatter_first(np.array([2, 4]), np.array([1.0, 1.0]))
+        spa.scatter_first(np.array([4, 5]), np.array([3.0, 3.0]))
+        assert spa[4] == 1.0  # first visitor kept
+        assert spa[5] == 3.0
+
+
+class TestGatherReset:
+    def test_gather_sorted(self):
+        spa = SPA(10)
+        spa.scatter(np.array([7, 1, 4]), np.array([1.0, 2.0, 3.0]))
+        vec = spa.gather(sort=True)
+        assert np.array_equal(vec.indices, [1, 4, 7])
+        assert np.array_equal(vec.values, [2.0, 3.0, 1.0])
+        vec.check()
+
+    def test_gather_dense(self):
+        spa = SPA(4)
+        spa.scatter(np.array([1]), np.array([5.0]))
+        vals, mask = spa.gather_dense()
+        assert np.array_equal(mask, [False, True, False, False])
+        assert vals[1] == 5.0
+
+    def test_reset_clears_only_touched(self):
+        spa = SPA(10)
+        spa.scatter(np.array([3, 8]), np.array([1.0, 1.0]))
+        spa.reset()
+        assert spa.nnz == 0
+        assert not spa.isthere.any()
+        assert spa.values.sum() == 0.0
+        spa.check()
+
+    def test_reuse_after_reset(self):
+        spa = SPA(10)
+        spa.scatter(np.array([3]), np.array([1.0]))
+        spa.reset()
+        spa.scatter(np.array([5]), np.array([2.0]))
+        assert spa.nnz == 1
+        assert 3 not in spa
+        assert spa[5] == 2.0
+
+    def test_getitem_missing_raises(self):
+        spa = SPA(10)
+        with pytest.raises(KeyError):
+            spa[3]
+
+
+class TestFigure6Example:
+    """The paper's Fig 6 walked end-to-end: y = x·A via SPA gather/scatter."""
+
+    def test_spa_merge_matches_dense(self):
+        # a 6x6 matrix and sparse x as in the Fig 6 sketch
+        rng = np.random.default_rng(42)
+        dense_a = (rng.random((6, 6)) < 0.4) * rng.integers(1, 5, (6, 6))
+        x_dense = np.array([0.0, 2.0, 0.0, 1.0, 0.0, 3.0])
+        spa = SPA(6)
+        for i in np.flatnonzero(x_dense):
+            cols = np.flatnonzero(dense_a[i])
+            spa.scatter(cols, x_dense[i] * dense_a[i, cols], monoid=PLUS_MONOID)
+        y = spa.gather(sort=True)
+        assert np.allclose(y.to_dense(), x_dense @ dense_a)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(-5, 5)), max_size=60
+        )
+    )
+    def test_scatter_matches_dict_accumulation(self, pairs):
+        spa = SPA(20)
+        expected: dict[int, float] = {}
+        # scatter in arbitrary batch splits
+        batch: list[tuple[int, int]] = []
+        for p in pairs:
+            batch.append(p)
+            if len(batch) == 3:
+                idx = np.array([b[0] for b in batch])
+                val = np.array([float(b[1]) for b in batch])
+                spa.scatter(idx, val)
+                batch = []
+        if batch:
+            idx = np.array([b[0] for b in batch])
+            val = np.array([float(b[1]) for b in batch])
+            spa.scatter(idx, val)
+        for i, v in pairs:
+            expected[i] = expected.get(i, 0.0) + v
+        vec = spa.gather(sort=True)
+        assert vec.nnz == len(expected)
+        for i, v in zip(vec.indices, vec.values):
+            assert expected[int(i)] == pytest.approx(v)
+        spa.check()

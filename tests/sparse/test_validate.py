@@ -1,0 +1,83 @@
+"""Unit tests for the structural validators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    DenseVector,
+    SparseVector,
+    ValidationError,
+    same_pattern,
+    validate_coo,
+    validate_csr,
+    validate_vector,
+)
+
+
+class TestValidateCSR:
+    def test_accepts_valid(self):
+        a = CSRMatrix.identity(3)
+        assert validate_csr(a) is a
+
+    def test_rejects_corrupt(self):
+        a = CSRMatrix(1, 3, np.array([0, 2]), np.array([2, 0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError, match="invalid CSR"):
+            validate_csr(a)
+
+
+class TestValidateVector:
+    def test_accepts_sparse(self):
+        x = SparseVector.from_pairs(5, [1, 3], [1.0, 2.0])
+        assert validate_vector(x) is x
+
+    def test_accepts_dense(self):
+        y = DenseVector.zeros(4)
+        assert validate_vector(y) is y
+
+    def test_rejects_corrupt_sparse(self):
+        x = SparseVector(5, np.array([3, 1]), np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError):
+            validate_vector(x)
+
+    def test_rejects_2d_dense(self):
+        y = DenseVector(np.zeros(4))
+        y.values = np.zeros((2, 2))
+        with pytest.raises(ValidationError, match="1-D"):
+            validate_vector(y)
+
+    def test_rejects_non_vector(self):
+        with pytest.raises(ValidationError, match="not a vector"):
+            validate_vector([1, 2, 3])
+
+
+class TestValidateCOO:
+    def test_accepts_valid_with_duplicates(self):
+        m = COOMatrix(2, 2, [0, 0], [1, 1], [1.0, 2.0])
+        assert validate_coo(m) is m
+
+    def test_rejects_out_of_bounds(self):
+        m = COOMatrix.empty(2, 2)
+        m.rows = np.array([5])
+        m.cols = np.array([0])
+        m.values = np.array([1.0])
+        with pytest.raises(ValidationError):
+            validate_coo(m)
+
+
+class TestSamePattern:
+    def test_identical_patterns(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        b = CSRMatrix.from_dense(np.array([[9.0, 0.0], [0.0, 7.0]]))
+        assert same_pattern(a, b)
+
+    def test_different_patterns(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        b = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 2.0]]))
+        assert not same_pattern(a, b)
+
+    def test_different_shapes(self):
+        a = CSRMatrix.empty(2, 2)
+        b = CSRMatrix.empty(2, 3)
+        assert not same_pattern(a, b)

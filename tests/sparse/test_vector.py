@@ -1,0 +1,157 @@
+"""Unit tests for sparse and dense vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import MAX_MONOID
+from repro.sparse import DenseVector, SparseVector
+
+
+class TestSparseVectorConstruction:
+    def test_empty(self):
+        x = SparseVector.empty(10)
+        assert x.nnz == 0
+        assert x.capacity == 10
+        assert x.density == 0.0
+
+    def test_from_pairs_sorts(self):
+        x = SparseVector.from_pairs(10, [5, 1, 3], [1.0, 2.0, 3.0])
+        assert np.array_equal(x.indices, [1, 3, 5])
+        assert np.array_equal(x.values, [2.0, 3.0, 1.0])
+        x.check()
+
+    def test_from_pairs_merges_duplicates(self):
+        x = SparseVector.from_pairs(10, [2, 2, 7], [1.0, 4.0, 9.0])
+        assert x.nnz == 2
+        assert x[2] == 5.0
+
+    def test_from_pairs_dup_monoid(self):
+        x = SparseVector.from_pairs(10, [2, 2], [1.0, 4.0], dup=MAX_MONOID)
+        assert x[2] == 4.0
+
+    def test_from_pairs_bounds(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            SparseVector.from_pairs(3, [5], [1.0])
+
+    def test_from_dense_drops_zeros(self):
+        x = SparseVector.from_dense(np.array([0.0, 3.0, 0.0, 1.0]))
+        assert np.array_equal(x.indices, [1, 3])
+        assert np.array_equal(x.values, [3.0, 1.0])
+
+    def test_from_dense_keep_all(self):
+        x = SparseVector.from_dense(np.array([0.0, 3.0]), zero=None)
+        assert x.nnz == 2
+
+    def test_from_dense_nan_zero(self):
+        x = SparseVector.from_dense(np.array([np.nan, 2.0]), zero=np.nan)
+        assert x.nnz == 1
+        assert x[1] == 2.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SparseVector(5, np.array([1]), np.array([1.0, 2.0]))
+
+
+class TestSparseVectorAccess:
+    def test_getitem_and_contains(self):
+        x = SparseVector.from_pairs(10, [1, 5], [3.0, 7.0])
+        assert x[1] == 3.0
+        assert x[5] == 7.0
+        assert x[0] is None
+        assert x[9] is None
+        assert 1 in x and 5 in x and 4 not in x
+
+    def test_get_with_default(self):
+        x = SparseVector.from_pairs(10, [1], [3.0])
+        assert x.get(1) == 3.0
+        assert x.get(2, -1.0) == -1.0
+
+    def test_density(self):
+        x = SparseVector.from_pairs(10, [1, 5], [1.0, 1.0])
+        assert x.density == pytest.approx(0.2)
+
+    def test_len(self):
+        assert len(SparseVector.empty(42)) == 42
+
+    def test_to_dense_roundtrip(self):
+        d = np.array([0.0, 2.0, 0.0, 0.0, 5.0])
+        x = SparseVector.from_dense(d)
+        assert np.array_equal(x.to_dense(), d)
+
+    def test_to_dense_bool(self):
+        x = SparseVector(4, np.array([2]), np.array([True]))
+        d = x.to_dense()
+        assert d.dtype == bool
+        assert np.array_equal(d, [False, False, True, False])
+
+    def test_copy_is_deep(self):
+        x = SparseVector.from_pairs(10, [1], [3.0])
+        y = x.copy()
+        y.values[0] = 99.0
+        assert x[1] == 3.0
+
+    def test_check_rejects_unsorted(self):
+        x = SparseVector(10, np.array([5, 1]), np.array([1.0, 2.0]))
+        with pytest.raises(AssertionError, match="sorted"):
+            x.check()
+
+    def test_check_rejects_duplicates(self):
+        x = SparseVector(10, np.array([1, 1]), np.array([1.0, 2.0]))
+        with pytest.raises(AssertionError):
+            x.check()
+
+    def test_check_rejects_out_of_range(self):
+        x = SparseVector(3, np.array([7]), np.array([1.0]))
+        with pytest.raises(AssertionError):
+            x.check()
+
+
+class TestDenseVector:
+    def test_full_and_zeros(self):
+        assert np.array_equal(DenseVector.full(3, 2.5).values, [2.5, 2.5, 2.5])
+        assert np.array_equal(DenseVector.zeros(2).values, [0.0, 0.0])
+
+    def test_capacity_equals_nnz(self):
+        y = DenseVector.zeros(5)
+        assert y.capacity == 5
+        assert y.nnz == 5
+
+    def test_get_set(self):
+        y = DenseVector.zeros(3)
+        y[1] = 7.0
+        assert y[1] == 7.0
+
+    def test_to_sparse(self):
+        y = DenseVector(np.array([0.0, 1.0, 0.0]))
+        x = y.to_sparse()
+        assert np.array_equal(x.indices, [1])
+
+    def test_copy(self):
+        y = DenseVector(np.array([1.0]))
+        z = y.copy()
+        z[0] = 5.0
+        assert y[0] == 1.0
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=50).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(st.integers(0, n - 1), max_size=n),
+            )
+        )
+    )
+    def test_from_pairs_invariants(self, n_and_idx):
+        n, idx = n_and_idx
+        x = SparseVector.from_pairs(n, idx, np.ones(len(idx)))
+        x.check()
+        assert x.nnz == len(set(idx))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_dense_sparse_dense_roundtrip(self, values):
+        d = np.array(values)
+        assert np.array_equal(SparseVector.from_dense(d).to_dense(), d)

@@ -1,0 +1,134 @@
+"""Tests for the high-level distributed API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algebra import MIN_PLUS
+from repro.algebra.functional import LAND, SQUARE
+from repro.dist_api import DistMatrix, DistVector
+from repro.distributed import DistDenseVector
+from repro.generators import random_bool_dense
+from repro.runtime import CostLedger, LocaleGrid, Machine
+
+
+def machine(p=4, threads=4, ledger=None):
+    return Machine(grid=LocaleGrid.for_count(p), threads_per_locale=threads, ledger=ledger)
+
+
+class TestDistVector:
+    def test_distribute_gather_roundtrip(self):
+        x = repro.random_sparse_vector(200, nnz=50, seed=1)
+        m = machine()
+        xv = DistVector.distribute(x, m)
+        back = xv.gather()
+        assert np.array_equal(back.indices, x.indices)
+
+    def test_grid_mismatch_rejected(self):
+        x = repro.random_sparse_vector(50, nnz=10, seed=2)
+        from repro.distributed import DistSparseVector
+
+        data = DistSparseVector.from_global(x, LocaleGrid.for_count(2))
+        with pytest.raises(ValueError, match="grid"):
+            DistVector(data, machine(p=4))
+
+    def test_apply_non_mutating(self):
+        x = repro.random_sparse_vector(100, nnz=20, seed=3)
+        m = machine()
+        xv = DistVector.distribute(x, m)
+        yv = xv.apply(SQUARE)
+        assert np.allclose(yv.gather().to_dense(), x.to_dense() ** 2)
+        assert np.allclose(xv.gather().to_dense(), x.to_dense())
+
+    @pytest.mark.parametrize("variant", [1, 2])
+    def test_apply_variants(self, variant):
+        x = repro.random_sparse_vector(100, nnz=20, seed=4)
+        m = machine()
+        got = DistVector.distribute(x, m).apply(SQUARE, variant=variant)
+        assert np.allclose(got.gather().to_dense(), x.to_dense() ** 2)
+
+    def test_assign_from(self):
+        m = machine()
+        src = DistVector.distribute(repro.random_sparse_vector(80, nnz=15, seed=5), m)
+        dst = DistVector.sparse(80, m)
+        assert dst.assign_from(src) is dst
+        assert np.array_equal(dst.gather().indices, src.gather().indices)
+
+    def test_ewise_mult_dense(self):
+        x = repro.random_sparse_vector(100, nnz=30, seed=6)
+        mask = random_bool_dense(100, seed=7)
+        m = machine()
+        xv = DistVector.distribute(x, m)
+        md = DistDenseVector.from_global(mask, m.grid)
+        z = xv.ewise_mult_dense(md, LAND)
+        expected = x.indices[mask.values[x.indices]]
+        assert np.array_equal(z.gather().indices, expected)
+
+    def test_masked(self):
+        m = machine()
+        x = DistVector.distribute(repro.random_sparse_vector(60, nnz=20, seed=8), m)
+        k = DistVector.distribute(repro.random_sparse_vector(60, nnz=30, seed=9), m)
+        kept = x.masked(k)
+        dropped = x.masked(k, complement=True)
+        assert kept.nnz + dropped.nnz == x.nnz
+
+    def test_vxm_matches_local(self):
+        a = repro.erdos_renyi(100, 4, seed=10)
+        x = repro.random_sparse_vector(100, nnz=20, seed=11)
+        m = machine()
+        y = DistVector.distribute(x, m).vxm(DistMatrix.distribute(a, m))
+        assert np.allclose(y.gather().to_dense(), x.to_dense() @ a.to_dense())
+
+    def test_vxm_semiring_and_modes(self):
+        a = repro.erdos_renyi(60, 3, seed=12)
+        x = repro.random_sparse_vector(60, nnz=10, seed=13)
+        m = machine()
+        y1 = DistVector.distribute(x, m).vxm(
+            DistMatrix.distribute(a, m), semiring=MIN_PLUS, gather_mode="bulk"
+        )
+        assert y1.nnz >= 0
+
+    def test_reduce(self):
+        x = repro.random_sparse_vector(100, nnz=25, seed=14)
+        m = machine()
+        assert DistVector.distribute(x, m).reduce() == pytest.approx(x.values.sum())
+
+    def test_ledger_accumulates(self):
+        led = CostLedger()
+        m = machine(ledger=led)
+        a = repro.erdos_renyi(100, 4, seed=15)
+        x = repro.random_sparse_vector(100, nnz=20, seed=16)
+        DistVector.distribute(x, m).vxm(DistMatrix.distribute(a, m))
+        assert led.total > 0
+        assert "Gather Input" in led.by_component()
+
+
+class TestDistMatrix:
+    def test_distribute_gather(self):
+        a = repro.erdos_renyi(80, 4, seed=17)
+        m = machine()
+        assert np.allclose(
+            DistMatrix.distribute(a, m).gather().to_dense(), a.to_dense()
+        )
+
+    def test_apply(self):
+        a = repro.erdos_renyi(50, 3, seed=18)
+        m = machine()
+        am = DistMatrix.distribute(a, m)
+        sq = am.apply(SQUARE)
+        assert np.allclose(sq.gather().to_dense(), a.to_dense() ** 2)
+        assert np.allclose(am.gather().to_dense(), a.to_dense())  # non-mutating
+
+    def test_matmul(self):
+        a = repro.erdos_renyi(40, 3, seed=19)
+        m = machine()
+        am = DistMatrix.distribute(a, m)
+        c = am @ am
+        assert np.allclose(c.gather().to_dense(), a.to_dense() @ a.to_dense())
+
+    def test_transpose(self):
+        a = repro.erdos_renyi(30, 3, seed=20)
+        m = machine()
+        assert np.allclose(
+            DistMatrix.distribute(a, m).T.gather().to_dense(), a.to_dense().T
+        )

@@ -1,0 +1,175 @@
+"""Tests for the high-level Matrix API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Matrix, MatrixMask, Vector
+from repro.algebra import MAX_MONOID, MIN_PLUS, PLUS_PAIR
+from repro.algebra.functional import SQUARE, TRIL, VALUEGT
+from repro.sparse import CSRMatrix
+
+
+def dense_pair(seed=0, n=8):
+    rng = np.random.default_rng(seed)
+    d1 = (rng.random((n, n)) < 0.3) * rng.integers(1, 5, (n, n)).astype(float)
+    d2 = (rng.random((n, n)) < 0.3) * rng.integers(1, 5, (n, n)).astype(float)
+    return d1, d2
+
+
+class TestConstruction:
+    def test_sparse_empty(self):
+        a = Matrix.sparse(3, 4)
+        assert a.shape == (3, 4) and a.nnz == 0
+
+    def test_from_triples_with_dup(self):
+        a = Matrix.from_triples(2, 2, [0, 0], [1, 1], [2.0, 3.0])
+        assert a[0, 1] == 5.0
+        b = Matrix.from_triples(2, 2, [0, 0], [1, 1], [2.0, 3.0], dup=MAX_MONOID)
+        assert b[0, 1] == 3.0
+
+    def test_from_edges(self):
+        a = Matrix.from_edges(4, [(0, 1), (2, 3)])
+        assert a[0, 1] == 1.0 and a[2, 3] == 1.0
+        assert a.nnz == 2
+
+    def test_from_edges_empty(self):
+        assert Matrix.from_edges(4, []).nnz == 0
+
+    def test_identity(self):
+        assert np.array_equal(Matrix.identity(3).to_dense(), np.eye(3))
+
+    def test_wrap_shares(self):
+        csr = CSRMatrix.identity(3)
+        assert Matrix.wrap(csr).data is csr
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Matrix(np.eye(3))
+
+
+class TestStructure:
+    def test_transpose_property(self):
+        d1, _ = dense_pair(1)
+        a = Matrix.from_dense(d1)
+        assert np.allclose(a.T.to_dense(), d1.T)
+
+    def test_select_tril(self):
+        d1, _ = dense_pair(2)
+        a = Matrix.from_dense(d1)
+        assert np.allclose(a.tril().to_dense(), np.tril(d1))
+        assert np.allclose(a.triu(1).to_dense(), np.triu(d1, 1))
+
+    def test_select_value(self):
+        d1, _ = dense_pair(3)
+        a = Matrix.from_dense(d1).select(VALUEGT, 2.0)
+        assert np.allclose(a.to_dense(), np.where(d1 > 2.0, d1, 0.0))
+
+    def test_extract(self):
+        d1, _ = dense_pair(4)
+        a = Matrix.from_dense(d1)
+        sub = a.extract([1, 3], [0, 2, 4])
+        assert np.allclose(sub.to_dense(), d1[np.ix_([1, 3], [0, 2, 4])])
+
+    def test_row_col(self):
+        d1, _ = dense_pair(5)
+        a = Matrix.from_dense(d1)
+        assert np.allclose(a.row(2).to_dense(), d1[2])
+        assert np.allclose(a.col(3).to_dense(), d1[:, 3])
+
+    def test_dup_deep(self):
+        a = Matrix.identity(3)
+        b = a.dup()
+        b.data.values[0] = 9.0
+        assert a[0, 0] == 1.0
+
+
+class TestElementwiseAndProducts:
+    def test_apply(self):
+        a = Matrix.from_dense(np.array([[2.0, 0.0], [0.0, 3.0]])).apply(SQUARE)
+        assert a[0, 0] == 4.0
+
+    def test_mul_add_operators(self):
+        d1, d2 = dense_pair(6)
+        a, b = Matrix.from_dense(d1), Matrix.from_dense(d2)
+        assert np.allclose((a * b).to_dense(), d1 * d2)
+        assert np.allclose((a + b).to_dense(), d1 + d2)
+
+    def test_matmul_matrices(self):
+        d1, d2 = dense_pair(7)
+        a, b = Matrix.from_dense(d1), Matrix.from_dense(d2)
+        assert np.allclose((a @ b).to_dense(), d1 @ d2)
+
+    def test_matmul_dense_vector(self):
+        d1, _ = dense_pair(8)
+        a = Matrix.from_dense(d1)
+        x = np.arange(8, dtype=float)
+        assert np.allclose((a @ x).values, d1 @ x)
+
+    def test_mxv_sparse_vector(self):
+        d1, _ = dense_pair(9)
+        a = Matrix.from_dense(d1)
+        v = Vector.from_pairs(8, [2], [1.0])
+        y = a.mxv(v)
+        assert np.allclose(y.to_dense(), d1 @ v.to_dense())
+
+    def test_mxm_semiring(self):
+        a = Matrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        b = Matrix.from_dense(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        c = a.mxm(b, semiring=MIN_PLUS)
+        assert c[0, 0] == 3.0
+
+    def test_masked_mxm(self):
+        d1, d2 = dense_pair(10)
+        a, b = Matrix.from_dense(d1), Matrix.from_dense(d2)
+        mask = Matrix.from_dense((d1 != 0).astype(float))
+        c = a.mxm(b, mask=mask)
+        full = d1 @ d2
+        assert np.allclose(c.to_dense(), np.where(d1 != 0, full, 0.0))
+
+    def test_complement_mask_syntax(self):
+        d1, d2 = dense_pair(11)
+        a, b = Matrix.from_dense(d1), Matrix.from_dense(d2)
+        mask = Matrix.from_dense((d1 != 0).astype(float))
+        c = a.mxm(b, mask=~mask.as_mask())
+        full = d1 @ d2
+        assert np.allclose(c.to_dense(), np.where(d1 == 0, full, 0.0))
+
+    def test_masked_method(self):
+        d1, d2 = dense_pair(12)
+        a = Matrix.from_dense(d1)
+        m = Matrix.from_dense(d2)
+        out = a.masked(m)
+        assert np.allclose(out.to_dense(), np.where(d2 != 0, d1, 0.0))
+
+
+class TestReductions:
+    def test_reduce_rows_cols(self):
+        d = np.array([[1.0, 2.0], [0.0, 0.0]])
+        a = Matrix.from_dense(d)
+        rows = a.reduce_rows()
+        assert rows[0] == 3.0 and rows[1] is None
+        cols = a.reduce_cols()
+        assert cols[0] == 1.0 and cols[1] == 2.0
+
+    def test_reduce_scalar(self):
+        a = Matrix.from_dense(np.array([[1.0, 2.0], [3.0, 0.0]]))
+        assert a.reduce() == 6.0
+        assert a.reduce(MAX_MONOID) == 3.0
+
+
+class TestTriangleViaAPI:
+    def test_masked_plus_pair_triangle_count(self):
+        # the Sandia formulation written in 4 lines of the OO API
+        d = 1.0 - np.eye(4)  # K4
+        a = Matrix.from_dense(d)
+        low = a.tril(-1)
+        c = low.mxm(low.T, semiring=PLUS_PAIR, mask=low)
+        assert c.reduce() == 4.0
+
+    def test_equality_and_hash(self):
+        a = Matrix.identity(2)
+        assert a == Matrix.identity(2)
+        assert a != Matrix.sparse(2, 2)
+        with pytest.raises(TypeError):
+            hash(a)

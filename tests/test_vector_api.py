@@ -1,0 +1,163 @@
+"""Tests for the high-level Vector API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Mask, Matrix, Vector
+from repro.algebra import MAX_MONOID, MIN_PLUS
+from repro.algebra.functional import PLUS, SQUARE, TIMES
+from repro.sparse import SparseVector
+
+
+class TestConstruction:
+    def test_sparse_empty(self):
+        v = Vector.sparse(10)
+        assert v.capacity == 10 and v.nnz == 0
+
+    def test_from_pairs(self):
+        v = Vector.from_pairs(10, [3, 1], [1.0, 2.0])
+        assert np.array_equal(v.indices, [1, 3])
+
+    def test_from_dense(self):
+        v = Vector.from_dense([0.0, 5.0, 0.0])
+        assert v.nnz == 1 and v[1] == 5.0
+
+    def test_wrap_shares_storage(self):
+        sv = SparseVector.from_pairs(5, [2], [1.0])
+        v = Vector.wrap(sv)
+        assert v.data is sv
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Vector([1, 2, 3])
+
+
+class TestAccessors:
+    def test_len_getitem_contains(self):
+        v = Vector.from_pairs(10, [4], [7.0])
+        assert len(v) == 10
+        assert v[4] == 7.0
+        assert v[5] is None
+        assert 4 in v and 5 not in v
+
+    def test_dup_is_deep(self):
+        v = Vector.from_pairs(5, [1], [1.0])
+        w = v.dup()
+        w.values[0] = 9.0
+        assert v[1] == 1.0
+
+    def test_clear(self):
+        v = Vector.from_pairs(5, [1], [1.0])
+        assert v.clear().nnz == 0
+        assert v.nnz == 1  # non-mutating
+
+    def test_equality(self):
+        assert Vector.from_pairs(5, [1], [1.0]) == Vector.from_pairs(5, [1], [1.0])
+        assert Vector.from_pairs(5, [1], [1.0]) != Vector.from_pairs(5, [2], [1.0])
+        assert Vector.sparse(5) != Vector.sparse(6)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Vector.sparse(3))
+
+
+class TestElementwise:
+    def test_apply(self):
+        v = Vector.from_pairs(5, [1, 2], [2.0, 3.0]).apply(SQUARE)
+        assert v[1] == 4.0 and v[2] == 9.0
+
+    def test_ewise_mult_operator(self):
+        a = Vector.from_pairs(5, [1, 2], [2.0, 3.0])
+        b = Vector.from_pairs(5, [2, 3], [5.0, 7.0])
+        c = a * b
+        assert np.array_equal(c.indices, [2])
+        assert c[2] == 15.0
+
+    def test_ewise_add_operator(self):
+        a = Vector.from_pairs(5, [1], [2.0])
+        b = Vector.from_pairs(5, [1, 3], [5.0, 7.0])
+        c = a + b
+        assert c[1] == 7.0 and c[3] == 7.0
+
+    def test_ewise_mult_custom_op(self):
+        a = Vector.from_pairs(5, [1], [2.0])
+        b = Vector.from_pairs(5, [1], [5.0])
+        assert a.ewise_mult(b, PLUS)[1] == 7.0
+
+
+class TestMasksSelectExtract:
+    def test_structural_mask(self):
+        v = Vector.from_pairs(6, [1, 3, 5], [1.0, 2.0, 3.0])
+        m = Vector.from_pairs(6, [3], [1.0])
+        assert np.array_equal(v.masked(m).indices, [3])
+        assert np.array_equal(v.masked(~m.as_mask()).indices, [1, 5])
+
+    def test_invert_syntax(self):
+        v = Vector.from_pairs(6, [1, 3], [1.0, 2.0])
+        m = ~Vector.from_pairs(6, [1], [1.0])
+        assert isinstance(m, Mask)
+        assert np.array_equal(v.masked(m).indices, [3])
+        # double negation restores the structural mask
+        assert np.array_equal(v.masked(~~Vector.from_pairs(6, [1], [1.0])).indices, [1])
+
+    def test_dense_mask(self):
+        v = Vector.from_pairs(4, [0, 2], [1.0, 2.0])
+        out = v.masked_dense(np.array([True, True, False, False]))
+        assert np.array_equal(out.indices, [0])
+
+    def test_select_by_value(self):
+        v = Vector.from_pairs(6, [1, 3, 5], [1.0, -2.0, 3.0])
+        out = v.select(lambda vals, idx: vals > 0)
+        assert np.array_equal(out.indices, [1, 5])
+
+    def test_select_by_index(self):
+        v = Vector.from_pairs(6, [1, 3, 5], [1.0, 2.0, 3.0])
+        out = v.select(lambda vals, idx: idx >= 3)
+        assert np.array_equal(out.indices, [3, 5])
+
+    def test_extract(self):
+        v = Vector.from_pairs(6, [1, 4], [1.0, 2.0])
+        out = v.extract([4, 0, 1])
+        assert out.capacity == 3
+        assert out[0] == 2.0 and out[2] == 1.0
+
+    def test_assign_matching_domain(self):
+        v = Vector.sparse(5)
+        w = Vector.from_pairs(5, [2], [9.0])
+        assert v.assign(w) is v
+        assert v[2] == 9.0
+        with pytest.raises(ValueError):
+            v.assign(Vector.sparse(6))
+
+
+class TestLinearAlgebra:
+    def test_vxm_plus_times(self):
+        a = Matrix.from_dense(np.array([[0.0, 2.0], [3.0, 0.0]]))
+        v = Vector.from_pairs(2, [0], [5.0])
+        y = v.vxm(a)
+        assert y[1] == 10.0
+
+    def test_vxm_with_mask(self):
+        a = Matrix.from_edges(4, [(0, 1), (0, 2)])
+        v = Vector.from_pairs(4, [0], [1.0])
+        visited = Vector.from_pairs(4, [1], [1.0])
+        y = v.vxm(a, mask=~visited.as_mask())
+        assert np.array_equal(y.indices, [2])
+
+    def test_vxm_min_plus(self):
+        a = Matrix.from_dense(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        v = Vector.from_pairs(2, [0], [1.0])
+        y = v.vxm(a, semiring=MIN_PLUS)
+        assert y[1] == 3.0
+
+    def test_vxm_accepts_raw_csr(self):
+        a = repro.erdos_renyi(20, 3, seed=1)
+        v = Vector.from_pairs(20, [0], [1.0])
+        y = v.vxm(a)
+        assert isinstance(y, Vector)
+
+    def test_reduce(self):
+        v = Vector.from_pairs(5, [1, 2], [3.0, 4.0])
+        assert v.reduce() == 7.0
+        assert v.reduce(MAX_MONOID) == 4.0
