@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures report examples clean
+.PHONY: install test test-props bench bench-full figures report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-props:          ## full property suite (slow tier included, 100 examples)
+	REPRO_RUN_SLOW=1 REPRO_TEST_PROFILE=standard $(PYTHON) -m pytest tests/test_properties.py tests/ops/test_dispatch.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

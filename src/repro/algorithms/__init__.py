@@ -4,6 +4,7 @@ from .bc import betweenness_centrality
 from .bfs import (
     bfs_levels,
     bfs_levels_batch,
+    bfs_levels_dispatch,
     bfs_levels_dist,
     bfs_parents,
     bfs_parents_dist,
@@ -25,6 +26,7 @@ __all__ = [
     "betweenness_centrality",
     "bfs_levels",
     "bfs_levels_batch",
+    "bfs_levels_dispatch",
     "bfs_parents_dist",
     "bfs_levels_do",
     "bfs_parents",

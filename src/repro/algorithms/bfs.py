@@ -29,7 +29,14 @@ from ..runtime.locale import Machine, shared_machine
 from ..sparse.csr import CSRMatrix
 from ..sparse.vector import SparseVector
 
-__all__ = ["bfs_levels", "bfs_parents", "bfs_levels_dist", "bfs_parents_dist", "bfs_levels_batch"]
+__all__ = [
+    "bfs_levels",
+    "bfs_levels_dispatch",
+    "bfs_parents",
+    "bfs_levels_dist",
+    "bfs_parents_dist",
+    "bfs_levels_batch",
+]
 
 
 def _frontier_from_source(n: int, source: int) -> SparseVector:
@@ -63,6 +70,63 @@ def bfs_levels(
     return levels
 
 
+def bfs_levels_dispatch(
+    a: CSRMatrix,
+    source: int,
+    machine: Machine | None = None,
+    *,
+    dispatcher=None,
+    pull_threshold: float | None = None,
+    stats: dict | None = None,
+) -> np.ndarray:
+    """Direction-optimising BFS driven by the cost-model dispatcher.
+
+    Where :func:`~repro.algorithms.bfs_do.bfs_levels_do` hard-codes the
+    push→pull switch at ``alpha * n``, this variant asks
+    :class:`~repro.ops.dispatch.Dispatcher` to price every kernel variant
+    per level from the frontier's sparsity — the CombBLAS 2.0 approach.
+    The visited set is fused into the kernel as a complement mask, so the
+    pull direction skips visited vertices instead of filtering afterwards.
+
+    Parameters
+    ----------
+    pull_threshold:
+        Optional frontier-density override: when set, the direction flips
+        to pull exactly when ``nnz(frontier)/n`` exceeds it (the classic
+        alpha parameter) and the cost model only chooses the kernel within
+        that direction.  ``None`` (default) lets the model decide both.
+    dispatcher:
+        A pre-built :class:`~repro.ops.dispatch.Dispatcher` to reuse (e.g.
+        with a warm transpose cache); overrides ``pull_threshold``.
+    stats:
+        Optional dict receiving the dispatcher's decision counts
+        (``{"push": k, "pull": m, "push[merge]": ...}``).
+    """
+    from ..ops.dispatch import Dispatcher
+
+    machine = machine or shared_machine(1)
+    if dispatcher is None:
+        # the transpose is reused every pull level, so price it amortised
+        dispatcher = Dispatcher(
+            machine, pull_threshold=pull_threshold, assume_transpose_amortized=True
+        )
+    n = a.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = _frontier_from_source(n, source)
+    level = 0
+    while frontier.nnz:
+        level += 1
+        # in-kernel visited pruning: only unvisited columns may receive
+        frontier, _ = dispatcher.vxm(
+            a, frontier, semiring=MIN_FIRST, mask=levels < 0
+        )
+        levels[frontier.indices] = level
+    if stats is not None:
+        stats.update(dispatcher.stats())
+    return levels
+
+
 def bfs_parents(
     a: CSRMatrix, source: int, machine: Machine | None = None
 ) -> np.ndarray:
@@ -87,14 +151,16 @@ def bfs_parents(
 
 
 def bfs_levels_dist(
-    a: DistSparseMatrix, source: int, machine: Machine
+    a: DistSparseMatrix, source: int, machine: Machine, *, dispatcher=None
 ) -> np.ndarray:
     """Distributed level-synchronous BFS over 2-D distributed ``a``.
 
     Per iteration: one :func:`~repro.ops.spmspv.spmspv_dist` (whose
     gather/multiply/scatter breakdown lands in ``machine.ledger``) plus a
-    blockwise mask against the replicated visited array.  Returns the dense
-    level array (gathered — verification convenience).
+    blockwise mask against the replicated visited array.  Pass a
+    :class:`~repro.ops.dispatch.Dispatcher` to resolve the gather/scatter/
+    sort variants per level by cost instead of the paper's fixed choices.
+    Returns the dense level array (gathered — verification convenience).
     """
     n = a.nrows
     levels = np.full(n, -1, dtype=np.int64)
@@ -107,9 +173,14 @@ def bfs_levels_dist(
         # visited pruning happens INSIDE the kernel via the distributed
         # mask (paper §V future work): masked-out vertices are neither
         # accumulated nor scattered.
-        reached, _ = spmspv_dist(
-            a, frontier, machine, semiring=MIN_FIRST, mask=levels < 0
-        )
+        if dispatcher is not None:
+            reached, _ = dispatcher.vxm_dist(
+                a, frontier, semiring=MIN_FIRST, mask=levels < 0
+            )
+        else:
+            reached, _ = spmspv_dist(
+                a, frontier, machine, semiring=MIN_FIRST, mask=levels < 0
+            )
         for k, blk in enumerate(reached.blocks):
             lo = int(bounds[k])
             levels[lo + blk.indices] = level

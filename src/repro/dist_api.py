@@ -101,9 +101,22 @@ class DistVector:
         (assign1 if variant == 1 else assign2)(self._data, src._data, self.machine)
         return self
 
-    def ewise_mult_dense(self, dense: DistDenseVector, op: BinaryOp) -> "DistVector":
-        """Paper eWiseMult against an aligned distributed dense vector."""
-        out, _ = ewisemult_dist(self._data, dense, op, self.machine)
+    def ewise_mult_dense(
+        self, dense: DistDenseVector, op: BinaryOp, *, method: str = "auto"
+    ) -> "DistVector":
+        """Paper eWiseMult against an aligned distributed dense vector.
+
+        ``method`` picks the index-collection strategy (``"atomic"`` /
+        ``"prefix"``); ``"auto"`` lets the cost model decide per call.
+        """
+        if method == "auto":
+            from .ops.dispatch import Dispatcher
+
+            out, _ = Dispatcher(self.machine).ewisemult_dist(
+                self._data, dense, op
+            )
+        else:
+            out, _ = ewisemult_dist(self._data, dense, op, self.machine, method=method)
         return DistVector(out, self.machine)
 
     def masked(self, mask: "DistVector", *, complement: bool = False) -> "DistVector":
@@ -118,15 +131,26 @@ class DistVector:
         a: "DistMatrix",
         *,
         semiring: Semiring = PLUS_TIMES,
-        gather_mode: str = "fine",
-        scatter_mode: str = "fine",
-        sort: str = "merge",
+        gather_mode: str = "auto",
+        scatter_mode: str = "auto",
+        sort: str = "auto",
+        dispatcher=None,
     ) -> "DistVector":
-        """Distributed SpMSpV ``y = x ⊗ A`` (the paper's Listing 8)."""
-        y, _ = spmspv_dist(
+        """Distributed SpMSpV ``y = x ⊗ A`` (the paper's Listing 8).
+
+        Each ``"auto"`` axis (gather, scatter, sort) is resolved per call
+        by the machine's cost model via
+        :class:`~repro.ops.dispatch.Dispatcher`, and the decision is
+        recorded as a ``dispatch[vxm_dist]`` span in the ledger; explicit
+        ``"fine"``/``"bulk"``/``"merge"``/``"radix"`` force the paper's
+        hand-picked variants.
+        """
+        from .ops.dispatch import Dispatcher
+
+        disp = dispatcher or Dispatcher(self.machine)
+        y, _ = disp.vxm_dist(
             a._data,
             self._data,
-            self.machine,
             semiring=semiring,
             gather_mode=gather_mode,
             scatter_mode=scatter_mode,

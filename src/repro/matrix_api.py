@@ -240,21 +240,24 @@ class Matrix:
             mxm(self._data, other._data, semiring=semiring, mask=m, complement=complement)
         )
 
-    def mxv(self, x, *, semiring: Semiring = PLUS_TIMES):
+    def mxv(self, x, *, semiring: Semiring = PLUS_TIMES, mode: str = "auto", machine=None):
         """``y = A ⊗ x``.
 
         Dense input (numpy array / DenseVector) → dense output via the SpMV
-        specialisation; sparse :class:`Vector` → SpMSpV on the transpose
-        orientation (``A x ≡ (xᵀ Aᵀ)ᵀ``).
+        specialisation; sparse :class:`Vector` → direction-optimized
+        dispatch on the transpose orientation (``A x ≡ (xᵀ Aᵀ)ᵀ``): push is
+        an SpMSpV over ``Aᵀ``, pull scans rows of ``A`` itself, so both
+        orientations are already in hand and the dispatcher's transpose
+        cache is seeded for free.
         """
-        from .ops.spmspv import spmspv_shm
+        from .ops.dispatch import Dispatcher
         from .runtime.locale import shared_machine
-        from .sparse.vector import DenseVector
 
         if isinstance(x, Vector):
-            y, _ = spmspv_shm(
-                self._data.transposed(), x.data, shared_machine(1), semiring=semiring
-            )
+            at = self._data.transposed()
+            disp = Dispatcher(machine or shared_machine(1), mode=mode)
+            disp.seed_transpose(at, self._data)
+            y, _ = disp.vxm(at, x.data, semiring=semiring, mode=mode)
             return Vector(y)
         return spmv(self._data, x, semiring=semiring)
 

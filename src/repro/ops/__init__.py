@@ -39,9 +39,10 @@ from .reduce import (
     reduce_cols_sparse, reduce_dist_vector, reduce_matrix_scalar,
     reduce_rows_sparse, reduce_vector,
 )
+from .dispatch import PULL, PUSH_MERGE, PUSH_RADIX, PUSH_SORTBASED, Decision, Dispatcher
 from .spmspv import spmspv_dist, spmspv_dist_1d, spmspv_shm
 from .spmspv_merge import spmspv_shm_merge
-from .spmv import spmv, spmv_dist, vxm_dense
+from .spmv import spmv, spmv_dist, vxm_dense, vxm_pull
 from .transpose import transpose, transpose_dist
 
 __all__ = [
@@ -66,7 +67,8 @@ __all__ = [
     "ewiseadd_dist_vv", "ewisemult_dist_vv",
     "select_vector", "select_dist_vector",
     "spmspv_shm", "spmspv_shm_merge", "spmspv_dist", "spmspv_dist_1d",
-    "spmv", "vxm_dense", "spmv_dist",
+    "spmv", "vxm_dense", "vxm_pull", "spmv_dist",
+    "Dispatcher", "Decision", "PUSH_MERGE", "PUSH_RADIX", "PUSH_SORTBASED", "PULL",
     "mxm", "mxm_gustavson", "flops",
     "extract_vector", "extract_matrix", "extract_row", "extract_col",
     "reduce_vector", "reduce_rows_sparse", "reduce_cols_sparse",

@@ -1,0 +1,488 @@
+"""Cost-model-driven kernel dispatch — automatic direction optimization.
+
+The paper hand-picks its kernel variants: merge vs radix sort (§III-D),
+fine-grained vs bulk communication (§IV), push (SpMSpV) vs pull (SpMV)
+direction.  CombBLAS 2.0 (Azad et al., 2021) shows the single biggest lever
+for BFS-style workloads is choosing among exactly these variants *per
+operation* from the input sparsity.  :class:`Dispatcher` is that engine:
+
+* it *estimates* every candidate's simulated cost from cheap sparsity
+  statistics (frontier density, selected-row lengths, locale grid shape)
+  using the same cost functions the kernels themselves charge — so the
+  estimate tracks the eventual bill by construction;
+* it *executes* the argmin candidate (results are identical across
+  candidates — the dispatcher can only change cost, never values);
+* it *records* every decision as a named span in the machine's ledger
+  (``dispatch[vxm]:pull`` etc.), so a :class:`~repro.runtime.trace.Trace`
+  of an algorithm run shows where each direction switch happened.
+
+Candidates per operation:
+
+=============  ==========================================================
+``vxm``        ``push[merge]`` / ``push[radix]`` (SPA SpMSpV, Listing 7),
+               ``push[sortbased]`` (SPA-free expand/sort/compress),
+               ``pull`` (masked dense-direction scan of ``Aᵀ``)
+``vxm_dist``   ``fine`` / ``bulk`` gather and scatter × ``merge`` /
+               ``radix`` sort (Listing 8)
+``ewisemult``  ``atomic`` counter vs ``prefix``-sum merge (Listing 6)
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algebra.functional import BinaryOp
+from ..algebra.semiring import PLUS_TIMES, Semiring
+from ..distributed.dist_matrix import DistSparseMatrix
+from ..distributed.dist_vector import DistDenseVector, DistSparseVector
+from ..runtime.clock import Breakdown
+from ..runtime.comm import allgather, bulk, fine_grained, gather_parts_fine
+from ..runtime.locale import Machine
+from ..runtime.tasks import parallel_time, sort_time
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+from .ewise import ewisemult_dist as _ewisemult_dist
+from .ewise import ewisemult_sd_cost, ewisemult_sparse_dense
+from .spmspv import spmspv_dist, spmspv_shm, spmspv_shm_cost
+from .spmspv_merge import spmspv_merge_cost, spmspv_shm_merge
+from .spmv import vxm_pull, vxm_pull_cost
+
+__all__ = ["Dispatcher", "Decision", "PUSH_MERGE", "PUSH_RADIX", "PUSH_SORTBASED", "PULL"]
+
+#: candidate kernel names for the shared-memory vxm dispatch
+PUSH_MERGE = "push[merge]"
+PUSH_RADIX = "push[radix]"
+PUSH_SORTBASED = "push[sortbased]"
+PULL = "pull"
+PUSH_KERNELS = (PUSH_MERGE, PUSH_RADIX, PUSH_SORTBASED)
+VXM_KERNELS = PUSH_KERNELS + (PULL,)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded dispatch decision.
+
+    ``estimates`` maps every considered candidate to its estimated
+    simulated seconds; ``chosen`` is the executed one; ``forced`` marks
+    decisions where the caller (or a threshold policy) overrode the cost
+    model.
+    """
+
+    op: str
+    chosen: str
+    estimates: dict[str, float] = field(default_factory=dict)
+    forced: bool = False
+
+    @property
+    def direction(self) -> str:
+        """``"pull"`` or ``"push"`` (dist/ewise decisions count as push)."""
+        return PULL if self.chosen == PULL else "push"
+
+
+def _expected_out_nnz(ncols: int, flops: float, allowed: int | None = None) -> int:
+    """Expected distinct output indices for ``flops`` uniform column draws.
+
+    The standard collision model ``m(1-(1-1/m)^f)``; with a mask only the
+    ``allowed`` columns can appear.
+    """
+    if ncols <= 0 or flops <= 0:
+        return 0
+    hit_p = -np.expm1(flops * np.log1p(-1.0 / ncols)) if ncols > 1 else 1.0
+    live = ncols if allowed is None else allowed
+    return int(min(max(live * hit_p, 1.0), min(flops, live)))
+
+
+class Dispatcher:
+    """Per-operation kernel selection for a simulated :class:`Machine`.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine whose cost model prices the candidates and
+        whose ledger receives the decision spans.
+    mode:
+        Default direction policy for :meth:`vxm`: ``"auto"`` (cost argmin
+        over all candidates), ``"push"`` (argmin over push variants),
+        ``"pull"``, or an explicit kernel name such as ``"push[merge]"``.
+    pull_threshold:
+        Optional frontier-density threshold: when set, :meth:`vxm` in
+        ``"auto"`` mode switches to the pull direction exactly when
+        ``nnz(x)/nrows > pull_threshold`` (the classic direction-optimizing
+        BFS alpha parameter), and the cost model only picks the variant
+        *within* the chosen direction.  ``None`` (default) lets the cost
+        model choose the direction too.
+    assume_transpose_amortized:
+        When ``Aᵀ`` has not been materialised yet, the pull estimate
+        normally includes the one-time transpose-build cost, so one-shot
+        calls don't pay for a transpose they can't amortise.  Iterative
+        algorithms (BFS) set this to ``True`` to price pull as if the
+        transpose were free, since it is reused every level.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        mode: str = "auto",
+        pull_threshold: float | None = None,
+        assume_transpose_amortized: bool = False,
+    ) -> None:
+        if mode not in ("auto", "push", "pull") + VXM_KERNELS:
+            raise ValueError(f"unknown dispatch mode {mode!r}")
+        self.machine = machine
+        self.mode = mode
+        self.pull_threshold = pull_threshold
+        self.assume_transpose_amortized = assume_transpose_amortized
+        self.decisions: list[Decision] = []
+        self._transposes: dict[int, tuple[CSRMatrix, CSRMatrix]] = {}
+
+    # -- transpose cache ----------------------------------------------------
+
+    def _transpose_build_cost(self, a: CSRMatrix) -> float:
+        """Estimated one-time cost of materialising ``Aᵀ`` (two counting
+        passes plus a stable scatter of (index, value) pairs)."""
+        cfg = self.machine.config
+        return parallel_time(
+            cfg,
+            4.0 * a.nnz * cfg.stream_cost * self.machine.compute_penalty,
+            self.machine.threads_per_locale,
+        )
+
+    def transpose_of(self, a: CSRMatrix) -> CSRMatrix:
+        """``Aᵀ``, materialised once per matrix and cached.
+
+        The build is charged to the ledger as a ``dispatch[transpose]``
+        span the first time, then reused for every later pull.
+        """
+        cached = self._transposes.get(id(a))
+        if cached is not None and cached[0] is a:
+            return cached[1]
+        at = a.transposed()
+        self._transposes[id(a)] = (a, at)
+        self.machine.record(
+            "dispatch[transpose]", Breakdown({"build": self._transpose_build_cost(a)})
+        )
+        return at
+
+    def prepare_pull(self, a: CSRMatrix) -> "Dispatcher":
+        """Pre-materialise ``Aᵀ`` (charging its build now); returns self."""
+        self.transpose_of(a)
+        return self
+
+    def seed_transpose(self, a: CSRMatrix, at: CSRMatrix) -> "Dispatcher":
+        """Register an already-materialised ``at = Aᵀ`` without charging a
+        build — for callers (e.g. ``Matrix.mxv``) that hold both
+        orientations anyway; returns self."""
+        self._transposes[id(a)] = (a, at)
+        return self
+
+    def _has_transpose(self, a: CSRMatrix) -> bool:
+        cached = self._transposes.get(id(a))
+        return cached is not None and cached[0] is a
+
+    # -- decision bookkeeping -----------------------------------------------
+
+    def _decide(self, op: str, chosen: str, estimates: dict[str, float], *, forced: bool) -> Decision:
+        d = Decision(op=op, chosen=chosen, estimates=dict(estimates), forced=forced)
+        self.decisions.append(d)
+        # a real dispatch costs a handful of comparisons; charging it makes
+        # every decision visible as a `dispatch[op]:<choice>` span in Trace
+        cfg = self.machine.config
+        cost = cfg.compare_cost * max(len(estimates), 1) + cfg.stream_cost
+        self.machine.record(f"dispatch[{op}]", Breakdown({chosen: cost}))
+        return d
+
+    def stats(self) -> dict[str, int]:
+        """Decision counts by chosen candidate (plus push/pull totals)."""
+        out: dict[str, int] = {}
+        for d in self.decisions:
+            if d.op == "vxm":
+                out[d.direction] = out.get(d.direction, 0) + 1
+                if d.chosen != d.direction:  # pull IS its own direction
+                    out[d.chosen] = out.get(d.chosen, 0) + 1
+            else:
+                out[d.chosen] = out.get(d.chosen, 0) + 1
+        return out
+
+    # -- shared-memory vxm ---------------------------------------------------
+
+    def estimate_vxm(
+        self,
+        a: CSRMatrix,
+        x: SparseVector,
+        *,
+        mask: np.ndarray | None = None,
+        complement: bool = False,
+    ) -> dict[str, float]:
+        """Estimated simulated seconds for every ``y ← x A`` candidate.
+
+        Uses only O(nnz(x) + ncols) statistics: the exact lengths of the
+        rows the frontier selects, the collision-model output size, and —
+        for pull — the exact scanned-row lengths of ``Aᵀ`` when it is
+        already materialised.
+        """
+        machine = self.machine
+        ncols = a.ncols
+        row_nnzs = np.diff(a.rowptr)[x.indices] if x.nnz else np.empty(0, np.int64)
+        flops = int(row_nnzs.sum())
+        if mask is not None:
+            allowed_mask = np.asarray(mask, dtype=bool)
+            if complement:
+                allowed_mask = ~allowed_mask
+            allowed = int(allowed_mask.sum())
+            flops_eff = flops * (allowed / ncols) if ncols else 0.0
+        else:
+            allowed_mask = None
+            allowed = None
+            flops_eff = float(flops)
+        out_est = _expected_out_nnz(ncols, flops_eff, allowed)
+
+        est: dict[str, float] = {}
+        for name, sort in ((PUSH_MERGE, "merge"), (PUSH_RADIX, "radix")):
+            est[name] = spmspv_shm_cost(
+                machine, row_nnzs=row_nnzs, out_nnz=out_est, ncols=ncols, sort=sort
+            ).total
+        est[PUSH_SORTBASED] = spmspv_merge_cost(
+            machine, row_nnzs=row_nnzs, flops=int(flops_eff), out_nnz=out_est, ncols=ncols
+        ).total
+
+        if self._has_transpose(a):
+            at = self.transpose_of(a)
+            if allowed_mask is not None:
+                scan_nnzs = np.diff(at.rowptr)[allowed_mask]
+            else:
+                scan_nnzs = np.diff(at.rowptr)
+            build = 0.0
+        else:
+            # Aᵀ row lengths unknown without building it: assume the mask
+            # keeps a proportional share of the nonzeros, evenly spread
+            frac = 1.0 if allowed is None else (allowed / ncols if ncols else 0.0)
+            n_scan = ncols if allowed is None else allowed
+            mean = a.nnz * frac / n_scan if n_scan else 0.0
+            scan_nnzs = np.full(max(n_scan, 0), mean)
+            build = 0.0 if self.assume_transpose_amortized else self._transpose_build_cost(a)
+        est[PULL] = build + vxm_pull_cost(
+            machine,
+            row_nnzs=scan_nnzs,
+            kept=int(flops_eff),
+            out_nnz=out_est,
+            x_capacity=x.capacity,
+            x_nnz=x.nnz,
+        ).total
+        return est
+
+    def vxm(
+        self,
+        a: CSRMatrix,
+        x: SparseVector,
+        *,
+        semiring: Semiring = PLUS_TIMES,
+        mask: np.ndarray | None = None,
+        complement: bool = False,
+        mode: str | None = None,
+    ) -> tuple[SparseVector, Breakdown]:
+        """``y ← x A`` through the cheapest kernel.
+
+        Every candidate produces bit-identical results (the property suite
+        pins this against the scipy oracle); only the simulated cost —
+        and therefore the ledger — depends on the choice.
+        """
+        mode = self.mode if mode is None else mode
+        if mode not in ("auto", "push", "pull") + VXM_KERNELS:
+            raise ValueError(f"unknown dispatch mode {mode!r}")
+        # the sort-based kernel has no fused mask, so it leaves the pool
+        # whenever a mask is present
+        push_pool = PUSH_KERNELS if mask is None else (PUSH_MERGE, PUSH_RADIX)
+        if mode == PUSH_SORTBASED and mask is not None:
+            raise ValueError("push[sortbased] does not support masks")
+        estimates = self.estimate_vxm(a, x, mask=mask, complement=complement)
+        forced = mode != "auto"
+        if mode in VXM_KERNELS:
+            chosen = mode
+        elif mode == "pull":
+            chosen = PULL
+        elif mode == "push":
+            chosen = min(push_pool, key=estimates.__getitem__)
+        else:  # auto
+            if self.pull_threshold is not None:
+                density = x.nnz / a.nrows if a.nrows else 0.0
+                pool = (PULL,) if density > self.pull_threshold else push_pool
+                chosen = min(pool, key=estimates.__getitem__)
+                forced = True
+            else:
+                chosen = min(push_pool + (PULL,), key=estimates.__getitem__)
+        self._decide("vxm", chosen, estimates, forced=forced)
+        if chosen == PULL:
+            at = self.transpose_of(a)
+            return vxm_pull(
+                at, x, self.machine, semiring=semiring, mask=mask, complement=complement
+            )
+        if chosen == PUSH_SORTBASED:
+            return spmspv_shm_merge(a, x, self.machine, semiring=semiring)
+        return spmspv_shm(
+            a,
+            x,
+            self.machine,
+            semiring=semiring,
+            sort="radix" if chosen == PUSH_RADIX else "merge",
+            mask=mask,
+            complement=complement,
+        )
+
+    # -- distributed vxm ----------------------------------------------------
+
+    def estimate_vxm_dist(
+        self, a: DistSparseMatrix, x: DistSparseVector
+    ) -> dict[str, float]:
+        """Estimated seconds for each communication/sort candidate of the
+        distributed SpMSpV (Listing 8).
+
+        Gather estimates are *exact* — they depend only on the known block
+        nnz counts — so auto never loses to a forced mode there; scatter
+        and sort use the collision-model output estimate.
+        """
+        machine = self.machine
+        cfg = machine.config
+        grid = a.grid
+        pr, pc = grid.rows, grid.cols
+        threads = machine.threads_per_locale
+        local = machine.oversubscribed
+        itemsize = 16
+
+        gather_fine = []
+        gather_bulk = []
+        for loc in grid:
+            team = grid.row_team(loc.row)
+            remote = [x.blocks[t.id].nnz for t in team if t.id != loc.id]
+            own = bulk(cfg, x.blocks[loc.id].nnz * itemsize, local=True)
+            gather_fine.append(
+                own + gather_parts_fine(
+                    cfg, remote, threads=threads, concurrent_peers=pc, local=local
+                )
+            )
+            gather_bulk.append(
+                own + sum(bulk(cfg, s * itemsize, local=local) for s in remote)
+            )
+
+        # output-size estimate per locale column block
+        flops = x.nnz * (a.nnz / max(a.nrows, 1))
+        ncols_block = a.ncols / max(pc, 1)
+        out_per_locale = _expected_out_nnz(
+            max(int(ncols_block), 1), flops / max(grid.size, 1)
+        )
+        remote_elems = int(out_per_locale * (pr - 1) / max(pr, 1))
+        scatter_fine = fine_grained(
+            cfg, remote_elems, threads=threads, concurrent_peers=pr, local=local
+        )
+        scatter_bulk = allgather(cfg, pr, (remote_elems // max(pr - 1, 1)) * itemsize)
+        key_bits = max(int(max(ncols_block, 2) - 1).bit_length(), 1)
+        sort_est = {
+            s: sort_time(cfg, out_per_locale, threads, algorithm=s, key_bits=key_bits)
+            for s in ("merge", "radix")
+        }
+        return {
+            "gather:fine": max(gather_fine),
+            "gather:bulk": max(gather_bulk),
+            "scatter:fine": scatter_fine,
+            "scatter:bulk": scatter_bulk,
+            "sort:merge": sort_est["merge"],
+            "sort:radix": sort_est["radix"],
+        }
+
+    def vxm_dist(
+        self,
+        a: DistSparseMatrix,
+        x: DistSparseVector,
+        *,
+        semiring: Semiring = PLUS_TIMES,
+        mask: np.ndarray | None = None,
+        complement: bool = False,
+        gather_mode: str = "auto",
+        scatter_mode: str = "auto",
+        sort: str = "auto",
+    ) -> tuple[DistSparseVector, Breakdown]:
+        """Distributed SpMSpV with per-call communication/sort dispatch.
+
+        ``"auto"`` resolves each axis independently from the estimates;
+        explicit ``"fine"``/``"bulk"``/``"merge"``/``"radix"`` force it.
+        """
+        est = self.estimate_vxm_dist(a, x)
+        forced = "auto" not in (gather_mode, scatter_mode, sort)
+        if gather_mode == "auto":
+            gather_mode = "fine" if est["gather:fine"] <= est["gather:bulk"] else "bulk"
+        if scatter_mode == "auto":
+            scatter_mode = "fine" if est["scatter:fine"] <= est["scatter:bulk"] else "bulk"
+        if sort == "auto":
+            sort = "merge" if est["sort:merge"] <= est["sort:radix"] else "radix"
+        self._decide(
+            "vxm_dist",
+            f"gather:{gather_mode}+scatter:{scatter_mode}+sort:{sort}",
+            est,
+            forced=forced,
+        )
+        return spmspv_dist(
+            a,
+            x,
+            self.machine,
+            semiring=semiring,
+            sort=sort,
+            gather_mode=gather_mode,
+            scatter_mode=scatter_mode,
+            mask=mask,
+            complement=complement,
+        )
+
+    # -- elementwise --------------------------------------------------------
+
+    def ewisemult(
+        self,
+        x: SparseVector,
+        y,
+        op: BinaryOp,
+        *,
+        method: str = "auto",
+    ) -> tuple[SparseVector, Breakdown]:
+        """Sparse×dense eWiseMult choosing atomic-counter vs prefix-sum
+        index collection (the paper's §III-C alternatives) by estimated
+        cost.  ``kept`` is estimated as the full input pattern — the upper
+        bound, which prices the collection phase conservatively for both."""
+        est = {
+            m: ewisemult_sd_cost(self.machine, x.nnz, x.nnz, method=m).total
+            for m in ("atomic", "prefix")
+        }
+        forced = method != "auto"
+        if method == "auto":
+            method = min(est, key=est.__getitem__)
+        self._decide("ewisemult", method, est, forced=forced)
+        return ewisemult_sparse_dense(x, y, op, self.machine, method=method)
+
+    def ewisemult_dist(
+        self,
+        x: DistSparseVector,
+        y: DistDenseVector,
+        op: BinaryOp,
+        *,
+        method: str = "auto",
+    ) -> tuple[DistSparseVector, Breakdown]:
+        """Distributed sparse×dense eWiseMult: the atomic-vs-prefix choice
+        is made once from the heaviest block (the makespan locale), since
+        every locale runs the same collection method."""
+        worst = max((blk.nnz for blk in x.blocks), default=0)
+        est = {
+            m: ewisemult_sd_cost(self.machine, worst, worst, method=m).total
+            for m in ("atomic", "prefix")
+        }
+        forced = method != "auto"
+        if method == "auto":
+            method = min(est, key=est.__getitem__)
+        self._decide("ewisemult_dist", method, est, forced=forced)
+        return _ewisemult_dist(x, y, op, self.machine, method=method)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Dispatcher(mode={self.mode!r}, pull_threshold={self.pull_threshold}, "
+            f"decisions={len(self.decisions)})"
+        )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..distributed.block import GridBlock1D
 from ..distributed.dist_matrix import DistSparseMatrix, DistSparseMatrix1D
 from ..distributed.dist_vector import DistSparseVector
 from ..runtime.atomics import scattered_rmw
@@ -208,8 +209,10 @@ def spmspv_dist(
     gather_bs: list[Breakdown] = []
     multiply_bs: list[Breakdown] = []
     scatter_bs: list[Breakdown] = []
-    # partial outputs grouped by owner locale of the global index
-    out_dist = x.dist  # Block1D of the output index space over all locales
+    # partial outputs grouped by owner locale of the global index.  The
+    # output index space is the matrix's COLUMN space — for non-square
+    # matrices this differs from x's partition (over the row space).
+    out_dist = GridBlock1D.for_grid(a.ncols, grid)
     owner_indices: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
     owner_values: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
 

@@ -83,10 +83,10 @@ def radix_sort(keys: np.ndarray, key_bits: int | None = None) -> np.ndarray:
     for radix sort.
     """
     keys = np.asarray(keys)
+    if keys.size and keys.min() < 0:
+        raise ValueError("radix_sort requires non-negative keys")
     if keys.size <= 1:
         return keys.copy()
-    if keys.min() < 0:
-        raise ValueError("radix_sort requires non-negative keys")
     if key_bits is None:
         mx = int(keys.max())
         key_bits = max(int(mx).bit_length(), 1)
@@ -104,7 +104,8 @@ def radix_sort(keys: np.ndarray, key_bits: int | None = None) -> np.ndarray:
             members = np.flatnonzero(digits == b)
             out[offsets[b] : offsets[b] + members.size] = cur[members]
         cur, out = out, cur
-    return cur.copy()
+    # hand back the caller's dtype (the size<=1 path already preserves it)
+    return cur.astype(keys.dtype, copy=True)
 
 
 def merge_sort_cost(n: int) -> float:

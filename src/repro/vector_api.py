@@ -227,24 +227,42 @@ class Vector:
         semiring: Semiring = PLUS_TIMES,
         mask: Mask | None = None,
         machine=None,
+        mode: str = "auto",
+        dispatcher=None,
     ) -> "Vector":
-        """``y = v ⊗ A`` — SpMSpV when sparse (the paper's kernel).
+        """``y = v ⊗ A`` — direction-optimized SpMSpV (the paper's kernel).
 
         ``a`` may be a :class:`~repro.matrix_api.Matrix` or a raw
         :class:`~repro.sparse.csr.CSRMatrix`.  The optional ``machine``
-        routes simulated-cost accounting to a ledger.
+        routes simulated-cost accounting to a ledger.  ``mode`` selects the
+        kernel (``"auto"`` — cost-model dispatch among push variants and
+        the pull direction — or ``"push"``/``"pull"``/an explicit kernel
+        name); pass a long-lived :class:`~repro.ops.dispatch.Dispatcher` to
+        reuse its transpose cache across calls.  A structural ``mask`` is
+        fused into the kernel, so masked-out entries are never accumulated.
         """
         from .matrix_api import Matrix
-        from .ops.spmspv import spmspv_shm
+        from .ops.dispatch import Dispatcher
         from .runtime.locale import shared_machine
 
         csr = a.data if isinstance(a, Matrix) else a
         machine = machine or shared_machine(1)
-        y, _ = spmspv_shm(csr, self._data, machine, semiring=semiring)
-        out = Vector(y)
+        disp = dispatcher or Dispatcher(machine, mode=mode)
+        dense_mask = None
+        complement = False
         if mask is not None:
-            out = out.masked(mask)
-        return out
+            dense_mask = np.zeros(csr.ncols, dtype=bool)
+            dense_mask[mask.vector.indices] = True
+            complement = mask.complement
+        y, _ = disp.vxm(
+            csr,
+            self._data,
+            semiring=semiring,
+            mask=dense_mask,
+            complement=complement,
+            mode=mode,
+        )
+        return Vector(y)
 
     def reduce(self, monoid: Monoid = PLUS_MONOID):
         """Fold all stored values to one scalar."""

@@ -1,0 +1,26 @@
+"""Suite-wide pytest configuration: the ``slow`` marker.
+
+Tier-1 (``pytest`` with no arguments) must stay fast, so tests marked
+``@pytest.mark.slow`` are skipped by default.  They run when either
+
+* the user selects markers explicitly (``pytest -m slow`` /
+  ``-m "slow or not slow"``), or
+* ``REPRO_RUN_SLOW=1`` is set (the ``make test-props`` path).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        return  # the user picked markers; don't second-guess them
+    if os.environ.get("REPRO_RUN_SLOW"):
+        return
+    skip = pytest.mark.skip(reason="slow: run with -m slow or REPRO_RUN_SLOW=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

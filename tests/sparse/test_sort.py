@@ -65,6 +65,21 @@ class TestRadixSort:
         with pytest.raises(ValueError, match="non-negative"):
             radix_sort(np.array([3, -1]))
 
+    def test_rejects_negative_single_element(self):
+        # regression: the size<=1 fast path used to skip validation and
+        # silently accept a negative key
+        with pytest.raises(ValueError, match="non-negative"):
+            radix_sort(np.array([-5]))
+
+    def test_preserves_input_dtype(self):
+        # regression: the multi-element path used to widen every input to
+        # int64, while the size<=1 path kept the caller's dtype
+        for dtype in (np.int32, np.uint32, np.int64):
+            out = radix_sort(np.array([3, 1, 2], dtype=dtype))
+            assert out.dtype == dtype
+            assert np.array_equal(out, [1, 2, 3])
+        assert radix_sort(np.array([7], dtype=np.int32)).dtype == np.int32
+
     def test_explicit_key_bits(self):
         out = radix_sort(np.array([255, 0, 128]), key_bits=8)
         assert np.array_equal(out, [0, 128, 255])

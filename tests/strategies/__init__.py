@@ -1,0 +1,46 @@
+"""Shared Hypothesis strategies for property-based tests.
+
+Re-exports the commonly used strategies and settings tiers::
+
+    from tests.strategies import matrix_vector_pairs, semirings, PROFILE
+"""
+
+from tests.strategies.algebra import MONOIDS, SEMIRINGS, monoids, semirings
+from tests.strategies.machines import locale_grids, machines
+from tests.strategies.matrices import (
+    EXACT_VALUES,
+    coo_matrices,
+    csr_matrices,
+    square_csr,
+    values,
+)
+from tests.strategies.settings import (
+    PROFILE,
+    PROFILE_SLOW,
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+)
+from tests.strategies.vectors import dense_masks, matrix_vector_pairs, sparse_vectors
+
+__all__ = [
+    "EXACT_VALUES",
+    "MONOIDS",
+    "PROFILE",
+    "PROFILE_SLOW",
+    "QUICK_SETTINGS",
+    "SEMIRINGS",
+    "SLOW_SETTINGS",
+    "STANDARD_SETTINGS",
+    "coo_matrices",
+    "csr_matrices",
+    "dense_masks",
+    "locale_grids",
+    "machines",
+    "matrix_vector_pairs",
+    "monoids",
+    "semirings",
+    "sparse_vectors",
+    "square_csr",
+    "values",
+]

@@ -1,0 +1,37 @@
+"""Hypothesis strategies for semirings and monoids.
+
+``SEMIRINGS`` covers the algebraically distinct cases: the arithmetic
+semiring (the scipy-oracle case), tropical min-plus, (min, first) — the
+BFS parent trick whose multiply ignores its right operand — max-times,
+Boolean lor-land, and (plus, pair), whose multiply annihilates *neither*
+operand (the classic trap for dense/pull kernels that assume ``0 ⊗ a = 0``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.algebra.monoid import MAX_MONOID, MIN_MONOID, PLUS_MONOID
+from repro.algebra.semiring import (
+    LOR_LAND,
+    MAX_TIMES,
+    MIN_FIRST,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+)
+
+__all__ = ["SEMIRINGS", "MONOIDS", "semirings", "monoids"]
+
+SEMIRINGS = (PLUS_TIMES, MIN_PLUS, MIN_FIRST, MAX_TIMES, LOR_LAND, PLUS_PAIR)
+MONOIDS = (PLUS_MONOID, MIN_MONOID, MAX_MONOID)
+
+
+def semirings() -> st.SearchStrategy:
+    """One of the representative semirings."""
+    return st.sampled_from(SEMIRINGS)
+
+
+def monoids() -> st.SearchStrategy:
+    """One of the representative monoids."""
+    return st.sampled_from(MONOIDS)

@@ -1,0 +1,24 @@
+"""Hypothesis strategies for simulated locale grids and machines."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.runtime import CostLedger, LocaleGrid, Machine
+
+__all__ = ["locale_grids", "machines"]
+
+
+def locale_grids(*, max_locales: int = 9) -> st.SearchStrategy[LocaleGrid]:
+    """A locale grid with 1..max_locales locales (any factor shape)."""
+    return st.integers(1, max_locales).map(LocaleGrid.for_count)
+
+
+@st.composite
+def machines(
+    draw, *, max_locales: int = 9, max_threads: int = 4
+) -> Machine:
+    """A simulated machine with its own fresh ledger."""
+    grid = draw(locale_grids(max_locales=max_locales))
+    threads = draw(st.integers(1, max_threads))
+    return Machine(grid=grid, threads_per_locale=threads, ledger=CostLedger())

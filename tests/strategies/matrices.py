@@ -1,0 +1,82 @@
+"""Hypothesis strategies for sparse matrices.
+
+Entry values are drawn from a small set of exactly-representable floats
+(including negatives, so cancellation paths are exercised), which keeps
+PLUS_TIMES arithmetic bit-exact and lets tests compare kernels and the
+scipy oracle with ``==`` instead of tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["EXACT_VALUES", "values", "coo_matrices", "csr_matrices", "square_csr"]
+
+#: small exactly-representable floats; negatives exercise cancellation
+EXACT_VALUES = (-3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0)
+
+
+def values() -> st.SearchStrategy[float]:
+    """One matrix/vector entry value."""
+    return st.sampled_from(EXACT_VALUES)
+
+
+@st.composite
+def coo_matrices(
+    draw,
+    *,
+    min_side: int = 1,
+    max_side: int = 30,
+    max_nnz: int = 120,
+    square: bool = False,
+) -> COOMatrix:
+    """A COO matrix with duplicate-free random coordinates."""
+    nrows = draw(st.integers(min_side, max_side))
+    ncols = nrows if square else draw(st.integers(min_side, max_side))
+    cap = min(nrows * ncols, max_nnz)
+    coords = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, nrows - 1), st.integers(0, ncols - 1)
+            ),
+            max_size=cap,
+            unique=True,
+        )
+    )
+    vals = draw(
+        st.lists(values(), min_size=len(coords), max_size=len(coords))
+    )
+    rows = np.array([r for r, _ in coords], dtype=np.int64)
+    cols = np.array([c for _, c in coords], dtype=np.int64)
+    return COOMatrix(nrows, ncols, rows, cols, np.array(vals, dtype=np.float64))
+
+
+@st.composite
+def csr_matrices(
+    draw,
+    *,
+    min_side: int = 1,
+    max_side: int = 30,
+    max_nnz: int = 120,
+    square: bool = False,
+) -> CSRMatrix:
+    """A CSR matrix (built through the COO → CSR conversion path)."""
+    coo = draw(
+        coo_matrices(
+            min_side=min_side, max_side=max_side, max_nnz=max_nnz, square=square
+        )
+    )
+    return coo.to_csr()
+
+
+def square_csr(
+    *, min_side: int = 1, max_side: int = 30, max_nnz: int = 120
+) -> st.SearchStrategy[CSRMatrix]:
+    """A square CSR matrix — adjacency-matrix shaped."""
+    return csr_matrices(
+        min_side=min_side, max_side=max_side, max_nnz=max_nnz, square=True
+    )

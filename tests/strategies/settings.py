@@ -1,0 +1,51 @@
+"""Standardized Hypothesis settings profiles for the property suite.
+
+Tiers (mirroring the usual community convention):
+
+- ``STANDARD_SETTINGS``: 100 examples — regular property tests
+- ``SLOW_SETTINGS``: 50 examples — expensive (distributed / multi-kernel)
+- ``QUICK_SETTINGS``: 20 examples — fast validation passes
+
+``PROFILE`` is the suite-wide default, selectable via the
+``REPRO_TEST_PROFILE`` environment variable (``quick`` / ``standard`` /
+``slow``) so CI can run the full standard tier while local pre-commit
+loops stay fast::
+
+    REPRO_TEST_PROFILE=quick pytest tests/test_properties.py
+
+All profiles disable Hypothesis deadlines: the kernels also run a
+simulated cost model, and wall-clock per example is noisy enough to make
+deadline failures pure flakes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+STANDARD_SETTINGS = settings(max_examples=100, **_COMMON)
+SLOW_SETTINGS = settings(max_examples=50, **_COMMON)
+QUICK_SETTINGS = settings(max_examples=20, **_COMMON)
+
+_PROFILES = {
+    "quick": QUICK_SETTINGS,
+    "standard": STANDARD_SETTINGS,
+    "slow": SLOW_SETTINGS,
+}
+
+#: the profile the property suite decorates its tests with
+PROFILE = _PROFILES[os.environ.get("REPRO_TEST_PROFILE", "standard").lower()]
+
+#: PROFILE scaled down for tests whose single example is expensive
+#: (distributed grids, multi-kernel cross-checks)
+PROFILE_SLOW = _PROFILES[
+    {"quick": "quick", "standard": "slow", "slow": "slow"}[
+        os.environ.get("REPRO_TEST_PROFILE", "standard").lower()
+    ]
+]

@@ -1,0 +1,65 @@
+"""Hypothesis strategies for sparse vectors, masks, and aligned pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.vector import SparseVector
+
+from .matrices import csr_matrices, values
+
+__all__ = ["sparse_vectors", "matrix_vector_pairs", "dense_masks"]
+
+
+@st.composite
+def sparse_vectors(
+    draw,
+    capacity: int | None = None,
+    *,
+    min_capacity: int = 1,
+    max_capacity: int = 30,
+    max_nnz: int | None = None,
+) -> SparseVector:
+    """A sparse vector; pass ``capacity`` to pin the dimension."""
+    if capacity is None:
+        capacity = draw(st.integers(min_capacity, max_capacity))
+    cap = capacity if max_nnz is None else min(capacity, max_nnz)
+    idx = draw(
+        st.lists(st.integers(0, capacity - 1), max_size=cap, unique=True)
+        if capacity
+        else st.just([])
+    )
+    vals = draw(st.lists(values(), min_size=len(idx), max_size=len(idx)))
+    return SparseVector.from_pairs(
+        capacity, np.array(idx, dtype=np.int64), np.array(vals, dtype=np.float64)
+    )
+
+
+@st.composite
+def matrix_vector_pairs(
+    draw,
+    *,
+    min_side: int = 1,
+    max_side: int = 30,
+    max_nnz: int = 120,
+    square: bool = False,
+) -> tuple[CSRMatrix, SparseVector]:
+    """An ``(A, x)`` pair dimensioned for ``y ← x A``."""
+    a = draw(
+        csr_matrices(
+            min_side=min_side, max_side=max_side, max_nnz=max_nnz, square=square
+        )
+    )
+    x = draw(sparse_vectors(capacity=a.nrows))
+    return a, x
+
+
+@st.composite
+def dense_masks(draw, capacity: int) -> np.ndarray:
+    """A dense Boolean mask over an output index space."""
+    bits = draw(
+        st.lists(st.booleans(), min_size=capacity, max_size=capacity)
+    )
+    return np.array(bits, dtype=bool)
