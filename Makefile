@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-props bench bench-full figures report examples clean
+.PHONY: install test test-props test-chaos bench bench-full figures report examples clean
+
+# coverage flags only when pytest-cov is importable (it is optional; the
+# floor pins the fault/retry machinery in src/repro/runtime/)
+COV := $(shell $(PYTHON) -c "import pytest_cov" 2>/dev/null && \
+	echo --cov=repro.runtime --cov-report=term-missing --cov-fail-under=85)
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +17,10 @@ test:
 
 test-props:          ## full property suite (slow tier included, 100 examples)
 	REPRO_RUN_SLOW=1 REPRO_TEST_PROFILE=standard $(PYTHON) -m pytest tests/test_properties.py tests/ops/test_dispatch.py
+
+test-chaos:          ## chaos suite + runtime tests (REPRO_TEST_PROFILE=quick|standard|slow)
+	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-standard} \
+	    $(PYTHON) -m pytest tests/chaos/ tests/runtime/ -m "chaos or not slow" $(COV)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

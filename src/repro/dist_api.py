@@ -78,8 +78,12 @@ class DistVector:
         return self._data.nnz
 
     def gather(self) -> SparseVector:
-        """Collect the global vector (verification / output path)."""
-        return self._data.gather()
+        """Collect the global vector (verification / output path).
+
+        Runs under the machine's fault injector: data owned by a failed
+        locale raises :class:`~repro.runtime.faults.LocaleFailure`.
+        """
+        return self._data.gather(faults=self.machine.faults)
 
     def dup(self) -> "DistVector":
         """A deep copy."""
@@ -204,8 +208,9 @@ class DistMatrix:
         return self._data.nnz
 
     def gather(self) -> CSRMatrix:
-        """Collect the global matrix."""
-        return self._data.gather()
+        """Collect the global matrix (fault-aware, like
+        :meth:`DistVector.gather`)."""
+        return self._data.gather(faults=self.machine.faults)
 
     # -- operations ----------------------------------------------------------------
 

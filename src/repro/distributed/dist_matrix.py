@@ -109,8 +109,23 @@ class DistSparseMatrix:
         """Stored entries per locale (load-balance diagnostics)."""
         return np.array([b.nnz for b in self.blocks], dtype=np.int64)
 
-    def gather(self) -> CSRMatrix:
-        """Reassemble the global matrix (test/verification path)."""
+    def require_available(self, faults=None) -> None:
+        """Raise :class:`~repro.runtime.faults.LocaleFailure` if a failed
+        locale owns a nonempty block of this matrix."""
+        if faults is None:
+            return
+        for k, b in enumerate(self.blocks):
+            if b.nnz and faults.failed(k):
+                faults.check_locale(k, "DistSparseMatrix.block")
+
+    def gather(self, *, faults=None) -> CSRMatrix:
+        """Reassemble the global matrix (test/verification path).
+
+        With a fault injector, data on a failed locale is unrecoverable —
+        an uncovered fault raising
+        :class:`~repro.runtime.faults.LocaleFailure`.
+        """
+        self.require_available(faults)
         layout = self.layout
         rows, cols, vals = [], [], []
         for i in range(self.grid.rows):

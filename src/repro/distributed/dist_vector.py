@@ -78,10 +78,32 @@ class DistSparseVector:
         """Local block of the given locale."""
         return self.blocks[locale_id]
 
+    # -- fault awareness ---------------------------------------------------
+
+    def require_available(self, faults=None) -> None:
+        """Raise :class:`~repro.runtime.faults.LocaleFailure` if a failed
+        locale owns any of this vector's blocks.
+
+        An empty block on a dead locale is harmless (there is nothing to
+        lose), so only locales holding stored entries count — the graceful
+        half of the degradation story.
+        """
+        if faults is None:
+            return
+        for k, b in enumerate(self.blocks):
+            if b.nnz and faults.failed(k):
+                faults.check_locale(k, "DistSparseVector.block")
+
     # -- conversions ----------------------------------------------------------
 
-    def gather(self) -> SparseVector:
-        """Reassemble the global sparse vector (test/verification path)."""
+    def gather(self, *, faults=None) -> SparseVector:
+        """Reassemble the global sparse vector (test/verification path).
+
+        With a fault injector, gathering data held by a failed locale is an
+        uncovered fault and raises
+        :class:`~repro.runtime.faults.LocaleFailure`.
+        """
+        self.require_available(faults)
         bounds = self.dist.bounds
         idx = [b.indices + bounds[k] for k, b in enumerate(self.blocks)]
         vals = [b.values for b in self.blocks]
@@ -148,8 +170,17 @@ class DistDenseVector:
         """Local block of the given locale."""
         return self.blocks[locale_id]
 
-    def gather(self) -> DenseVector:
+    def require_available(self, faults=None) -> None:
+        """Raise on any failed locale: a dense vector's every block counts."""
+        if faults is None:
+            return
+        for k, b in enumerate(self.blocks):
+            if b.size:
+                faults.check_locale(k, "DistDenseVector.block")
+
+    def gather(self, *, faults=None) -> DenseVector:
         """Reassemble the global dense vector."""
+        self.require_available(faults)
         return DenseVector(np.concatenate(self.blocks))
 
     def copy(self) -> "DistDenseVector":

@@ -23,7 +23,7 @@ from ..distributed.dist_vector import DistDenseVector, DistSparseVector
 from ..runtime.atomics import contended_rmw, prefix_sum_merge
 from ..runtime.clock import Breakdown
 from ..runtime.locale import Machine
-from ..runtime.tasks import coforall_spawn, parallel_time
+from ..runtime.tasks import coforall_spawn, local_time_ft, parallel_time
 from ..sparse.csr import CSRMatrix
 from ..sparse.vector import DenseVector, SparseVector
 from ..algebra.functional import BinaryOp, TIMES
@@ -119,17 +119,23 @@ def ewisemult_dist(
     if x.grid.size != y.grid.size:
         raise ValueError("x and y must live on the same locale grid")
     cfg = machine.config
+    faults = machine.faults
+    if faults is not None:
+        faults.check_grid(x.grid, "ewisemult_dist")
     out_blocks: list[SparseVector] = []
     per_locale: list[Breakdown] = []
-    for xb, yb in zip(x.blocks, y.blocks):
+    for k, (xb, yb) in enumerate(zip(x.blocks, y.blocks)):
         gathered = yb[xb.indices]
         combined = np.asarray(op(xb.values, gathered))
         keep = combined.astype(bool) if combined.dtype != bool else combined
         out_blocks.append(
             SparseVector(xb.capacity, xb.indices[keep].copy(), combined[keep].copy())
         )
+        cost = ewisemult_sd_cost(machine, xb.nnz, out_blocks[-1].nnz, method=method)
         per_locale.append(
-            ewisemult_sd_cost(machine, xb.nnz, out_blocks[-1].nnz, method=method)
+            cost.scaled(
+                local_time_ft(1.0, faults=faults, locale=k, site="ewisemult_dist")
+            )
         )
     z = DistSparseVector(x.capacity, x.grid, out_blocks)
     spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)

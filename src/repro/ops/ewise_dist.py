@@ -13,7 +13,7 @@ from ..algebra.monoid import Monoid, PLUS_MONOID
 from ..distributed.dist_vector import DistSparseVector
 from ..runtime.clock import Breakdown
 from ..runtime.locale import Machine
-from ..runtime.tasks import coforall_spawn, parallel_time
+from ..runtime.tasks import coforall_spawn, local_time_ft, parallel_time
 from .ewise import ewiseadd_vv, ewisemult_vv
 
 __all__ = ["ewiseadd_dist_vv", "ewisemult_dist_vv"]
@@ -29,14 +29,21 @@ def _blockwise(
     if x.capacity != y.capacity or x.grid.size != y.grid.size:
         raise ValueError("operands must share capacity and locale grid")
     cfg = machine.config
+    faults = machine.faults
+    if faults is not None:
+        faults.check_grid(x.grid, label)
     blocks = []
     per_locale = []
-    for xb, yb in zip(x.blocks, y.blocks):
+    for k, (xb, yb) in enumerate(zip(x.blocks, y.blocks)):
         blocks.append(kernel(xb, yb))
         work = (xb.nnz + yb.nnz) * cfg.stream_cost * machine.compute_penalty
-        per_locale.append(
-            Breakdown({label: parallel_time(cfg, work, machine.threads_per_locale)})
+        seconds = local_time_ft(
+            parallel_time(cfg, work, machine.threads_per_locale),
+            faults=faults,
+            locale=k,
+            site=label,
         )
+        per_locale.append(Breakdown({label: seconds}))
     spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
     out = DistSparseVector(x.capacity, x.grid, blocks)
     b = Breakdown({label: spawn}) + Breakdown.parallel(per_locale)

@@ -24,9 +24,10 @@ import numpy as np
 from ..algebra.semiring import PLUS_TIMES, Semiring
 from ..distributed.dist_matrix import DistSparseMatrix
 from ..runtime.clock import Breakdown
-from ..runtime.comm import bulk
+from ..runtime.comm import bulk_ft
+from ..runtime.faults import RETRY_STEP
 from ..runtime.locale import Machine
-from ..runtime.tasks import coforall_spawn, parallel_time
+from ..runtime.tasks import coforall_spawn, local_time_ft, parallel_time
 from ..sparse.csr import CSRMatrix
 from .ewise import ewiseadd_mm
 from .mxm import flops, mxm
@@ -61,6 +62,9 @@ def mxm_dist(
     threads = machine.threads_per_locale
     itemsize = 16
     pen = machine.compute_penalty
+    faults = machine.faults
+    if faults is not None:
+        faults.check_grid(grid, "mxm_dist")
 
     spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
     total = Breakdown({"broadcast": spawn})
@@ -73,23 +77,50 @@ def mxm_dist(
             a_blk = a.block(i, s)
             b_blk = b.block(s, j)
             # broadcast costs: each block travels to q-1 peers (tree), paid
-            # by every receiving locale as one bulk transfer per operand
+            # by every receiving locale as one bulk transfer per operand;
+            # under fault injection each receive is a retriable transfer
             cast = 0.0
+            retry = 0.0
             if s != j:  # A(i, s) arrives from another column
-                cast += bulk(cfg, a_blk.nnz * itemsize, local=machine.oversubscribed)
+                base, extra = bulk_ft(
+                    cfg,
+                    a_blk.nnz * itemsize,
+                    faults=faults,
+                    site=f"mxm_dist.bcastA[{s}->{loc.id}]",
+                    src=grid[(i, s)].id,
+                    dst=loc.id,
+                    local=machine.oversubscribed,
+                )
+                cast += base
+                retry += extra
             if s != i:  # B(s, j) arrives from another row
-                cast += bulk(cfg, b_blk.nnz * itemsize, local=machine.oversubscribed)
-            stage_cast.append(Breakdown({"broadcast": cast}))
+                base, extra = bulk_ft(
+                    cfg,
+                    b_blk.nnz * itemsize,
+                    faults=faults,
+                    site=f"mxm_dist.bcastB[{s}->{loc.id}]",
+                    src=grid[(s, j)].id,
+                    dst=loc.id,
+                    local=machine.oversubscribed,
+                )
+                cast += base
+                retry += extra
+            cast_b = Breakdown({"broadcast": cast})
+            if faults is not None:
+                cast_b = cast_b + Breakdown({RETRY_STEP: retry})
+            stage_cast.append(cast_b)
             # local multiply + merge into the accumulator
             c_blk = mxm(a_blk, b_blk, semiring=semiring)
             work = flops(a_blk, b_blk) * cfg.element_cost * pen
+            slow = local_time_ft(1.0, faults=faults, locale=loc.id, site="mxm_dist")
             stage_mult.append(
                 Breakdown(
                     {
-                        "multiply": parallel_time(cfg, work, threads),
+                        "multiply": parallel_time(cfg, work, threads) * slow,
                         "merge": parallel_time(
                             cfg, c_blk.nnz * cfg.element_cost * pen, threads
-                        ),
+                        )
+                        * slow,
                     }
                 )
             )

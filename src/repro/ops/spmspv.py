@@ -32,9 +32,17 @@ from ..distributed.dist_matrix import DistSparseMatrix, DistSparseMatrix1D
 from ..distributed.dist_vector import DistSparseVector
 from ..runtime.atomics import scattered_rmw
 from ..runtime.clock import Breakdown
-from ..runtime.comm import allgather, bulk, fine_grained, gather_parts_fine, reduce_scatter
+from ..runtime.comm import (
+    allgather,
+    bulk,
+    bulk_ft,
+    fine_grained,
+    gather_parts_ft,
+    reduce_scatter,
+)
+from ..runtime.faults import RETRY_STEP
 from ..runtime.locale import Machine
-from ..runtime.tasks import coforall_spawn, makespan, parallel_time, sort_time
+from ..runtime.tasks import coforall_spawn, local_time_ft, makespan, parallel_time, sort_time
 from ..sparse.csr import CSRMatrix
 from ..sparse.sort import merge_sort, radix_sort
 from ..sparse.spa import SPA
@@ -190,6 +198,15 @@ def spmspv_dist(
     dense Boolean mask during local accumulation, so masked-out entries are
     neither computed nor scattered (BFS's visited-pruning moves inside the
     kernel and the scatter volume drops accordingly).
+
+    When ``machine.faults`` is set the kernel runs under that fault plan:
+    transient gather faults are repaired by re-gathering the part from its
+    owning locale, dropped/duplicated scatter puts are re-sent/de-duplicated
+    at the owner, stragglers stretch their locale's local multiply — all
+    charged to the ``Retries`` breakdown component, with the result still
+    bit-identical to fault-free execution.  A failed locale (or an
+    exhausted retry budget) raises
+    :class:`~repro.runtime.faults.LocaleFailure` instead.
     """
     if mask is not None and np.asarray(mask).size != a.ncols:
         raise ValueError("mask length must equal the matrix column count")
@@ -204,11 +221,17 @@ def spmspv_dist(
     layout = a.layout
     itemsize = 16  # (int64 index, float64 value) per transferred element
     local = machine.oversubscribed
+    faults = machine.faults
+    if faults is not None:
+        # an SPMD kernel needs every locale of the grid alive; a down
+        # locale is an uncovered fault and fails the whole op up front
+        faults.check_grid(grid, "spmspv_dist")
 
     spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
     gather_bs: list[Breakdown] = []
     multiply_bs: list[Breakdown] = []
     scatter_bs: list[Breakdown] = []
+    retry_bs: list[Breakdown] = []
     # partial outputs grouped by owner locale of the global index.  The
     # output index space is the matrix's COLUMN space — for non-square
     # matrices this differs from x's partition (over the row space).
@@ -236,17 +259,39 @@ def spmspv_dist(
         remote_parts = [
             s for t, s in zip(row_team, part_sizes) if t.id != loc.id
         ]
+        remote_srcs = [t.id for t in row_team if t.id != loc.id]
+        retry_t = 0.0
         # Listing 8 copies the locale's OWN part into lxDom too — a local
         # memcpy that gives the 1-node gather its (small) measured cost
         own_copy = bulk(cfg, x.blocks[loc.id].nnz * itemsize, local=True)
         if gather_mode == "fine":
-            gt = own_copy + gather_parts_fine(
-                cfg, remote_parts, threads=threads, concurrent_peers=pc, local=local
+            base, extra = gather_parts_ft(
+                cfg,
+                remote_parts,
+                remote_srcs,
+                faults=faults,
+                site="spmspv_dist.gather",
+                dst=loc.id,
+                threads=threads,
+                concurrent_peers=pc,
+                local=local,
             )
+            gt = own_copy + base
+            retry_t += extra
         elif gather_mode == "bulk":
-            gt = own_copy + sum(
-                bulk(cfg, s * itemsize, local=local) for s in remote_parts
-            )
+            gt = own_copy
+            for s, src in zip(remote_parts, remote_srcs):
+                base, extra = bulk_ft(
+                    cfg,
+                    s * itemsize,
+                    faults=faults,
+                    site=f"spmspv_dist.gather.bulk[{src}->{loc.id}]",
+                    src=src,
+                    dst=loc.id,
+                    local=local,
+                )
+                gt += base
+                retry_t += extra
         else:
             raise ValueError(f"unknown gather_mode {gather_mode!r}")
         gather_bs.append(Breakdown({GATHER_STEP: gt}))
@@ -266,15 +311,45 @@ def spmspv_dist(
             ncols=chi - clo,
             sort=sort,
         )
-        multiply_bs.append(Breakdown({MULTIPLY_STEP: mb.total}))
+        multiply_bs.append(
+            Breakdown(
+                {
+                    MULTIPLY_STEP: local_time_ft(
+                        mb.total,
+                        faults=faults,
+                        locale=loc.id,
+                        site="spmspv_dist.multiply",
+                    )
+                }
+            )
+        )
 
         # ---- Step 3: scatter ly into the global output -------------------
+        # element-wise puts to the owning locales; under fault injection
+        # dropped puts are re-sent after an ack timeout and duplicated puts
+        # de-duplicated at the owner by their sequence tag, so the merged
+        # output stays bit-identical to fault-free execution
         gidx = ly.indices + clo
         owners = out_dist.owners(gidx) if gidx.size else gidx
+        put_cost = fine_grained(
+            cfg, 1, threads=threads, concurrent_peers=pr, local=local
+        )
         for o in np.unique(owners):
             sel = owners == o
-            owner_indices[int(o)].append(gidx[sel] - out_dist.bounds[int(o)])
-            owner_values[int(o)].append(ly.values[sel])
+            idx_o = gidx[sel] - out_dist.bounds[int(o)]
+            val_o = ly.values[sel]
+            if faults is not None and int(o) != loc.id:
+                idx_o, val_o, extra = faults.deliver_puts(
+                    f"spmspv_dist.scatter[{loc.id}->{int(o)}]",
+                    idx_o,
+                    val_o,
+                    src=loc.id,
+                    dst=int(o),
+                    per_element_seconds=put_cost,
+                )
+                retry_t += extra
+            owner_indices[int(o)].append(idx_o)
+            owner_values[int(o)].append(val_o)
         remote_elems = int((owners != loc.id).sum()) if gidx.size else 0
         if scatter_mode == "fine":
             st = fine_grained(
@@ -285,6 +360,7 @@ def spmspv_dist(
         else:
             raise ValueError(f"unknown scatter_mode {scatter_mode!r}")
         scatter_bs.append(Breakdown({SCATTER_STEP: st}))
+        retry_bs.append(Breakdown({RETRY_STEP: retry_t}))
 
     # merge partial outputs at their owners (the "global SPA" + denseToSparse)
     out_blocks: list[SparseVector] = []
@@ -317,6 +393,11 @@ def spmspv_dist(
         + Breakdown.parallel(scatter_bs)
         + Breakdown.parallel(finalize)
     )
+    if faults is not None:
+        # robustness overhead is an explicit component (possibly 0.0), so
+        # fault-free runs keep byte-identical breakdowns while fault runs
+        # surface their retry bill next to the paper's components
+        total = total + Breakdown.parallel(retry_bs)
     return y, machine.record("spmspv_dist", total)
 
 

@@ -2,6 +2,15 @@
 
 from .clock import Breakdown, CostLedger
 from .config import EDISON, LAPTOP, MachineConfig
+from .faults import (
+    RETRY_STEP,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LocaleFailure,
+    RetryExhausted,
+    RetryPolicy,
+)
 from .machines import ETHERNET_CLUSTER, FAST_NETWORK, FAT_NODE, PRESETS, preset
 from .locale import Locale, LocaleGrid, Machine, shared_machine
 from .trace import Span, Trace
@@ -10,4 +19,6 @@ __all__ = [
     "Breakdown", "CostLedger", "MachineConfig", "EDISON", "LAPTOP", "FAT_NODE", "FAST_NETWORK", "ETHERNET_CLUSTER",
     "PRESETS", "preset",
     "Locale", "LocaleGrid", "Machine", "shared_machine",
+    "RETRY_STEP", "FaultEvent", "FaultInjector", "FaultPlan", "LocaleFailure",
+    "RetryExhausted", "RetryPolicy",
 ]

@@ -13,6 +13,12 @@ Paper §IV distils the findings this module encodes:
   tree/ring collectives MPI would provide.
 
 All functions are pure functions of counts (see :mod:`repro.runtime.tasks`).
+The ``*_ft`` variants layer deterministic fault injection
+(:mod:`repro.runtime.faults`) beneath the same cost model: they return
+``(base_seconds, retry_seconds)`` where the retry part is the overhead of
+transient-fault repair under the injector's
+:class:`~repro.runtime.faults.RetryPolicy`; with ``faults=None`` they
+degrade to the pure functions with zero retry cost.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 import math
 
 from .config import MachineConfig
+from .faults import FaultInjector
 
 __all__ = [
     "fine_grained",
@@ -28,6 +35,9 @@ __all__ = [
     "allgather",
     "reduce_scatter",
     "barrier",
+    "fine_grained_ft",
+    "bulk_ft",
+    "gather_parts_ft",
 ]
 
 
@@ -92,6 +102,91 @@ def gather_parts_fine(
             cfg, size, threads=threads, concurrent_peers=concurrent_peers, local=local
         )
     return total
+
+
+def fine_grained_ft(
+    cfg: MachineConfig,
+    n_ops: int,
+    *,
+    faults: FaultInjector | None = None,
+    site: str = "",
+    src: int = 0,
+    dst: int = 0,
+    threads: int = 1,
+    concurrent_peers: int = 1,
+    local: bool = False,
+) -> tuple[float, float]:
+    """:func:`fine_grained` under transient-fault injection.
+
+    The whole batch is one retriable transfer: a transient fault wastes the
+    batch and re-issues it after timeout + backoff.  Returns
+    ``(base_seconds, retry_seconds)``.
+    """
+    base = fine_grained(
+        cfg, n_ops, threads=threads, concurrent_peers=concurrent_peers, local=local
+    )
+    if faults is None or n_ops <= 0:
+        return base, 0.0
+    return faults.transfer(site, base, src=src, dst=dst)
+
+
+def bulk_ft(
+    cfg: MachineConfig,
+    nbytes: int,
+    *,
+    faults: FaultInjector | None = None,
+    site: str = "",
+    src: int = 0,
+    dst: int = 0,
+    local: bool = False,
+) -> tuple[float, float]:
+    """:func:`bulk` under transient-fault injection."""
+    base = bulk(cfg, nbytes, local=local)
+    if faults is None or nbytes <= 0:
+        return base, 0.0
+    return faults.transfer(site, base, src=src, dst=dst)
+
+
+def gather_parts_ft(
+    cfg: MachineConfig,
+    part_sizes: list[int],
+    part_srcs: list[int],
+    *,
+    faults: FaultInjector | None = None,
+    site: str = "",
+    dst: int = 0,
+    threads: int = 1,
+    concurrent_peers: int = 1,
+    local: bool = False,
+) -> tuple[float, float]:
+    """:func:`gather_parts_fine` with each part an independently retried
+    transfer from its owning locale ``part_srcs[k]``.
+
+    On a covered transient fault the part is re-gathered from its owner —
+    the graceful-degradation path of Listing 8 Step 1.  Returns
+    ``(base_seconds, retry_seconds)``.
+    """
+    if faults is None:
+        return (
+            gather_parts_fine(
+                cfg,
+                part_sizes,
+                threads=threads,
+                concurrent_peers=concurrent_peers,
+                local=local,
+            ),
+            0.0,
+        )
+    total = 0.0
+    retries = 0.0
+    for size, src in zip(part_sizes, part_srcs):
+        part = cfg.part_setup * (0.02 if local else 1.0) + fine_grained(
+            cfg, size, threads=threads, concurrent_peers=concurrent_peers, local=local
+        )
+        base, extra = faults.transfer(f"{site}[{src}->{dst}]", part, src=src, dst=dst)
+        total += base
+        retries += extra
+    return total, retries
 
 
 def allgather(cfg: MachineConfig, p: int, nbytes_per_rank: int) -> float:

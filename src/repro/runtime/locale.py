@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from .clock import Breakdown, CostLedger
 from .config import EDISON, MachineConfig
+from .faults import FaultInjector
 
 __all__ = ["Locale", "LocaleGrid", "Machine", "shared_machine"]
 
@@ -118,6 +119,12 @@ class Machine:
         Fig 10 oversubscription study).
     ledger:
         Optional ledger; operations record their breakdowns here when set.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; when set,
+        the distributed kernels run under its fault plan — covered faults
+        are repaired (and their retry cost charged to the ``Retries``
+        breakdown component), uncovered ones raise
+        :class:`~repro.runtime.faults.LocaleFailure`.
     """
 
     config: MachineConfig = field(default_factory=lambda: EDISON)
@@ -125,6 +132,7 @@ class Machine:
     threads_per_locale: int = 1
     locales_per_node: int = 1
     ledger: CostLedger | None = None
+    faults: FaultInjector | None = None
 
     @property
     def num_locales(self) -> int:

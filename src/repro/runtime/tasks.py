@@ -27,6 +27,7 @@ __all__ = [
     "coforall_spawn",
     "chunk_sizes",
     "sort_time",
+    "local_time_ft",
 ]
 
 
@@ -124,6 +125,27 @@ def chunk_sizes(total: int, parts: int) -> np.ndarray:
     out = np.full(parts, base, dtype=np.int64)
     out[:extra] += 1
     return out
+
+
+def local_time_ft(
+    seconds: float,
+    *,
+    faults=None,
+    locale: int = 0,
+    site: str = "",
+) -> float:
+    """Per-locale compute time under fault injection.
+
+    A straggler locale stretches its local work by the plan's slowdown
+    factor (the distributed makespan then degrades to the straggler, which
+    is exactly how a real SPMD ``coforall`` behaves); a failed locale
+    raises :class:`~repro.runtime.faults.LocaleFailure`.  With
+    ``faults=None`` this is the identity.
+    """
+    if faults is None:
+        return seconds
+    faults.check_locale(locale, site)
+    return seconds * faults.slowdown(locale)
 
 
 def sort_time(

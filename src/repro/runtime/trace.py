@@ -6,6 +6,13 @@ The paper diagnoses performance by decomposing time into named phases
 spans (op label × component), supports summarising by either axis, and
 renders an ASCII Gantt-style chart — handy when an algorithm (e.g. a BFS)
 runs dozens of operations and one wants to see *where* simulated time went.
+
+Spans are *nested*: every recorded operation becomes one depth-0 root span
+and each of its breakdown components a depth-1 child of that root.  This
+matters for fault injection (:mod:`repro.runtime.faults`): the retry
+overhead an operation accumulates is charged into its own breakdown's
+``Retries`` component, so it appears as a child span of the retried
+operation — never as a duplicate root pretending to be a separate op.
 """
 
 from __future__ import annotations
@@ -19,12 +26,19 @@ __all__ = ["Span", "Trace"]
 
 @dataclass(frozen=True)
 class Span:
-    """One traced interval: [start, start+duration) of a component."""
+    """One traced interval: [start, start+duration) of a component.
+
+    ``depth`` is 0 for operation roots and 1 for their components;
+    ``parent`` is the index of a component span's root in
+    :attr:`Trace.roots` (``None`` for roots themselves).
+    """
 
     label: str
     component: str
     start: float
     duration: float
+    depth: int = 1
+    parent: int | None = None
 
     @property
     def end(self) -> float:
@@ -33,18 +47,41 @@ class Span:
 
 
 class Trace:
-    """A sequential replay of a ledger's recorded operations."""
+    """A sequential replay of a ledger's recorded operations.
+
+    :attr:`spans` holds the flat component timeline (depth 1);
+    :attr:`roots` holds one enclosing span per recorded operation.
+    """
 
     def __init__(self, ledger: CostLedger) -> None:
         self.spans: list[Span] = []
+        self.roots: list[Span] = []
         clock = 0.0
         for label, breakdown in ledger.entries:
+            root_index = len(self.roots)
+            root_start = clock
             for component, seconds in breakdown.items():
                 if seconds <= 0:
                     continue
-                self.spans.append(Span(label, component, clock, seconds))
+                self.spans.append(
+                    Span(label, component, clock, seconds, depth=1, parent=root_index)
+                )
                 clock += seconds
+            self.roots.append(
+                Span(label, "", root_start, clock - root_start, depth=0, parent=None)
+            )
         self.makespan = clock
+
+    # -- nesting -----------------------------------------------------------
+
+    def children(self, root: int | Span) -> list[Span]:
+        """Component spans nested under the given root (index or span)."""
+        idx = self.roots.index(root) if isinstance(root, Span) else root
+        return [s for s in self.spans if s.parent == idx]
+
+    def roots_by_label(self, label: str) -> list[Span]:
+        """All operation roots recorded under ``label``."""
+        return [r for r in self.roots if r.label == label]
 
     # -- summaries ---------------------------------------------------------
 
@@ -63,7 +100,7 @@ class Trace:
         return out
 
     def top(self, k: int = 5) -> list[Span]:
-        """The k longest spans."""
+        """The k longest component spans."""
         return sorted(self.spans, key=lambda s: s.duration, reverse=True)[:k]
 
     # -- rendering -----------------------------------------------------------
@@ -80,6 +117,17 @@ class Trace:
             bar = " " * lo + "#" * min(ln, width - lo)
             name = f"{s.label}:{s.component}".ljust(name_w)
             lines.append(f"{name} |{bar.ljust(width)}| {s.duration:.3g}s")
+        return "\n".join(lines)
+
+    def render_tree(self) -> str:
+        """Indented operation → component listing (nesting made visible)."""
+        if not self.roots:
+            return "(empty trace)"
+        lines = [f"total simulated time: {self.makespan:.6g} s"]
+        for k, root in enumerate(self.roots):
+            lines.append(f"{root.label}  [{root.duration:.3g}s]")
+            for child in self.children(k):
+                lines.append(f"  └ {child.component}  [{child.duration:.3g}s]")
         return "\n".join(lines)
 
     def __len__(self) -> int:

@@ -1,0 +1,9 @@
+"""Chaos suite: the distributed kernels under deterministic fault injection.
+
+Meta-invariant pinned here: *distributed-under-covered-faults ≡
+local-fault-free* — bit-identical results for every kernel the dispatch
+engine can select, with all repair overhead charged to the ``Retries``
+breakdown component; uncovered faults raise a typed ``LocaleFailure``
+deterministically.  See ``docs/faults.md`` and the CONTRIBUTING section on
+writing chaos tests.
+"""

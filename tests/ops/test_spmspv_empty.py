@@ -1,0 +1,112 @@
+"""Regression: distributed SpMSpV with empty frontiers / empty vector parts.
+
+The gather phase of Listing 8 walks the processor row collecting remote
+vector parts, and the scatter phase partitions the output over the *column*
+space — so a frontier with no entries, a locale whose vector part is empty,
+or a grid with more columns of locales than matrix columns must all
+degrade gracefully rather than index past a zero-size block.  Non-square
+grids are the interesting case: the part owners along a processor row are
+not the locales in that row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_dist, spmspv_shm
+from repro.runtime import LocaleGrid, Machine, shared_machine
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.vector import SparseVector
+
+NONSQUARE_GRIDS = [(2, 3), (3, 2), (1, 5), (5, 1), (2, 4)]
+
+
+def _dist_vs_shm(a, x, grid, **kw):
+    y_ref, _ = spmspv_shm(a, x, shared_machine(1))
+    m = Machine(grid=grid, threads_per_locale=2)
+    yd, b = spmspv_dist(
+        DistSparseMatrix.from_global(a, grid),
+        DistSparseVector.from_global(x, grid),
+        m,
+        **kw,
+    )
+    yd.check()
+    got = yd.gather()
+    assert np.array_equal(got.indices, y_ref.indices)
+    assert np.array_equal(got.values, y_ref.values)
+    return yd, b
+
+
+@pytest.mark.parametrize("shape", NONSQUARE_GRIDS)
+def test_empty_frontier_nonsquare_grid(shape):
+    """x has no entries at all: the result is empty on every locale."""
+    grid = LocaleGrid(*shape)
+    a = erdos_renyi(24, 3.0, seed=11)
+    x = SparseVector.empty(24)
+    yd, _ = _dist_vs_shm(a, x, grid)
+    assert yd.nnz == 0
+
+
+@pytest.mark.parametrize("shape", NONSQUARE_GRIDS)
+@pytest.mark.parametrize("gather_mode", ["fine", "bulk"])
+def test_some_vector_parts_empty(shape, gather_mode):
+    """The frontier lives entirely in the first block, so every other
+    locale contributes an empty part to the row-wise gather."""
+    grid = LocaleGrid(*shape)
+    n = 40
+    # small-integer values keep every semiring sum exactly representable,
+    # so bit-identity holds regardless of accumulation order
+    a = erdos_renyi(n, 4.0, seed=7, values="one")
+    first_block = max(1, n // grid.size // 2)
+    idx = np.arange(first_block)
+    x = SparseVector(n, idx, np.arange(1.0, first_block + 1.0))
+    _dist_vs_shm(a, x, grid, gather_mode=gather_mode)
+
+
+@pytest.mark.parametrize("shape", [(2, 3), (3, 2)])
+def test_rectangular_matrix_nonsquare_grid(shape):
+    """nrows != ncols: output capacity follows the column space."""
+    grid = LocaleGrid(*shape)
+    nrows, ncols = 18, 33
+    rng = np.random.default_rng(5)
+    rows = rng.integers(0, nrows, 60)
+    cols = rng.integers(0, ncols, 60)
+    a = CSRMatrix.from_triples(nrows, ncols, rows, cols, np.ones(60))
+    x = random_sparse_vector(nrows, nnz=7, seed=9, values="index")
+    yd, _ = _dist_vs_shm(a, x, grid)
+    assert yd.capacity == ncols
+
+
+@pytest.mark.parametrize("shape", [(1, 5), (5, 1), (2, 4)])
+def test_fewer_columns_than_locales(shape):
+    """ncols < grid.size: some output blocks have zero capacity."""
+    grid = LocaleGrid(*shape)
+    nrows, ncols = 12, grid.size - 1
+    rng = np.random.default_rng(3)
+    rows = rng.integers(0, nrows, 30)
+    cols = rng.integers(0, ncols, 30)
+    a = CSRMatrix.from_triples(nrows, ncols, rows, cols, np.ones(30))
+    x = random_sparse_vector(nrows, nnz=5, seed=2, values="index")
+    yd, _ = _dist_vs_shm(a, x, grid)
+    assert yd.capacity == ncols
+    assert any(b.capacity == 0 for b in yd.blocks)
+
+
+@pytest.mark.parametrize("shape", NONSQUARE_GRIDS)
+@pytest.mark.parametrize("scatter_mode", ["fine", "bulk"])
+def test_empty_result_rows_nonsquare_grid(shape, scatter_mode):
+    """The frontier selects only structurally-empty matrix rows, so the
+    multiply produces nothing and the scatter ships nothing."""
+    grid = LocaleGrid(*shape)
+    n = 30
+    # only even rows are populated …
+    rows = np.repeat(np.arange(0, n, 2), 2)
+    rng = np.random.default_rng(8)
+    cols = rng.integers(0, n, rows.size)
+    a = CSRMatrix.from_triples(n, n, rows, cols, np.ones(rows.size))
+    # … and the frontier touches only odd ones
+    idx = np.arange(1, n, 2)
+    x = SparseVector(n, idx, np.ones(idx.size))
+    yd, _ = _dist_vs_shm(a, x, grid, scatter_mode=scatter_mode)
+    assert yd.nnz == 0

@@ -57,3 +57,97 @@ class TestTrace:
 
     def test_render_empty(self):
         assert "(empty trace)" in Trace(CostLedger()).render()
+
+
+class TestTraceNesting:
+    def test_one_root_per_recorded_op(self):
+        t = Trace(make_ledger())
+        assert [r.label for r in t.roots] == ["spmspv", "mask", "spmspv"]
+        assert all(r.depth == 0 and r.parent is None for r in t.roots)
+
+    def test_roots_enclose_their_children(self):
+        t = Trace(make_ledger())
+        for k, root in enumerate(t.roots):
+            kids = t.children(k)
+            assert kids, "every recorded op has at least one component"
+            assert all(s.depth == 1 and s.parent == k for s in kids)
+            assert kids[0].start == root.start
+            assert kids[-1].end == root.end
+            assert sum(s.duration for s in kids) == root.duration
+
+    def test_children_accepts_span_or_index(self):
+        t = Trace(make_ledger())
+        assert t.children(t.roots[0]) == t.children(0)
+
+    def test_roots_by_label(self):
+        t = Trace(make_ledger())
+        assert len(t.roots_by_label("spmspv")) == 2
+        assert len(t.roots_by_label("mask")) == 1
+        assert t.roots_by_label("nope") == []
+
+    def test_render_tree(self):
+        out = Trace(make_ledger()).render_tree()
+        assert "spmspv" in out and "└ SPA" in out
+        assert "(empty trace)" in Trace(CostLedger()).render_tree()
+
+
+class TestRetriedOpsNestCleanly:
+    """The fault-injection contract: retry overhead shows up as a child
+    component of the retried operation, never as a duplicate root."""
+
+    def _run_under_faults(self, seed=7):
+        import numpy as np
+
+        from repro.distributed import DistSparseMatrix, DistSparseVector
+        from repro.generators import erdos_renyi, random_sparse_vector
+        from repro.ops import spmspv_dist
+        from repro.runtime import (
+            RETRY_STEP,
+            FaultInjector,
+            FaultPlan,
+            LocaleGrid,
+            Machine,
+            RetryPolicy,
+        )
+
+        grid = LocaleGrid(2, 3)
+        a = erdos_renyi(40, 4, seed=1)
+        x = random_sparse_vector(40, nnz=20, seed=2)
+        led = CostLedger()
+        m = Machine(
+            grid=grid,
+            threads_per_locale=2,
+            ledger=led,
+            faults=FaultInjector(
+                FaultPlan(
+                    seed=seed, transient_rate=0.5, max_burst=2, drop_rate=0.3
+                ),
+                RetryPolicy(max_attempts=4),
+            ),
+        )
+        spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            m,
+        )
+        assert m.faults.events, "plan is hot enough to fire"
+        return Trace(led), RETRY_STEP
+
+    def test_retries_are_child_spans_not_roots(self):
+        t, retry = self._run_under_faults()
+        # exactly the one operation root — retries did not fork new roots
+        assert [r.label for r in t.roots] == ["spmspv_dist"]
+        kids = t.children(0)
+        assert retry in [s.component for s in kids]
+        assert all(s.parent == 0 for s in kids)
+        # and no root span is ever labelled as the retry component
+        assert all(r.label != retry for r in t.roots)
+
+    def test_retry_children_deterministic(self):
+        t1, retry = self._run_under_faults(seed=11)
+        t2, _ = self._run_under_faults(seed=11)
+        d1 = [(s.component, s.duration) for s in t1.children(0)]
+        d2 = [(s.component, s.duration) for s in t2.children(0)]
+        assert d1 == d2
+        r1 = [s for s in t1.children(0) if s.component == retry]
+        assert len(r1) == 1 and r1[0].duration > 0

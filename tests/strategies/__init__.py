@@ -6,6 +6,13 @@ Re-exports the commonly used strategies and settings tiers::
 """
 
 from tests.strategies.algebra import MONOIDS, SEMIRINGS, monoids, semirings
+from tests.strategies.faults import (
+    covered_injectors,
+    covered_setups,
+    fault_plans,
+    retry_policies,
+    uncovered_setups,
+)
 from tests.strategies.machines import locale_grids, machines
 from tests.strategies.matrices import (
     EXACT_VALUES,
@@ -33,8 +40,13 @@ __all__ = [
     "SLOW_SETTINGS",
     "STANDARD_SETTINGS",
     "coo_matrices",
+    "covered_injectors",
+    "covered_setups",
     "csr_matrices",
     "dense_masks",
+    "fault_plans",
+    "retry_policies",
+    "uncovered_setups",
     "locale_grids",
     "machines",
     "matrix_vector_pairs",

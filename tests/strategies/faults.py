@@ -1,0 +1,110 @@
+"""Hypothesis strategies for fault plans, retry policies, and injectors.
+
+The chaos suite (``tests/chaos/``) distinguishes *covered* setups — every
+fault the plan can produce is repaired by the policy, so distributed
+results must stay bit-identical to fault-free local execution — from
+*uncovered* ones, which must raise a typed
+:class:`~repro.runtime.faults.LocaleFailure` deterministically.  Coverage
+is decidable up front (``plan.covered_by(policy)``), so strategies can
+generate each class by construction instead of filtering.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.runtime.faults import FaultInjector, FaultPlan, RetryPolicy
+
+__all__ = [
+    "retry_policies",
+    "fault_plans",
+    "covered_setups",
+    "uncovered_setups",
+    "covered_injectors",
+]
+
+
+def retry_policies(
+    *, min_attempts: int = 1, max_attempts: int = 8
+) -> st.SearchStrategy[RetryPolicy]:
+    """A retry/timeout/backoff policy with simulated-time parameters."""
+    return st.builds(
+        RetryPolicy,
+        max_attempts=st.integers(min_attempts, max_attempts),
+        detect_timeout=st.floats(0.0, 1e-3),
+        backoff_base=st.floats(0.0, 1e-3),
+        backoff_factor=st.floats(1.0, 4.0),
+    )
+
+
+@st.composite
+def fault_plans(
+    draw,
+    *,
+    max_locales: int = 9,
+    max_burst: int = 3,
+    allow_failures: bool = False,
+) -> FaultPlan:
+    """A seed-driven fault plan over a grid of up to ``max_locales``.
+
+    Rates are drawn high enough that most runs actually observe faults;
+    stragglers hit a random subset of locales.  Failed locales only appear
+    when ``allow_failures`` is set.
+    """
+    failed: set[int] = set()
+    if allow_failures:
+        failed = set(
+            draw(
+                st.sets(
+                    st.integers(0, max_locales - 1), min_size=1, max_size=max_locales
+                )
+            )
+        )
+    stragglers = draw(
+        st.dictionaries(
+            st.integers(0, max_locales - 1), st.floats(1.0, 8.0), max_size=3
+        )
+    )
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**31 - 1)),
+        transient_rate=draw(st.floats(0.0, 0.6)),
+        max_burst=draw(st.integers(0, max_burst)),
+        drop_rate=draw(st.floats(0.0, 0.4)),
+        dup_rate=draw(st.floats(0.0, 0.4)),
+        stragglers=stragglers,
+        failed_locales=frozenset(failed),
+    )
+
+
+@st.composite
+def covered_setups(
+    draw, *, max_locales: int = 9
+) -> tuple[FaultPlan, RetryPolicy]:
+    """A (plan, policy) pair that is covered *by construction*:
+    no failed locales, and strictly more retry attempts than the plan's
+    longest transient burst."""
+    plan = draw(fault_plans(max_locales=max_locales, allow_failures=False))
+    policy = draw(retry_policies(min_attempts=plan.max_burst + 1))
+    assert plan.covered_by(policy)
+    return plan, policy
+
+
+@st.composite
+def uncovered_setups(
+    draw, *, max_locales: int = 9
+) -> tuple[FaultPlan, RetryPolicy]:
+    """A (plan, policy) pair guaranteed to produce an uncovered fault mode:
+    at least one permanently failed locale."""
+    plan = draw(
+        fault_plans(max_locales=max_locales, allow_failures=True)
+    )
+    policy = draw(retry_policies())
+    assert not plan.covered_by(policy)
+    return plan, policy
+
+
+@st.composite
+def covered_injectors(draw, *, max_locales: int = 9) -> FaultInjector:
+    """A ready-to-attach injector whose plan the policy fully covers."""
+    plan, policy = draw(covered_setups(max_locales=max_locales))
+    return FaultInjector(plan, policy)

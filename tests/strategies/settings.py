@@ -39,8 +39,12 @@ _PROFILES = {
     "slow": SLOW_SETTINGS,
 }
 
+#: the active profile's name, for tests that scale other knobs by tier
+#: (e.g. stateful step counts in the chaos suite)
+PROFILE_NAME = os.environ.get("REPRO_TEST_PROFILE", "standard").lower()
+
 #: the profile the property suite decorates its tests with
-PROFILE = _PROFILES[os.environ.get("REPRO_TEST_PROFILE", "standard").lower()]
+PROFILE = _PROFILES[PROFILE_NAME]
 
 #: PROFILE scaled down for tests whose single example is expensive
 #: (distributed grids, multi-kernel cross-checks)

@@ -61,6 +61,39 @@ def test_spmspv_dist_equals_shm_any_grid(wl, p, semiring):
 
 
 @settings(max_examples=30, deadline=None)
+@given(workload(), st.sampled_from(SEMIRINGS))
+def test_auto_dispatch_matches_forced_push(wl, semiring):
+    """The cost-model auto dispatcher is an equivalence variant too: whatever
+    kernel it selects must agree with the baseline push kernel."""
+    from repro.vector_api import Vector
+
+    a, x = wl
+    y_ref, _ = spmspv_shm(a, x, shared_machine(1), semiring=semiring)
+    got = Vector.wrap(x).vxm(a, semiring=semiring, mode="auto").data
+    assert np.array_equal(got.indices, y_ref.indices)
+    assert np.allclose(got.values, y_ref.values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload(), st.integers(1, 12), st.sampled_from(SEMIRINGS))
+def test_auto_dispatch_dist_equals_shm_any_grid(wl, p, semiring):
+    """Distributed auto dispatch (gather/scatter/sort all chosen by the
+    cost model) stays numerically identical to local execution — driven
+    through the DistVector API, so dispatch composes with the OO layer."""
+    from repro.dist_api import DistMatrix, DistVector
+
+    a, x = wl
+    y_ref, _ = spmspv_shm(a, x, shared_machine(1), semiring=semiring)
+    grid = LocaleGrid.for_count(p)
+    machine = Machine(grid=grid, threads_per_locale=2)
+    ad = DistMatrix.distribute(a, machine)
+    xd = DistVector.distribute(x, machine)
+    got = xd.vxm(ad, semiring=semiring).gather()
+    assert np.array_equal(got.indices, y_ref.indices)
+    assert np.allclose(got.values, y_ref.values)
+
+
+@settings(max_examples=30, deadline=None)
 @given(workload(), st.sampled_from(["fine", "bulk"]), st.sampled_from(["merge", "radix"]))
 def test_mode_variants_numerically_identical(wl, comm, sort):
     a, x = wl
