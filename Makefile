@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-props test-chaos bench bench-full figures report examples clean
+.PHONY: install test test-props test-chaos bench bench-agg bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -24,6 +24,9 @@ test-chaos:          ## chaos suite + runtime tests (REPRO_TEST_PROFILE=quick|st
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-agg:           ## aggregation-exchange ablation; writes results/BENCH_agg.json
+	$(PYTHON) -m pytest benchmarks/test_abl_aggregation.py
 
 bench-full:          ## paper-exact input sizes (~16 GB, slow)
 	REPRO_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,186 @@
+"""Ablation — fine vs bulk vs aggregated exchange on the Fig 8/9 configs.
+
+The PR's headline numbers: the destination-buffered, two-hop-routed,
+overlap-pipelined exchange (``docs/aggregation.md``) against the
+fine-grained and bulk transports on the paper's two distributed SpMSpV
+configurations (Fig 8: 1M nnz, Fig 9: 10M nnz; d = 16, f = 0.02).
+
+Beyond the usual figure emission this bench records the perf trajectory in
+``benchmarks/results/BENCH_agg.json``: simulated seconds per (config, mode,
+node count), the dispatcher's auto-mode ratio against the best fixed mode,
+and wall-clock timings of the real numpy kernel (the vectorised group-by
+scatter path) — so later PRs can diff both axes.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import NODE_SWEEP, Series, scaled_nnz
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_dist
+from repro.ops.dispatch import Dispatcher
+from repro.ops.spmspv import SCATTER_STEP
+from repro.runtime import CostLedger, FaultInjector, FaultPlan, LocaleGrid, Machine, RetryPolicy
+
+from _common import RESULTS_DIR, emit
+
+MODES = ["fine", "bulk", "agg"]
+
+CONFIGS = {
+    "fig8_1m": scaled_nnz(1_000_000, minimum=20_000),
+    "fig9_10m": scaled_nnz(10_000_000, minimum=100_000),
+}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        name: (erdos_renyi(n, 16, seed=3), random_sparse_vector(n, density=0.02, seed=5))
+        for name, n in CONFIGS.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def distributions(workloads):
+    """One (matrix, vector) distribution per (config, p), shared by every
+    mode and by the dispatch test — distributing the 10M-scale matrix is
+    the expensive real work, the sweep should pay it once per grid."""
+    out = {}
+    for name, (a, x) in workloads.items():
+        for p in NODE_SWEEP:
+            grid = LocaleGrid.for_count(p)
+            out[(name, p)] = (
+                DistSparseMatrix.from_global(a, grid),
+                DistSparseVector.from_global(x, grid),
+                grid,
+            )
+    return out
+
+
+@pytest.fixture(scope="module")
+def sweep(distributions):
+    """simulated/wall-clock numbers per (config, mode, p)."""
+    out = {name: {mode: [] for mode in MODES} for name in CONFIGS}
+    for name in CONFIGS:
+        for p in NODE_SWEEP:
+            ad, xd, grid = distributions[(name, p)]
+            for mode in MODES:
+                m = Machine(grid=grid, threads_per_locale=24)
+                t0 = time.perf_counter()
+                _, b = spmspv_dist(
+                    ad, xd, m, gather_mode=mode, scatter_mode=mode
+                )
+                wall = time.perf_counter() - t0
+                out[name][mode].append(
+                    {
+                        "nodes": p,
+                        "simulated_s": b.total,
+                        "scatter_s": b[SCATTER_STEP],
+                        "wall_s": wall,
+                    }
+                )
+    return out
+
+
+def _series(per_mode):
+    return [
+        Series(
+            mode,
+            [r["nodes"] for r in rows],
+            [r["simulated_s"] for r in rows],
+            components={SCATTER_STEP: [r["scatter_s"] for r in rows]},
+        )
+        for mode, rows in per_mode.items()
+    ]
+
+
+def test_ablation_aggregated_exchange(benchmark, sweep, distributions):
+    for name, per_mode in sweep.items():
+        emit(
+            f"abl_aggregation_{name}",
+            f"Ablation ({name}): fine vs bulk vs aggregated exchange",
+            "nodes",
+            _series(per_mode),
+            show_components=True,
+        )
+
+    # headline criterion: on the Fig 9 config at 16+ locales the aggregated
+    # scatter beats the fine-grained one by >= 5x simulated time
+    fig9 = sweep["fig9_10m"]
+    for p in [16, 32, 64]:
+        idx = NODE_SWEEP.index(p)
+        fine = fig9["fine"][idx]["scatter_s"]
+        agg = fig9["agg"][idx]["scatter_s"]
+        assert agg * 5 <= fine, f"agg scatter not 5x better at p={p}"
+
+    # the aggregated exchange also wins end-to-end at scale
+    for p in [16, 32, 64]:
+        idx = NODE_SWEEP.index(p)
+        assert fig9["agg"][idx]["simulated_s"] < fig9["fine"][idx]["simulated_s"]
+
+    # real wall-clock: one representative run of the vectorised kernel
+    ad, xd, grid = distributions[("fig8_1m", 16)]
+    m = Machine(grid=grid, threads_per_locale=24)
+    benchmark(lambda: spmspv_dist(ad, xd, m, gather_mode="agg", scatter_mode="agg"))
+
+
+def test_dispatch_auto_never_worse(sweep, distributions):
+    """Auto dispatch lands within 1.1x of the best fixed mode everywhere
+    on the ablation grid."""
+    auto_ratios = {}
+    for name in CONFIGS:
+        per_mode = sweep[name]
+        for idx, p in enumerate(NODE_SWEEP):
+            ad, xd, grid = distributions[(name, p)]
+            m = Machine(grid=grid, threads_per_locale=24, ledger=CostLedger())
+            _, b = Dispatcher(m).vxm_dist(ad, xd)
+            best = min(per_mode[mode][idx]["simulated_s"] for mode in MODES)
+            ratio = b.total / best
+            auto_ratios[f"{name}@p{p}"] = ratio
+            assert ratio <= 1.1, f"auto {ratio:.3f}x worse than best at {name} p={p}"
+    # stash for the JSON writer
+    sweep["_auto_ratios"] = auto_ratios
+
+
+def test_agg_faults_bit_identical(distributions):
+    """A covered fault plan leaves the aggregated run's result
+    bit-identical to the fault-free one (retries repair everything)."""
+    import numpy as np
+
+    ad, xd, grid = distributions[("fig8_1m", 16)]
+    clean, _ = spmspv_dist(
+        ad, xd, Machine(grid=grid, threads_per_locale=24),
+        gather_mode="agg", scatter_mode="agg",
+    )
+    plan = FaultPlan(seed=11, transient_rate=0.4, max_burst=3, drop_rate=0.2, dup_rate=0.2)
+    policy = RetryPolicy(max_attempts=8, detect_timeout=1e-4, backoff_base=5e-5)
+    m = Machine(
+        grid=grid, threads_per_locale=24, faults=FaultInjector(plan, policy)
+    )
+    faulted, _ = spmspv_dist(
+        ad, xd, m, gather_mode="agg", scatter_mode="agg"
+    )
+    g_clean = clean.gather()
+    g_faulted = faulted.gather(faults=m.faults)
+    assert np.array_equal(g_clean.indices, g_faulted.indices)
+    assert np.array_equal(g_clean.values, g_faulted.values)
+
+
+def test_write_bench_json(sweep):
+    """Persist the perf trajectory (runs after the sweep-consuming tests)."""
+    payload = {
+        "bench": "aggregation_exchange",
+        "node_sweep": NODE_SWEEP,
+        "configs": {name: {"nnz_target": n} for name, n in CONFIGS.items()},
+        "results": {k: v for k, v in sweep.items() if not k.startswith("_")},
+        "auto_vs_best_ratio": sweep.get("_auto_ratios", {}),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_agg.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    assert out.exists()
+    print(f"\nwrote {out}")

@@ -22,8 +22,8 @@ from .algebra import PLUS_TIMES, Semiring, UnaryOp
 from .algebra.functional import BinaryOp
 from .distributed.dist_matrix import DistSparseMatrix
 from .distributed.dist_vector import DistDenseVector, DistSparseVector
-from .ops.apply import apply1, apply2
-from .ops.assign import assign1, assign2
+from .ops.apply import apply1, apply2, apply_agg
+from .ops.assign import assign1, assign2, assign_agg
 from .ops.ewise import ewisemult_dist
 from .ops.mask import mask_dist_vector
 from .ops.mxm_dist import mxm_dist
@@ -35,6 +35,11 @@ from .sparse.csr import CSRMatrix
 from .sparse.vector import SparseVector
 
 __all__ = ["DistMatrix", "DistVector"]
+
+#: Apply/Assign implementation variants: 1 = fine-grained driver loop
+#: (Listing 2/4), 2 = SPMD (Listing 3/5), 3 = aggregated remote streams
+_APPLY_VARIANTS = {1: apply1, 2: apply2, 3: apply_agg}
+_ASSIGN_VARIANTS = {1: assign1, 2: assign2, 3: assign_agg}
 
 
 class DistVector:
@@ -92,17 +97,20 @@ class DistVector:
     # -- operations ---------------------------------------------------------------
 
     def apply(self, op: UnaryOp, *, variant: int = 2) -> "DistVector":
-        """Paper Apply (variant 1 = fine-grained forall, 2 = SPMD).
+        """Paper Apply (variant 1 = fine-grained forall, 2 = SPMD,
+        3 = driver-initiated with aggregated/overlapped remote streams).
 
         Non-mutating: operates on a copy.
         """
         out = self._data.copy()
-        (apply1 if variant == 1 else apply2)(out, op, self.machine)
+        _APPLY_VARIANTS[variant](out, op, self.machine)
         return DistVector(out, self.machine)
 
     def assign_from(self, src: "DistVector", *, variant: int = 2) -> "DistVector":
-        """Paper Assign into this vector (matching distribution); returns self."""
-        (assign1 if variant == 1 else assign2)(self._data, src._data, self.machine)
+        """Paper Assign into this vector (matching distribution); returns
+        self.  ``variant`` as in :meth:`apply`: 1 fine-grained, 2 SPMD,
+        3 aggregated streams."""
+        _ASSIGN_VARIANTS[variant](self._data, src._data, self.machine)
         return self
 
     def ewise_mult_dense(
@@ -146,8 +154,9 @@ class DistVector:
         by the machine's cost model via
         :class:`~repro.ops.dispatch.Dispatcher`, and the decision is
         recorded as a ``dispatch[vxm_dist]`` span in the ledger; explicit
-        ``"fine"``/``"bulk"``/``"merge"``/``"radix"`` force the paper's
-        hand-picked variants.
+        ``"fine"``/``"bulk"``/``"agg"``/``"merge"``/``"radix"`` force a
+        fixed variant (``"agg"`` is the aggregated exchange of
+        ``docs/aggregation.md``).
         """
         from .ops.dispatch import Dispatcher
 
@@ -215,15 +224,41 @@ class DistMatrix:
     # -- operations ----------------------------------------------------------------
 
     def apply(self, op: UnaryOp, *, variant: int = 2) -> "DistMatrix":
-        """Paper Apply over a distributed matrix (non-mutating)."""
+        """Paper Apply over a distributed matrix (non-mutating); ``variant``
+        as in :meth:`DistVector.apply`."""
         blocks = [blk.copy() for blk in self._data.blocks]
         out = DistSparseMatrix(self._data.nrows, self._data.ncols, self._data.grid, blocks)
-        (apply1 if variant == 1 else apply2)(out, op, self.machine)
+        _APPLY_VARIANTS[variant](out, op, self.machine)
         return DistMatrix(out, self.machine)
 
-    def mxm(self, other: "DistMatrix", *, semiring: Semiring = PLUS_TIMES) -> "DistMatrix":
-        """Distributed SpGEMM (sparse SUMMA; square grids)."""
-        c, _ = mxm_dist(self._data, other._data, self.machine, semiring=semiring)
+    def mxm(
+        self,
+        other: "DistMatrix",
+        *,
+        semiring: Semiring = PLUS_TIMES,
+        comm_mode: str = "auto",
+    ) -> "DistMatrix":
+        """Distributed SpGEMM (sparse SUMMA; square grids).
+
+        ``comm_mode``: ``"bulk"`` (one bulk transfer per stage operand),
+        ``"agg"`` (flush-batched broadcasts software-pipelined behind the
+        previous stage's multiply), or ``"auto"`` — the cost model picks
+        and records a ``dispatch[mxm_dist]`` span in the ledger.
+        """
+        if comm_mode == "auto":
+            from .ops.dispatch import Dispatcher
+
+            c, _ = Dispatcher(self.machine).mxm_dist(
+                self._data, other._data, semiring=semiring
+            )
+        else:
+            c, _ = mxm_dist(
+                self._data,
+                other._data,
+                self.machine,
+                semiring=semiring,
+                comm_mode=comm_mode,
+            )
         return DistMatrix(c, self.machine)
 
     def __matmul__(self, other: "DistMatrix") -> "DistMatrix":

@@ -21,15 +21,15 @@ from ..algebra.semiring import (
     MIN_SECOND, PLUS_FIRST, PLUS_PAIR, PLUS_SECOND, PLUS_TIMES, Semiring,
     semiring,
 )
-from .apply import apply1, apply2, apply_shm
+from .apply import apply1, apply2, apply_agg, apply_shm
 from .assign_general import assign_matrix, assign_vector
 from .construct import block_diag, diag, diag_extract, hstack, kronecker, vstack
-from .assign import assign1, assign2, assign_shm1, assign_shm2
+from .assign import assign1, assign2, assign_agg, assign_shm1, assign_shm2
 from .ewise import (
     ewiseadd_mm, ewiseadd_vv, ewisemult_dist, ewisemult_mm,
     ewisemult_sparse_dense, ewisemult_vv,
 )
-from .ewise_dist import ewiseadd_dist_vv, ewisemult_dist_vv
+from .ewise_dist import ewiseadd_dist_vv, ewisemult_dist_vv, redistribute
 from .select import select_dist_vector, select_vector
 from .extract import extract_col, extract_matrix, extract_row, extract_vector
 from .mask import mask_dist_vector, mask_matrix, mask_vector, mask_vector_dense
@@ -40,7 +40,7 @@ from .reduce import (
     reduce_rows_sparse, reduce_vector,
 )
 from .dispatch import PULL, PUSH_MERGE, PUSH_RADIX, PUSH_SORTBASED, Decision, Dispatcher
-from .spmspv import spmspv_dist, spmspv_dist_1d, spmspv_shm
+from .spmspv import bulk_scatter_cost, spmspv_dist, spmspv_dist_1d, spmspv_shm
 from .spmspv_merge import spmspv_shm_merge
 from .spmv import spmv, spmv_dist, vxm_dense, vxm_pull
 from .transpose import transpose, transpose_dist
@@ -57,16 +57,17 @@ __all__ = [
     "LOR_MONOID", "LAND_MONOID", "LXOR_MONOID", "ANY_MONOID",
     "PLUS_TIMES", "MIN_PLUS", "MAX_TIMES", "MAX_MIN", "LOR_LAND",
     "MIN_FIRST", "MIN_SECOND", "PLUS_PAIR", "PLUS_FIRST", "PLUS_SECOND", "ANY_SECOND",
-    "apply_shm", "apply1", "apply2",
+    "apply_shm", "apply1", "apply2", "apply_agg",
     "assign_vector", "assign_matrix",
     "kronecker", "hstack", "vstack", "block_diag", "diag", "diag_extract",
     "mxm_dist",
-    "assign_shm1", "assign_shm2", "assign1", "assign2",
+    "assign_shm1", "assign_shm2", "assign1", "assign2", "assign_agg",
     "ewisemult_sparse_dense", "ewisemult_dist", "ewisemult_vv", "ewiseadd_vv",
     "ewisemult_mm", "ewiseadd_mm",
-    "ewiseadd_dist_vv", "ewisemult_dist_vv",
+    "ewiseadd_dist_vv", "ewisemult_dist_vv", "redistribute",
     "select_vector", "select_dist_vector",
     "spmspv_shm", "spmspv_shm_merge", "spmspv_dist", "spmspv_dist_1d",
+    "bulk_scatter_cost",
     "spmv", "vxm_dense", "vxm_pull", "spmv_dist",
     "Dispatcher", "Decision", "PUSH_MERGE", "PUSH_RADIX", "PUSH_SORTBASED", "PULL",
     "mxm", "mxm_gustavson", "flops",

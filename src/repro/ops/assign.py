@@ -28,8 +28,17 @@ import numpy as np
 
 from ..distributed.dist_matrix import DistSparseMatrix
 from ..distributed.dist_vector import DistSparseVector
+from ..runtime.aggregation import (
+    AGG_DEFAULT,
+    AggregationConfig,
+    flush_cost,
+    flush_startup,
+    num_flushes,
+    overlap_exposed,
+)
 from ..runtime.clock import Breakdown
 from ..runtime.comm import fine_grained
+from ..runtime.faults import RETRY_STEP
 from ..runtime.locale import Machine
 from ..runtime.tasks import coforall_spawn, parallel_time
 from ..sparse.vector import SparseVector
@@ -39,8 +48,10 @@ __all__ = [
     "assign_shm2",
     "assign1",
     "assign2",
+    "assign_agg",
     "assign1_cost",
     "assign2_cost",
+    "assign_agg_cost",
 ]
 
 
@@ -137,6 +148,84 @@ def assign1(
     for d, s in zip(dst.blocks, src.blocks):
         _copy_into(d, s)
     return machine.record("assign1", assign1_cost(machine, src.nnz_per_locale()))
+
+
+def assign_agg_cost(
+    machine: Machine,
+    nnz_per_locale: np.ndarray,
+    *,
+    agg: AggregationConfig = AGG_DEFAULT,
+) -> tuple[Breakdown, float]:
+    """Simulated cost of :func:`assign_agg` and its un-overlapped comm time.
+
+    Listing 4's driver-initiated copy, with each remote block moved as two
+    coalesced flush streams (source get, destination put) instead of
+    ``2·nnz`` fine-grained round trips.  The per-element log-time domain
+    searches still happen — they are compute at the owners, and the streams
+    overlap them.
+    """
+    cfg = machine.config
+    nnz_per_locale = np.asarray(nnz_per_locale, dtype=np.int64)
+    total = int(nnz_per_locale.sum())
+    remote = nnz_per_locale[1:]
+    remote_nnz = int(remote.sum())
+    threads = machine.threads_per_locale
+    pen = machine.compute_penalty
+    search = 2.0 * cfg.search_cost * _log_nnz(total)
+    compute = parallel_time(cfg, total * (search + cfg.element_cost) * pen, threads)
+    oversub = machine.oversubscribed
+    comm = 2.0 * sum(
+        flush_cost(cfg, int(n), agg=agg, local=oversub) for n in remote if n
+    )
+    exposed = comm
+    if agg.overlap and comm > 0.0:
+        exposed = overlap_exposed(
+            comm,
+            compute,
+            flush_startup(cfg, remote_nnz, agg=agg, local=oversub),
+        )
+    return Breakdown({"assign": compute + exposed}), comm
+
+
+def assign_agg(
+    dst: DistSparseVector | DistSparseMatrix,
+    src: DistSparseVector | DistSparseMatrix,
+    machine: Machine,
+    *,
+    agg: AggregationConfig = AGG_DEFAULT,
+) -> Breakdown:
+    """Listing 4 semantics with aggregated remote access.
+
+    Same result as :func:`assign1`; remote blocks travel as flush-batched
+    streams overlapped with the domain searches.  Under fault injection the
+    batches retry whole (sequence-tagged) and the bill lands in
+    ``Retries``."""
+    faults = machine.faults
+    if faults is not None:
+        faults.check_grid(dst.grid, "assign_agg")
+    for d, s in zip(dst.blocks, src.blocks):
+        _copy_into(d, s)
+    b, _ = assign_agg_cost(machine, src.nnz_per_locale(), agg=agg)
+    if faults is not None:
+        cfg = machine.config
+        retry = 0.0
+        for k, n in enumerate(src.nnz_per_locale()):
+            n = int(n)
+            if k == 0 or n == 0:
+                continue
+            cost = flush_cost(cfg, n, agg=agg, local=machine.oversubscribed)
+            batches = num_flushes(n, agg.flush_elems)
+            for leg, src_id, dst_id in (("get", k, 0), ("put", 0, k)):
+                _, extra = faults.batched_transfer(
+                    f"assign_agg.{leg}[{src_id}->{dst_id}]",
+                    batches,
+                    cost / batches,
+                    src=src_id,
+                    dst=dst_id,
+                )
+                retry += extra
+        b = b + Breakdown({RETRY_STEP: retry})
+    return machine.record("assign_agg", b)
 
 
 def assign2_cost(machine: Machine, nnz_per_locale: np.ndarray) -> Breakdown:

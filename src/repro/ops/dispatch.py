@@ -22,8 +22,10 @@ Candidates per operation:
 ``vxm``        ``push[merge]`` / ``push[radix]`` (SPA SpMSpV, Listing 7),
                ``push[sortbased]`` (SPA-free expand/sort/compress),
                ``pull`` (masked dense-direction scan of ``Aᵀ``)
-``vxm_dist``   ``fine`` / ``bulk`` gather and scatter × ``merge`` /
-               ``radix`` sort (Listing 8)
+``vxm_dist``   ``fine`` / ``bulk`` / ``agg`` gather and scatter ×
+               ``merge`` / ``radix`` sort (Listing 8; ``agg`` is the
+               destination-buffered exchange of ``docs/aggregation.md``)
+``mxm_dist``   ``bulk`` vs ``agg`` (pipelined) SUMMA broadcasts
 ``ewisemult``  ``atomic`` counter vs ``prefix``-sum merge (Listing 6)
 =============  ==========================================================
 """
@@ -38,15 +40,25 @@ from ..algebra.functional import BinaryOp
 from ..algebra.semiring import PLUS_TIMES, Semiring
 from ..distributed.dist_matrix import DistSparseMatrix
 from ..distributed.dist_vector import DistDenseVector, DistSparseVector
+from ..runtime.aggregation import (
+    AGG_DEFAULT,
+    AggregationConfig,
+    flush_cost,
+    flush_startup,
+    gather_agg,
+    overlap_exposed,
+    two_hop_estimate,
+)
 from ..runtime.clock import Breakdown
-from ..runtime.comm import allgather, bulk, fine_grained, gather_parts_fine
+from ..runtime.comm import bulk, fine_grained, gather_parts_fine
 from ..runtime.locale import Machine
 from ..runtime.tasks import parallel_time, sort_time
 from ..sparse.csr import CSRMatrix
 from ..sparse.vector import SparseVector
 from .ewise import ewisemult_dist as _ewisemult_dist
 from .ewise import ewisemult_sd_cost, ewisemult_sparse_dense
-from .spmspv import spmspv_dist, spmspv_shm, spmspv_shm_cost
+from .mxm_dist import mxm_dist as _mxm_dist
+from .spmspv import bulk_scatter_cost, spmspv_dist, spmspv_shm, spmspv_shm_cost
 from .spmspv_merge import spmspv_merge_cost, spmspv_shm_merge
 from .spmv import vxm_pull, vxm_pull_cost
 
@@ -335,14 +347,21 @@ class Dispatcher:
     # -- distributed vxm ----------------------------------------------------
 
     def estimate_vxm_dist(
-        self, a: DistSparseMatrix, x: DistSparseVector
+        self,
+        a: DistSparseMatrix,
+        x: DistSparseVector,
+        *,
+        agg: AggregationConfig = AGG_DEFAULT,
     ) -> dict[str, float]:
         """Estimated seconds for each communication/sort candidate of the
         distributed SpMSpV (Listing 8).
 
         Gather estimates are *exact* — they depend only on the known block
         nnz counts — so auto never loses to a forced mode there; scatter
-        and sort use the collision-model output estimate.
+        and sort use the collision-model output estimate.  The ``agg``
+        candidates price the destination-buffered exchange: flush-batched
+        streams, two-hop routing for the scatter, and (for the scatter) the
+        overlap credit against the estimated local multiply.
         """
         machine = self.machine
         cfg = machine.config
@@ -354,6 +373,7 @@ class Dispatcher:
 
         gather_fine = []
         gather_bulk = []
+        gather_agg_est = []
         for loc in grid:
             team = grid.row_team(loc.row)
             remote = [x.blocks[t.id].nnz for t in team if t.id != loc.id]
@@ -366,6 +386,7 @@ class Dispatcher:
             gather_bulk.append(
                 own + sum(bulk(cfg, s * itemsize, local=local) for s in remote)
             )
+            gather_agg_est.append(own + gather_agg(cfg, remote, agg=agg, local=local))
 
         # output-size estimate per locale column block
         flops = x.nnz * (a.nnz / max(a.nrows, 1))
@@ -377,7 +398,23 @@ class Dispatcher:
         scatter_fine = fine_grained(
             cfg, remote_elems, threads=threads, concurrent_peers=pr, local=local
         )
-        scatter_bulk = allgather(cfg, pr, (remote_elems // max(pr - 1, 1)) * itemsize)
+        scatter_bulk = bulk_scatter_cost(cfg, pr, remote_elems, itemsize)
+        scatter_agg = two_hop_estimate(cfg, grid, remote_elems, agg=agg, local=local)
+        if agg.overlap and scatter_agg > 0.0:
+            # the exchange streams behind the local multiply: credit the
+            # estimate with the same pipeline the kernel charges
+            est_multiply = parallel_time(
+                cfg,
+                (flops / max(grid.size, 1))
+                * cfg.element_cost
+                * machine.compute_penalty,
+                threads,
+            )
+            scatter_agg = overlap_exposed(
+                scatter_agg,
+                est_multiply,
+                flush_startup(cfg, remote_elems, agg=agg, local=local),
+            )
         key_bits = max(int(max(ncols_block, 2) - 1).bit_length(), 1)
         sort_est = {
             s: sort_time(cfg, out_per_locale, threads, algorithm=s, key_bits=key_bits)
@@ -386,8 +423,10 @@ class Dispatcher:
         return {
             "gather:fine": max(gather_fine),
             "gather:bulk": max(gather_bulk),
+            "gather:agg": max(gather_agg_est),
             "scatter:fine": scatter_fine,
             "scatter:bulk": scatter_bulk,
+            "scatter:agg": scatter_agg,
             "sort:merge": sort_est["merge"],
             "sort:radix": sort_est["radix"],
         }
@@ -403,18 +442,24 @@ class Dispatcher:
         gather_mode: str = "auto",
         scatter_mode: str = "auto",
         sort: str = "auto",
+        agg: AggregationConfig = AGG_DEFAULT,
     ) -> tuple[DistSparseVector, Breakdown]:
         """Distributed SpMSpV with per-call communication/sort dispatch.
 
-        ``"auto"`` resolves each axis independently from the estimates;
-        explicit ``"fine"``/``"bulk"``/``"merge"``/``"radix"`` force it.
+        ``"auto"`` resolves each axis independently from the estimates —
+        gather and scatter over ``fine``/``bulk``/``agg``, sort over
+        ``merge``/``radix``; an explicit mode forces it.
         """
-        est = self.estimate_vxm_dist(a, x)
+        est = self.estimate_vxm_dist(a, x, agg=agg)
         forced = "auto" not in (gather_mode, scatter_mode, sort)
         if gather_mode == "auto":
-            gather_mode = "fine" if est["gather:fine"] <= est["gather:bulk"] else "bulk"
+            gather_mode = min(
+                ("fine", "bulk", "agg"), key=lambda m: est[f"gather:{m}"]
+            )
         if scatter_mode == "auto":
-            scatter_mode = "fine" if est["scatter:fine"] <= est["scatter:bulk"] else "bulk"
+            scatter_mode = min(
+                ("fine", "bulk", "agg"), key=lambda m: est[f"scatter:{m}"]
+            )
         if sort == "auto":
             sort = "merge" if est["sort:merge"] <= est["sort:radix"] else "radix"
         self._decide(
@@ -433,6 +478,83 @@ class Dispatcher:
             scatter_mode=scatter_mode,
             mask=mask,
             complement=complement,
+            agg=agg,
+        )
+
+    # -- distributed mxm ----------------------------------------------------
+
+    def estimate_mxm_dist(
+        self,
+        a: DistSparseMatrix,
+        b: DistSparseMatrix,
+        *,
+        agg: AggregationConfig = AGG_DEFAULT,
+    ) -> dict[str, float]:
+        """Estimated per-candidate *communication* seconds of the SUMMA
+        broadcasts (compute is identical across candidates, so it cancels).
+
+        Uses mean block populations: each of the ``q`` stages delivers one
+        A-block and one B-block to every locale — as plain bulk transfers,
+        or flush-batched and software-pipelined behind the previous stage's
+        multiply (stage 0 cannot hide).
+        """
+        machine = self.machine
+        cfg = machine.config
+        grid = a.grid
+        q = grid.rows
+        p = max(grid.size, 1)
+        local = machine.oversubscribed
+        itemsize = 16
+        avg_a = a.nnz / p
+        avg_b = b.nnz / p
+        est_bulk = q * (
+            bulk(cfg, avg_a * itemsize, local=local)
+            + bulk(cfg, avg_b * itemsize, local=local)
+        )
+        stage_comm = flush_cost(cfg, int(avg_a), agg=agg, local=local) + flush_cost(
+            cfg, int(avg_b), agg=agg, local=local
+        )
+        # expected per-stage-per-locale multiply: total flops spread over
+        # the q·p block products of the whole SUMMA
+        flops_total = a.nnz * (b.nnz / max(b.nrows, 1))
+        stage_compute = parallel_time(
+            cfg,
+            (flops_total / (q * p)) * cfg.element_cost * machine.compute_penalty,
+            machine.threads_per_locale,
+        )
+        est_agg = stage_comm  # stage 0: nothing to hide behind
+        if q > 1:
+            exposed = stage_comm
+            if agg.overlap:
+                exposed = overlap_exposed(
+                    stage_comm,
+                    stage_compute,
+                    flush_startup(
+                        cfg, int(avg_a + avg_b), agg=agg, local=local
+                    ),
+                )
+            est_agg += (q - 1) * exposed
+        return {"bulk": est_bulk, "agg": est_agg}
+
+    def mxm_dist(
+        self,
+        a: DistSparseMatrix,
+        b: DistSparseMatrix,
+        *,
+        semiring: Semiring = PLUS_TIMES,
+        comm_mode: str = "auto",
+        agg: AggregationConfig = AGG_DEFAULT,
+    ) -> tuple[DistSparseMatrix, Breakdown]:
+        """Sparse SUMMA with the broadcast transport chosen by cost:
+        ``"bulk"`` vs ``"agg"`` (pipelined flush streams), recorded as a
+        ``dispatch[mxm_dist]`` span."""
+        est = self.estimate_mxm_dist(a, b, agg=agg)
+        forced = comm_mode != "auto"
+        if comm_mode == "auto":
+            comm_mode = min(est, key=est.__getitem__)
+        self._decide("mxm_dist", comm_mode, est, forced=forced)
+        return _mxm_dist(
+            a, b, self.machine, semiring=semiring, comm_mode=comm_mode, agg=agg
         )
 
     # -- elementwise --------------------------------------------------------

@@ -23,6 +23,14 @@ import numpy as np
 
 from ..algebra.semiring import PLUS_TIMES, Semiring
 from ..distributed.dist_matrix import DistSparseMatrix
+from ..runtime.aggregation import (
+    AGG_DEFAULT,
+    AggregationConfig,
+    flush_cost,
+    flush_startup,
+    num_flushes,
+    overlap_exposed,
+)
 from ..runtime.clock import Breakdown
 from ..runtime.comm import bulk_ft
 from ..runtime.faults import RETRY_STEP
@@ -41,12 +49,23 @@ def mxm_dist(
     machine: Machine,
     *,
     semiring: Semiring = PLUS_TIMES,
+    comm_mode: str = "bulk",
+    agg: AggregationConfig = AGG_DEFAULT,
 ) -> tuple[DistSparseMatrix, Breakdown]:
     """Sparse SUMMA: ``C = A ⊗ B`` on matching square 2-D distributions.
 
     Returns the distributed product and a Breakdown with ``broadcast`` /
     ``multiply`` / ``merge`` components (per-stage costs, max over locales).
+
+    ``comm_mode="agg"`` receives each stage's operand blocks through the
+    aggregation layer's flush buffers and software-pipelines the stages:
+    stage ``s``'s broadcasts stream while stage ``s-1``'s local multiply
+    runs, so only the exposed share — ``max(comm - compute, 0)`` plus the
+    pipeline-fill flush — extends the makespan (stage 0 has nothing to
+    hide behind).  Fault repair stays batch-granular and un-overlapped.
     """
+    if comm_mode not in ("bulk", "agg"):
+        raise ValueError(f"unknown comm_mode {comm_mode!r}")
     grid = a.grid
     if grid.rows != grid.cols:
         raise ValueError("sparse SUMMA requires a square locale grid")
@@ -69,42 +88,70 @@ def mxm_dist(
     spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
     total = Breakdown({"broadcast": spawn})
     acc: list[CSRMatrix | None] = [None] * grid.size
+    # each locale's previous-stage compute time: what stage s's aggregated
+    # broadcasts can hide behind (zeros at stage 0 — the pipeline fill)
+    prev_compute = [0.0] * grid.size
     for s in range(q):
         stage_cast: list[Breakdown] = []
         stage_mult: list[Breakdown] = []
+        next_compute = [0.0] * grid.size
         for loc in grid:
             i, j = loc.row, loc.col
             a_blk = a.block(i, s)
             b_blk = b.block(s, j)
+
             # broadcast costs: each block travels to q-1 peers (tree), paid
-            # by every receiving locale as one bulk transfer per operand;
-            # under fault injection each receive is a retriable transfer
+            # by every receiving locale as one transfer per operand — bulk,
+            # or flush-batched through the aggregation buffers; under fault
+            # injection each receive is a retriable (batched) transfer
+            def _recv(nnz: int, site: str, src: int) -> tuple[float, float]:
+                if comm_mode == "agg":
+                    if nnz <= 0:
+                        return 0.0, 0.0
+                    cost = flush_cost(
+                        cfg, nnz, agg=agg, local=machine.oversubscribed
+                    )
+                    if faults is not None:
+                        batches = num_flushes(nnz, agg.flush_elems)
+                        return faults.batched_transfer(
+                            site, batches, cost / batches, src=src, dst=loc.id
+                        )
+                    return cost, 0.0
+                return bulk_ft(
+                    cfg,
+                    nnz * itemsize,
+                    faults=faults,
+                    site=site,
+                    src=src,
+                    dst=loc.id,
+                    local=machine.oversubscribed,
+                )
+
             cast = 0.0
             retry = 0.0
+            recv_elems = 0
             if s != j:  # A(i, s) arrives from another column
-                base, extra = bulk_ft(
-                    cfg,
-                    a_blk.nnz * itemsize,
-                    faults=faults,
-                    site=f"mxm_dist.bcastA[{s}->{loc.id}]",
-                    src=grid[(i, s)].id,
-                    dst=loc.id,
-                    local=machine.oversubscribed,
+                base, extra = _recv(
+                    a_blk.nnz, f"mxm_dist.bcastA[{s}->{loc.id}]", grid[(i, s)].id
                 )
                 cast += base
                 retry += extra
+                recv_elems += a_blk.nnz
             if s != i:  # B(s, j) arrives from another row
-                base, extra = bulk_ft(
-                    cfg,
-                    b_blk.nnz * itemsize,
-                    faults=faults,
-                    site=f"mxm_dist.bcastB[{s}->{loc.id}]",
-                    src=grid[(s, j)].id,
-                    dst=loc.id,
-                    local=machine.oversubscribed,
+                base, extra = _recv(
+                    b_blk.nnz, f"mxm_dist.bcastB[{s}->{loc.id}]", grid[(s, j)].id
                 )
                 cast += base
                 retry += extra
+                recv_elems += b_blk.nnz
+            if comm_mode == "agg" and agg.overlap and cast > 0.0:
+                cast = overlap_exposed(
+                    cast,
+                    prev_compute[loc.id],
+                    flush_startup(
+                        cfg, recv_elems, agg=agg, local=machine.oversubscribed
+                    ),
+                )
             cast_b = Breakdown({"broadcast": cast})
             if faults is not None:
                 cast_b = cast_b + Breakdown({RETRY_STEP: retry})
@@ -113,19 +160,16 @@ def mxm_dist(
             c_blk = mxm(a_blk, b_blk, semiring=semiring)
             work = flops(a_blk, b_blk) * cfg.element_cost * pen
             slow = local_time_ft(1.0, faults=faults, locale=loc.id, site="mxm_dist")
-            stage_mult.append(
-                Breakdown(
-                    {
-                        "multiply": parallel_time(cfg, work, threads) * slow,
-                        "merge": parallel_time(
-                            cfg, c_blk.nnz * cfg.element_cost * pen, threads
-                        )
-                        * slow,
-                    }
-                )
+            mult_t = parallel_time(cfg, work, threads) * slow
+            merge_t = (
+                parallel_time(cfg, c_blk.nnz * cfg.element_cost * pen, threads)
+                * slow
             )
+            next_compute[loc.id] = mult_t + merge_t
+            stage_mult.append(Breakdown({"multiply": mult_t, "merge": merge_t}))
             k = loc.id
             acc[k] = c_blk if acc[k] is None else ewiseadd_mm(acc[k], c_blk, semiring.add)
+        prev_compute = next_compute
         total = total + Breakdown.parallel(stage_cast) + Breakdown.parallel(stage_mult)
 
     # every cell received a product in stage 0, so acc is fully populated

@@ -30,6 +30,16 @@ import numpy as np
 from ..distributed.block import GridBlock1D
 from ..distributed.dist_matrix import DistSparseMatrix, DistSparseMatrix1D
 from ..distributed.dist_vector import DistSparseVector
+from ..runtime.aggregation import (
+    AGG_DEFAULT,
+    AggregationConfig,
+    ceil_div,
+    exchange,
+    flush_startup,
+    gather_agg_ft,
+    group_by_owner,
+    overlap_exposed,
+)
 from ..runtime.atomics import scattered_rmw
 from ..runtime.clock import Breakdown
 from ..runtime.comm import (
@@ -40,6 +50,7 @@ from ..runtime.comm import (
     gather_parts_ft,
     reduce_scatter,
 )
+from ..runtime.config import MachineConfig
 from ..runtime.faults import RETRY_STEP
 from ..runtime.locale import Machine
 from ..runtime.tasks import coforall_spawn, local_time_ft, makespan, parallel_time, sort_time
@@ -49,7 +60,13 @@ from ..sparse.spa import SPA
 from ..sparse.vector import SparseVector
 from ..algebra.semiring import PLUS_TIMES, Semiring
 
-__all__ = ["spmspv_shm", "spmspv_dist", "spmspv_dist_1d", "spmspv_shm_cost"]
+__all__ = [
+    "spmspv_shm",
+    "spmspv_dist",
+    "spmspv_dist_1d",
+    "spmspv_shm_cost",
+    "bulk_scatter_cost",
+]
 
 #: component labels, matching the paper's figure legends
 SPA_STEP = "SPA"
@@ -58,6 +75,20 @@ OUTPUT_STEP = "Output"
 GATHER_STEP = "Gather Input"
 MULTIPLY_STEP = "Local Multiply"
 SCATTER_STEP = "Scatter output"
+
+
+def bulk_scatter_cost(
+    cfg: MachineConfig, pr: int, remote_elems: int, itemsize: int = 16
+) -> float:
+    """One locale's ``scatter_mode="bulk"`` bill: an allgather over the
+    processor column approximating its share of the batched exchange.
+
+    Per-peer volume uses *ceiling* division: with fewer remote elements
+    than peers, floor division charged 0 bytes and undercut even the
+    remote-latency floor of the fine-grained path.
+    """
+    per_peer = ceil_div(remote_elems, max(pr - 1, 1)) if remote_elems > 0 else 0
+    return allgather(cfg, pr, per_peer * itemsize)
 
 
 def spmspv_shm_cost(
@@ -184,14 +215,19 @@ def spmspv_dist(
     scatter_mode: str = "fine",
     mask: np.ndarray | None = None,
     complement: bool = False,
+    agg: AggregationConfig = AGG_DEFAULT,
 ) -> tuple[DistSparseVector, Breakdown]:
     """Listing 8: distributed SpMSpV on a 2-D block distribution.
 
     ``gather_mode`` / ``scatter_mode`` select ``"fine"`` (the paper's
     element-at-a-time implementation, whose communication dominates at
-    scale — Figs 8-9) or ``"bulk"`` (the bulk-synchronous batched transfer
-    the paper recommends in §IV; compared in
-    ``benchmarks/test_abl_bulk_scatter.py``).
+    scale — Figs 8-9), ``"bulk"`` (a one-shot allgather approximation of
+    the §IV recommendation; compared in
+    ``benchmarks/test_abl_bulk_scatter.py``), or ``"agg"`` (the
+    destination-buffered exchange of :mod:`repro.runtime.aggregation`:
+    coalescing flush buffers, two-hop row-then-column routing for the
+    scatter, and comm/compute overlap — tuned by ``agg``; see
+    ``docs/aggregation.md`` and ``benchmarks/test_abl_aggregation.py``).
 
     ``mask``/``complement`` implement the paper's §V future work —
     *distributed masks*: each locale applies its column-block slice of the
@@ -238,6 +274,9 @@ def spmspv_dist(
     out_dist = GridBlock1D.for_grid(a.ncols, grid)
     owner_indices: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
     owner_values: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
+    # per-(source, destination) scatter traffic, filled during the loop and
+    # costed afterwards when the aggregated exchange needs the whole matrix
+    scatter_counts = np.zeros((grid.size, grid.size), dtype=np.int64)
 
     for loc in grid:
         i, j = loc.row, loc.col
@@ -292,6 +331,21 @@ def spmspv_dist(
                 )
                 gt += base
                 retry_t += extra
+        elif gather_mode == "agg":
+            # flush-batched streams from the row team: one buffer setup for
+            # the whole team, no per-element latency, batch-granular retries
+            base, extra = gather_agg_ft(
+                cfg,
+                remote_parts,
+                remote_srcs,
+                faults=faults,
+                site="spmspv_dist.gather",
+                dst=loc.id,
+                agg=agg,
+                local=local,
+            )
+            gt = own_copy + base
+            retry_t += extra
         else:
             raise ValueError(f"unknown gather_mode {gather_mode!r}")
         gather_bs.append(Breakdown({GATHER_STEP: gt}))
@@ -330,37 +384,76 @@ def spmspv_dist(
         # de-duplicated at the owner by their sequence tag, so the merged
         # output stays bit-identical to fault-free execution
         gidx = ly.indices + clo
-        owners = out_dist.owners(gidx) if gidx.size else gidx
+        owners = out_dist.owners(gidx) if gidx.size else np.empty(0, np.int64)
         put_cost = fine_grained(
             cfg, 1, threads=threads, concurrent_peers=pr, local=local
         )
-        for o in np.unique(owners):
-            sel = owners == o
-            idx_o = gidx[sel] - out_dist.bounds[int(o)]
-            val_o = ly.values[sel]
-            if faults is not None and int(o) != loc.id:
+        # group the outgoing puts by owner in one vectorised pass (stable,
+        # ascending owners — bit-compatible with the per-owner mask loop)
+        uniq, offsets, (gidx_s, vals_s) = group_by_owner(owners, gidx, ly.values)
+        if uniq.size:
+            scatter_counts[loc.id, uniq] = offsets[1:] - offsets[:-1]
+        for k, o in enumerate(uniq):
+            o = int(o)
+            idx_o = gidx_s[offsets[k] : offsets[k + 1]] - out_dist.bounds[o]
+            val_o = vals_s[offsets[k] : offsets[k + 1]]
+            if faults is not None and o != loc.id and scatter_mode != "agg":
+                # element-wise modes: puts can drop/duplicate individually.
+                # The aggregated exchange ships sequence-tagged batches
+                # instead, so its delivery is exact by construction and its
+                # batch-level faults are charged post-loop by exchange().
                 idx_o, val_o, extra = faults.deliver_puts(
-                    f"spmspv_dist.scatter[{loc.id}->{int(o)}]",
+                    f"spmspv_dist.scatter[{loc.id}->{o}]",
                     idx_o,
                     val_o,
                     src=loc.id,
-                    dst=int(o),
+                    dst=o,
                     per_element_seconds=put_cost,
                 )
                 retry_t += extra
-            owner_indices[int(o)].append(idx_o)
-            owner_values[int(o)].append(val_o)
+            owner_indices[o].append(idx_o)
+            owner_values[o].append(val_o)
         remote_elems = int((owners != loc.id).sum()) if gidx.size else 0
         if scatter_mode == "fine":
             st = fine_grained(
                 cfg, remote_elems, threads=threads, concurrent_peers=pr, local=local
             )
         elif scatter_mode == "bulk":
-            st = allgather(cfg, pr, (remote_elems // max(pr - 1, 1)) * itemsize)
+            st = bulk_scatter_cost(cfg, pr, remote_elems, itemsize)
+        elif scatter_mode == "agg":
+            st = 0.0  # costed post-loop from the full traffic matrix
         else:
             raise ValueError(f"unknown scatter_mode {scatter_mode!r}")
         scatter_bs.append(Breakdown({SCATTER_STEP: st}))
         retry_bs.append(Breakdown({RETRY_STEP: retry_t}))
+
+    if scatter_mode == "agg":
+        # two-hop destination-buffered exchange over the whole grid; each
+        # locale's transfer streams behind its local multiply, so only the
+        # exposed share (plus the pipeline-fill flush) hits the makespan
+        ex = exchange(
+            cfg,
+            grid,
+            scatter_counts,
+            agg=agg,
+            local=local,
+            faults=faults,
+            site="spmspv_dist.scatter",
+        )
+        for k in range(grid.size):
+            comm = float(ex.send_seconds[k])
+            if agg.overlap and comm > 0.0:
+                out_remote = int(scatter_counts[k].sum() - scatter_counts[k, k])
+                comm = overlap_exposed(
+                    comm,
+                    multiply_bs[k][MULTIPLY_STEP],
+                    flush_startup(cfg, out_remote, agg=agg, local=local),
+                )
+            scatter_bs[k] = Breakdown({SCATTER_STEP: comm})
+            if faults is not None:
+                retry_bs[k] = retry_bs[k] + Breakdown(
+                    {RETRY_STEP: float(ex.retry_seconds[k])}
+                )
 
     # merge partial outputs at their owners (the "global SPA" + denseToSparse)
     out_blocks: list[SparseVector] = []
@@ -444,11 +537,15 @@ def spmspv_dist_1d(
         )
         multiply_bs.append(Breakdown({MULTIPLY_STEP: mb.total}))
 
-    # reduce partial full-width outputs, then scatter blocks to owners
+    # reduce partial full-width outputs, then scatter blocks to owners.
+    # The reduce-scatter moves every partial's stored entries, so its volume
+    # is the TOTAL partial nnz — a mean over partials (empty ones included)
+    # collapsed under skew, undercharging exactly the imbalanced inputs the
+    # 1-D ablation exists to expose.
     itemsize = 16
-    avg_partial = int(np.mean([ly.nnz for ly in partials])) if partials else 0
+    total_partial = int(sum(ly.nnz for ly in partials))
     scatter = Breakdown(
-        {SCATTER_STEP: reduce_scatter(cfg, p, max(avg_partial, 1) * p * itemsize)}
+        {SCATTER_STEP: reduce_scatter(cfg, p, max(total_partial, 1) * itemsize)}
     )
     idx = np.concatenate([ly.indices for ly in partials])
     vals = np.concatenate([ly.values for ly in partials])

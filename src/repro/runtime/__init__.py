@@ -1,5 +1,18 @@
 """The Chapel-like runtime simulator: machine model, locales, tasks, comm."""
 
+from .aggregation import (
+    AGG_DEFAULT,
+    AggregationConfig,
+    ExchangeCost,
+    exchange,
+    flush_cost,
+    flush_startup,
+    gather_agg,
+    gather_agg_ft,
+    group_by_owner,
+    overlap_exposed,
+    split_exposed,
+)
 from .clock import Breakdown, CostLedger
 from .config import EDISON, LAPTOP, MachineConfig
 from .faults import (
@@ -21,4 +34,7 @@ __all__ = [
     "Locale", "LocaleGrid", "Machine", "shared_machine",
     "RETRY_STEP", "FaultEvent", "FaultInjector", "FaultPlan", "LocaleFailure",
     "RetryExhausted", "RetryPolicy",
+    "AGG_DEFAULT", "AggregationConfig", "ExchangeCost", "exchange",
+    "flush_cost", "flush_startup", "gather_agg", "gather_agg_ft",
+    "group_by_owner", "overlap_exposed", "split_exposed",
 ]

@@ -284,6 +284,74 @@ class FaultInjector:
                 )
         return base_seconds * slow, overhead
 
+    def batched_transfer(
+        self,
+        site: str,
+        n_batches: int,
+        batch_seconds: float,
+        *,
+        src: int = 0,
+        dst: int = 0,
+    ) -> tuple[float, float]:
+        """A sequence of flush batches from an aggregation buffer.
+
+        The aggregation layer (:mod:`repro.runtime.aggregation`) ships data
+        as sequence-tagged batches, so *every* covered fault repairs at
+        batch granularity and the payload is never perturbed: a transient
+        failure or a dropped batch re-sends the whole batch verbatim, and a
+        duplicated batch is discarded at the receiver by its (source,
+        sequence) tag.  Delivery is therefore idempotent and exact — only
+        time is lost, all of it charged to :data:`RETRY_STEP`.
+
+        Returns ``(goodput_seconds, retry_seconds)`` for all ``n_batches``
+        batches together.  Raises :class:`RetryExhausted` when one batch's
+        transient burst outlasts the policy and :class:`LocaleFailure` when
+        an endpoint is down.
+        """
+        self.check_locale(src, site)
+        self.check_locale(dst, site)
+        if n_batches <= 0:
+            return 0.0, 0.0
+        slow = max(self.slowdown(src), self.slowdown(dst))
+        per_batch = batch_seconds * slow
+        rs = self._stream(site)
+        overhead = 0.0
+        for _ in range(n_batches):
+            burst = 0
+            while (
+                burst < self.plan.max_burst
+                and rs.random() < self.plan.transient_rate
+            ):
+                burst += 1
+            for attempt in range(burst):
+                self.events.append(FaultEvent(TRANSIENT, site, dst, attempt))
+                overhead += (
+                    per_batch
+                    + self.policy.detect_timeout
+                    + self.policy.backoff(attempt)
+                )
+                if attempt + 1 >= self.policy.max_attempts:
+                    raise RetryExhausted(
+                        dst,
+                        site,
+                        f"transient burst of {burst} outlasted "
+                        f"{self.policy.max_attempts} attempts",
+                    )
+            if self.plan.drop_rate > 0.0 and rs.random() < self.plan.drop_rate:
+                # the whole batch is lost; timeout, back off, re-send it
+                self.events.append(FaultEvent(DROP, site, dst))
+                overhead += (
+                    self.policy.detect_timeout
+                    + self.policy.backoff(0)
+                    + per_batch
+                )
+            elif self.plan.dup_rate > 0.0 and rs.random() < self.plan.dup_rate:
+                # redelivered batch is discarded by its sequence tag; the
+                # wasted delivery time is the only cost
+                self.events.append(FaultEvent(DUPLICATE, site, dst))
+                overhead += per_batch
+        return n_batches * per_batch, overhead
+
     def deliver_puts(
         self,
         site: str,

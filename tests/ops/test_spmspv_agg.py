@@ -1,0 +1,508 @@
+"""Aggregated-exchange kernel modes: correctness, cost, faults, dispatch.
+
+Covers the ``"agg"`` gather/scatter variants of :func:`spmspv_dist`, the
+aggregated SUMMA broadcasts of :func:`mxm_dist`, the aggregated
+apply/assign variants, vector redistribution, and two cost-model
+regressions:
+
+* the bulk-scatter estimate used integer division for the per-peer slice,
+  flooring ``remote_elems < pr - 1`` transfers to zero bytes;
+* the 1-D reduce-scatter volume used a per-partial mean that collapsed
+  under skewed inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import MIN_PLUS, PLUS_TIMES
+from repro.distributed import DistSparseMatrix, DistSparseMatrix1D, DistSparseVector
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import (
+    apply_agg,
+    apply2,
+    assign_agg,
+    assign2,
+    redistribute,
+    spmspv_dist,
+    spmspv_dist_1d,
+    spmspv_shm,
+)
+from repro.ops.dispatch import Dispatcher
+from repro.ops.ewise_dist import ewiseadd_dist_vv
+from repro.ops.mxm_dist import mxm_dist
+from repro.ops.spmspv import SCATTER_STEP, bulk_scatter_cost
+from repro.runtime import (
+    EDISON,
+    RETRY_STEP,
+    CostLedger,
+    FaultInjector,
+    FaultPlan,
+    LocaleGrid,
+    Machine,
+    RetryPolicy,
+    shared_machine,
+)
+from repro.runtime.comm import reduce_scatter
+from repro.sparse import SparseVector
+from tests.strategies import PROFILE, covered_setups, matrix_vector_pairs
+
+#: every repair charges strictly positive simulated time
+CHARGING_POLICY = RetryPolicy(
+    max_attempts=8, detect_timeout=1e-4, backoff_base=5e-5, backoff_factor=2.0
+)
+
+
+def _exact(x: SparseVector) -> SparseVector:
+    """Round values so distributed and shared sums are bit-identical
+    regardless of addition order."""
+    return SparseVector(x.capacity, x.indices.copy(), np.round(x.values * 4.0))
+
+
+def _exact_mat(a):
+    a = a.copy()
+    a.values = np.round(a.values * 4.0)
+    return a
+
+
+def _workload(n=300, d=4, nnz=60, seed=0):
+    a = _exact_mat(erdos_renyi(n, d, seed=seed))
+    x = _exact(random_sparse_vector(n, nnz=nnz, seed=seed + 1))
+    return a, x
+
+
+class TestBulkCeilRegression:
+    """Satellite: ceil the per-peer slice so sub-``pr`` remainders are not
+    priced as zero-byte transfers."""
+
+    @pytest.mark.parametrize("pr", [2, 4, 8, 16])
+    def test_one_remote_elem_not_free(self, pr):
+        base = bulk_scatter_cost(EDISON, pr, 0)
+        one = bulk_scatter_cost(EDISON, pr, 1)
+        # at least one peer must carry the element's 16 bytes
+        assert one - base >= 0.9 * 16 / EDISON.remote_bandwidth
+
+    def test_monotone_in_remote_elems(self):
+        costs = [bulk_scatter_cost(EDISON, 8, k) for k in range(0, 30)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+        assert costs[-1] > costs[1]
+
+    def test_remainder_below_peer_count_charged(self):
+        # the old floor made 1..pr-2 elements cost exactly the 0-element
+        # latency floor; every element must now add volume
+        pr = 16
+        for k in range(1, pr - 1):
+            assert (
+                bulk_scatter_cost(EDISON, pr, k) > bulk_scatter_cost(EDISON, pr, 0)
+            )
+
+
+class TestSkewedReduceScatter:
+    """Satellite: the 1-D reduce-scatter volume must track the *total*
+    partial nnz, so skew cannot deflate the charge."""
+
+    def _diag_workload(self, p, skewed):
+        # diagonal matrix: each locale's partial output is exactly its own
+        # x block, so total partial nnz == x.nnz with no cross-band merging
+        n = 64
+        grid = LocaleGrid(1, p)
+        eye = np.zeros((n, n))
+        np.fill_diagonal(eye, 2.0)
+        from repro.sparse import CSRMatrix
+
+        a = CSRMatrix.from_dense(eye)
+        if skewed:
+            idx = np.arange(16, dtype=np.int64)  # all in locale 0's band
+        else:
+            idx = np.arange(0, n, n // 16, dtype=np.int64)[:16]  # spread
+        x = SparseVector(n, idx, np.ones(16))
+        ad = DistSparseMatrix1D.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        _, b = spmspv_dist_1d(ad, xd, Machine(grid=grid, threads_per_locale=2))
+        return b[SCATTER_STEP]
+
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_skew_does_not_deflate_charge(self, p):
+        skew = self._diag_workload(p, skewed=True)
+        balanced = self._diag_workload(p, skewed=False)
+        expected = reduce_scatter(EDISON, p, 16 * 16)  # 16 entries × 16 B
+        assert skew == pytest.approx(expected)
+        assert balanced == pytest.approx(expected)
+
+
+class TestAggCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 9, 16])
+    def test_agg_matches_shared(self, p):
+        a, x = _workload(seed=p)
+        ref, _ = spmspv_shm(a, x, shared_machine(1))
+        grid = LocaleGrid.for_count(p)
+        yd, b = spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            Machine(grid=grid, threads_per_locale=2),
+            gather_mode="agg",
+            scatter_mode="agg",
+        )
+        got = yd.gather()
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+        assert b.total > 0
+
+    @pytest.mark.parametrize("gather", ["fine", "bulk", "agg"])
+    @pytest.mark.parametrize("scatter", ["fine", "bulk", "agg"])
+    def test_all_mode_combinations_identical(self, gather, scatter):
+        a, x = _workload(seed=7)
+        grid = LocaleGrid(2, 3)
+        yd, _ = spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            Machine(grid=grid, threads_per_locale=2),
+            gather_mode=gather,
+            scatter_mode=scatter,
+        )
+        ref, _ = spmspv_shm(a, x, shared_machine(1))
+        got = yd.gather()
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+
+    def test_agg_with_semiring_and_mask(self):
+        a, x = _workload(seed=11)
+        mask = np.random.default_rng(4).random(a.ncols) < 0.5
+        ref, _ = spmspv_shm(
+            a, x, shared_machine(1), semiring=MIN_PLUS, mask=mask, complement=True
+        )
+        grid = LocaleGrid.for_count(4)
+        yd, _ = spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            Machine(grid=grid, threads_per_locale=2),
+            semiring=MIN_PLUS,
+            mask=mask,
+            complement=True,
+            gather_mode="agg",
+            scatter_mode="agg",
+        )
+        got = yd.gather()
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+
+
+class TestAggBeatsFine:
+    def test_agg_scatter_much_cheaper_at_scale(self):
+        """At SpMSpV benchmark scale the aggregated exchange must beat the
+        fine-grained scatter by a wide margin (the headline claim; the
+        full ≥5× end-to-end criterion is pinned in the ablation bench)."""
+        n = 20_000
+        a = erdos_renyi(n, 16, seed=60)
+        x = random_sparse_vector(n, density=0.02, seed=61)
+        grid = LocaleGrid.for_count(16)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def scatter_time(mode):
+            _, b = spmspv_dist(
+                ad, xd, Machine(grid=grid, threads_per_locale=4),
+                gather_mode="bulk", scatter_mode=mode,
+            )
+            return b[SCATTER_STEP]
+
+        fine = scatter_time("fine")
+        agg = scatter_time("agg")
+        assert agg * 5 < fine
+
+    def test_agg_gather_beats_fine_gather(self):
+        from repro.ops.spmspv import GATHER_STEP
+
+        n = 20_000
+        a = erdos_renyi(n, 16, seed=62)
+        x = random_sparse_vector(n, density=0.02, seed=63)
+        grid = LocaleGrid.for_count(16)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def gather_time(mode):
+            _, b = spmspv_dist(
+                ad, xd, Machine(grid=grid, threads_per_locale=4),
+                gather_mode=mode, scatter_mode="bulk",
+            )
+            return b[GATHER_STEP]
+
+        assert gather_time("agg") < gather_time("fine")
+
+
+class TestAggFaultTolerance:
+    @settings(PROFILE, deadline=None)
+    @given(matrix_vector_pairs(), covered_setups())
+    def test_covered_faults_bit_identical(self, wl, setup):
+        a, x = wl
+        plan, policy = setup
+        grid = LocaleGrid(2, 2)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        ref, _ = spmspv_shm(a, x, shared_machine(1))
+        m = Machine(
+            grid=grid, threads_per_locale=2, faults=FaultInjector(plan, policy)
+        )
+        yd, b = spmspv_dist(
+            ad, xd, m, gather_mode="agg", scatter_mode="agg"
+        )
+        got = yd.gather(faults=m.faults)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+        assert b[RETRY_STEP] >= 0.0
+
+    def test_faulty_run_charges_retries(self):
+        a, x = _workload(n=500, nnz=150, seed=21)
+        grid = LocaleGrid(2, 3)
+        plan = FaultPlan(
+            seed=13, transient_rate=0.5, max_burst=3, drop_rate=0.3, dup_rate=0.3
+        )
+        m = Machine(
+            grid=grid,
+            threads_per_locale=2,
+            faults=FaultInjector(plan, CHARGING_POLICY),
+        )
+        yd, b = spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            m,
+            gather_mode="agg",
+            scatter_mode="agg",
+        )
+        ref, _ = spmspv_shm(a, x, shared_machine(1))
+        got = yd.gather(faults=m.faults)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+        assert b[RETRY_STEP] > 0.0
+
+    def test_faulted_runs_deterministic(self):
+        a, x = _workload(n=400, nnz=100, seed=23)
+        grid = LocaleGrid(2, 2)
+        plan = FaultPlan(seed=5, transient_rate=0.4, max_burst=2, drop_rate=0.2)
+
+        def run():
+            m = Machine(
+                grid=grid,
+                threads_per_locale=2,
+                faults=FaultInjector(plan, CHARGING_POLICY),
+            )
+            yd, b = spmspv_dist(
+                DistSparseMatrix.from_global(a, grid),
+                DistSparseVector.from_global(x, grid),
+                m,
+                gather_mode="agg",
+                scatter_mode="agg",
+            )
+            return yd.gather(faults=m.faults), b.total
+
+        y1, t1 = run()
+        y2, t2 = run()
+        assert np.array_equal(y1.indices, y2.indices)
+        assert np.array_equal(y1.values, y2.values)
+        assert t1 == t2
+
+
+class TestDispatchAgg:
+    def _machine(self, p=16):
+        grid = LocaleGrid.for_count(p)
+        return Machine(grid=grid, threads_per_locale=4, ledger=CostLedger())
+
+    def test_auto_never_worse_than_fixed(self):
+        """The dispatcher's pick must land within 1.1× of the best fixed
+        gather/scatter combination (acceptance criterion, small scale)."""
+        n = 20_000
+        a = erdos_renyi(n, 16, seed=70)
+        x = random_sparse_vector(n, density=0.02, seed=71)
+        m = self._machine()
+        ad = DistSparseMatrix.from_global(a, m.grid)
+        xd = DistSparseVector.from_global(x, m.grid)
+
+        totals = {}
+        for g in ("fine", "bulk", "agg"):
+            for s in ("fine", "bulk", "agg"):
+                _, b = spmspv_dist(
+                    ad, xd, self._machine(), gather_mode=g, scatter_mode=s
+                )
+                totals[(g, s)] = b.total
+        _, b_auto = Dispatcher(m).vxm_dist(ad, xd)
+        assert b_auto.total <= 1.1 * min(totals.values())
+
+    def test_decision_recorded_and_result_exact(self):
+        a, x = _workload(seed=31)
+        m = self._machine(4)
+        ad = DistSparseMatrix.from_global(a, m.grid)
+        xd = DistSparseVector.from_global(x, m.grid)
+        disp = Dispatcher(m)
+        yd, _ = disp.vxm_dist(ad, xd)
+        d = disp.decisions[-1]
+        assert d.op == "vxm_dist" and not d.forced
+        assert {"gather:agg", "scatter:agg", "gather:fine", "scatter:bulk"} <= set(
+            d.estimates
+        )
+        assert any(e[0] == "dispatch[vxm_dist]" for e in m.ledger.entries)
+        ref, _ = spmspv_shm(a, x, shared_machine(1))
+        got = yd.gather()
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+
+    def test_mxm_auto_matches_fixed_modes(self):
+        n = 120
+        a = _exact_mat(erdos_renyi(n, 4, seed=80))
+        b = _exact_mat(erdos_renyi(n, 4, seed=81))
+        grid = LocaleGrid(2, 2)
+        ad = DistSparseMatrix.from_global(a, grid)
+        bd = DistSparseMatrix.from_global(b, grid)
+
+        ref, _ = mxm_dist(
+            ad, bd, Machine(grid=grid, threads_per_locale=2), comm_mode="bulk"
+        )
+        m = Machine(grid=grid, threads_per_locale=2, ledger=CostLedger())
+        disp = Dispatcher(m)
+        c, btot = disp.mxm_dist(ad, bd)
+        assert disp.decisions[-1].op == "mxm_dist"
+        assert disp.decisions[-1].chosen in ("bulk", "agg")
+        got, want = c.gather(), ref.gather()
+        assert np.array_equal(got.colidx, want.colidx)
+        assert np.array_equal(got.values, want.values)
+
+    def test_mxm_agg_overlap_hides_broadcasts(self):
+        """Software-pipelining the flush streams behind the previous
+        stage's multiply must strictly reduce the aggregated SUMMA bill on
+        a compute-heavy workload."""
+        from repro.runtime.aggregation import AGG_DEFAULT
+
+        n = 600
+        a = erdos_renyi(n, 12, seed=82)
+        b = erdos_renyi(n, 12, seed=83)
+        grid = LocaleGrid(2, 2)
+        ad = DistSparseMatrix.from_global(a, grid)
+        bd = DistSparseMatrix.from_global(b, grid)
+
+        def total(agg):
+            _, bb = mxm_dist(
+                ad, bd, Machine(grid=grid, threads_per_locale=2),
+                comm_mode="agg", agg=agg,
+            )
+            return bb.total
+
+        assert total(AGG_DEFAULT) < total(AGG_DEFAULT.with_(overlap=False))
+
+    def test_mxm_unknown_mode_rejected(self):
+        grid = LocaleGrid(2, 2)
+        a = erdos_renyi(40, 2, seed=84)
+        ad = DistSparseMatrix.from_global(a, grid)
+        with pytest.raises(ValueError, match="comm_mode"):
+            mxm_dist(ad, ad, Machine(grid=grid), comm_mode="?")
+
+
+class TestApplyAssignAgg:
+    def test_apply_agg_matches_apply2(self):
+        from repro.algebra.functional import SQUARE
+
+        x = _exact(random_sparse_vector(200, nnz=50, seed=90))
+        grid = LocaleGrid.for_count(4)
+        m1 = Machine(grid=grid, threads_per_locale=2)
+        m2 = Machine(grid=grid, threads_per_locale=2)
+        d1 = DistSparseVector.from_global(x, grid)
+        d2 = DistSparseVector.from_global(x, grid)
+        apply2(d1, SQUARE, m1)
+        apply_agg(d2, SQUARE, m2)
+        g1, g2 = d1.gather(), d2.gather()
+        assert np.array_equal(g1.indices, g2.indices)
+        assert np.array_equal(g1.values, g2.values)
+
+    def test_apply_agg_faulted_charges_retries(self):
+        from repro.algebra.functional import AINV
+
+        x = _exact(random_sparse_vector(4000, nnz=2000, seed=91))
+        grid = LocaleGrid.for_count(4)
+        plan = FaultPlan(seed=17, transient_rate=0.6, max_burst=3, drop_rate=0.4)
+        m = Machine(
+            grid=grid,
+            threads_per_locale=2,
+            faults=FaultInjector(plan, CHARGING_POLICY),
+        )
+        d = DistSparseVector.from_global(x, grid)
+        b = apply_agg(d, AINV, m)
+        got = d.gather(faults=m.faults)
+        assert np.array_equal(got.values, -x.values)
+        assert b[RETRY_STEP] > 0.0
+
+    def test_assign_agg_matches_assign2(self):
+        src = _exact(random_sparse_vector(150, nnz=40, seed=92))
+        grid = LocaleGrid.for_count(4)
+        m1 = Machine(grid=grid, threads_per_locale=2)
+        m2 = Machine(grid=grid, threads_per_locale=2)
+        s1 = DistSparseVector.from_global(src, grid)
+        s2 = DistSparseVector.from_global(src, grid)
+        dst1 = DistSparseVector.empty(150, grid)
+        dst2 = DistSparseVector.empty(150, grid)
+        assign2(dst1, s1, m1)
+        assign_agg(dst2, s2, m2)
+        g1, g2 = dst1.gather(), dst2.gather()
+        assert np.array_equal(g1.indices, g2.indices)
+        assert np.array_equal(g1.values, g2.values)
+
+    def test_assign_agg_cheaper_than_assign1(self):
+        from repro.ops.assign import assign1_cost, assign_agg_cost
+
+        per_locale = np.full(16, 5000, dtype=np.int64)
+        grid = LocaleGrid.for_count(16)
+        m = Machine(grid=grid, threads_per_locale=4)
+        fine = assign1_cost(m, per_locale).total
+        agg, _ = assign_agg_cost(m, per_locale)
+        assert agg.total < fine
+
+
+class TestRedistribute:
+    def test_moves_between_grids(self):
+        x = _exact(random_sparse_vector(240, nnz=60, seed=95))
+        g_src = LocaleGrid(1, 4)
+        g_dst = LocaleGrid(2, 3)
+        v = DistSparseVector.from_global(x, g_src)
+        m = Machine(grid=g_dst, threads_per_locale=2, ledger=CostLedger())
+        out, b = redistribute(v, g_dst, m)
+        assert out.grid.rows == 2 and out.grid.cols == 3
+        got = out.gather()
+        assert np.array_equal(got.indices, x.indices)
+        assert np.array_equal(got.values, x.values)
+        assert b.total > 0
+
+    def test_same_grid_is_passthrough(self):
+        x = _exact(random_sparse_vector(100, nnz=20, seed=96))
+        grid = LocaleGrid(2, 2)
+        v = DistSparseVector.from_global(x, grid)
+        m = Machine(grid=grid, threads_per_locale=2)
+        out, b = redistribute(v, grid, m)
+        assert out is v
+        assert b.total == 0.0
+
+    def test_agg_cheaper_than_fine(self):
+        x = random_sparse_vector(50_000, nnz=20_000, seed=97)
+        g_src = LocaleGrid(1, 8)  # different block bounds than the target
+        g_dst = LocaleGrid(4, 4)
+        m = Machine(grid=g_dst, threads_per_locale=4)
+        v = DistSparseVector.from_global(x, g_src)
+        _, b_agg = redistribute(v, g_dst, m, mode="agg")
+        _, b_fine = redistribute(v, g_dst, m, mode="fine")
+        assert b_agg.total < b_fine.total
+
+    def test_ewise_mixed_grids_redistributes(self):
+        from repro.algebra.functional import PLUS
+
+        xa = _exact(random_sparse_vector(180, nnz=40, seed=98))
+        xb = _exact(random_sparse_vector(180, nnz=40, seed=99))
+        ga, gb = LocaleGrid(2, 2), LocaleGrid(1, 4)
+        m = Machine(grid=ga, threads_per_locale=2)
+        va = DistSparseVector.from_global(xa, ga)
+        vb = DistSparseVector.from_global(xb, gb)
+        out, _ = ewiseadd_dist_vv(va, vb, m, PLUS)
+        ref, _ = ewiseadd_dist_vv(
+            DistSparseVector.from_global(xa, ga),
+            DistSparseVector.from_global(xb, ga),
+            Machine(grid=ga, threads_per_locale=2),
+            PLUS,
+        )
+        got, want = out.gather(), ref.gather()
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.values, want.values)

@@ -1,0 +1,114 @@
+"""Property tests: distributed masked SpMSpV vs the shared-memory oracle.
+
+Satellite of the aggregation PR: the in-kernel mask (the paper's §V future
+work) must produce bit-identical results to the shared-memory masked
+kernel on every locale grid and every communication mode — including the
+complemented mask, and under the aggregated exchange.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.ops import spmspv_dist, spmspv_shm
+from repro.ops.mask import mask_vector_dense
+from repro.runtime import LocaleGrid, Machine, shared_machine
+from tests.strategies import PROFILE, matrix_vector_pairs, semirings
+
+grids = st.integers(1, 9).map(LocaleGrid.for_count)
+
+
+@st.composite
+def masked_workloads(draw):
+    """A (matrix, vector, mask) triple with the mask sized to the output."""
+    a, x = draw(matrix_vector_pairs())
+    bits = draw(
+        st.lists(st.booleans(), min_size=a.ncols, max_size=a.ncols)
+    )
+    return a, x, np.asarray(bits, dtype=bool)
+
+
+class TestMaskedDistributedMatchesOracle:
+    @settings(PROFILE, deadline=None)
+    @given(masked_workloads(), grids, st.booleans(), semirings())
+    def test_masked_matches_shared(self, wl, grid, complement, sr):
+        a, x, mask = wl
+        ref, _ = spmspv_shm(
+            a, x, shared_machine(1), semiring=sr, mask=mask, complement=complement
+        )
+        yd, _ = spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            Machine(grid=grid, threads_per_locale=2),
+            semiring=sr,
+            mask=mask,
+            complement=complement,
+        )
+        got = yd.gather()
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+
+    @settings(PROFILE, deadline=None)
+    @given(
+        masked_workloads(),
+        grids,
+        st.sampled_from(["fine", "bulk", "agg"]),
+        st.booleans(),
+    )
+    def test_masked_agg_modes_match(self, wl, grid, mode, complement):
+        """The mask must commute with every communication mode, including
+        the aggregated exchange."""
+        a, x, mask = wl
+        ref, _ = spmspv_shm(
+            a, x, shared_machine(1), mask=mask, complement=complement
+        )
+        yd, _ = spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            Machine(grid=grid, threads_per_locale=2),
+            mask=mask,
+            complement=complement,
+            gather_mode=mode,
+            scatter_mode=mode,
+        )
+        got = yd.gather()
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+
+    @settings(PROFILE, deadline=None)
+    @given(masked_workloads(), grids)
+    def test_mask_equals_post_filter(self, wl, grid):
+        """In-kernel masking is semantically a post-filter of the unmasked
+        product — verified against the distributed unmasked run itself."""
+        a, x, mask = wl
+        m = Machine(grid=grid, threads_per_locale=2)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        full, _ = spmspv_dist(ad, xd, Machine(grid=grid, threads_per_locale=2))
+        expected = mask_vector_dense(full.gather(), mask)
+        got, _ = spmspv_dist(ad, xd, m, mask=mask)
+        g = got.gather()
+        assert np.array_equal(g.indices, expected.indices)
+        assert np.array_equal(g.values, expected.values)
+
+    @settings(PROFILE, deadline=None)
+    @given(masked_workloads(), grids)
+    def test_complement_partitions_output(self, wl, grid):
+        """Mask and complemented mask split the unmasked output exactly."""
+        a, x, mask = wl
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def run(**kw):
+            yd, _ = spmspv_dist(
+                ad, xd, Machine(grid=grid, threads_per_locale=2), **kw
+            )
+            return yd.gather()
+
+        full = run()
+        kept = run(mask=mask)
+        dropped = run(mask=mask, complement=True)
+        merged = np.sort(np.concatenate([kept.indices, dropped.indices]))
+        assert np.array_equal(merged, full.indices)
+        assert kept.nnz + dropped.nnz == full.nnz
