@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-props test-chaos bench bench-agg bench-full figures report examples clean
+.PHONY: install test test-props test-chaos test-algos bench bench-agg bench-frontend bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -22,11 +22,18 @@ test-chaos:          ## chaos suite + runtime tests (REPRO_TEST_PROFILE=quick|st
 	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-standard} \
 	    $(PYTHON) -m pytest tests/chaos/ tests/runtime/ -m "chaos or not slow" $(COV)
 
+test-algos:          ## algorithm suites on both backends + frontend unit tests + layering lint
+	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-standard} \
+	    $(PYTHON) -m pytest tests/algorithms/ tests/exec/ tests/test_layering.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-agg:           ## aggregation-exchange ablation; writes results/BENCH_agg.json
 	$(PYTHON) -m pytest benchmarks/test_abl_aggregation.py
+
+bench-frontend:      ## frontend-vs-direct-kernel overhead; writes results/BENCH_frontend.json
+	$(PYTHON) -m pytest benchmarks/test_abl_frontend.py
 
 bench-full:          ## paper-exact input sizes (~16 GB, slow)
 	REPRO_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

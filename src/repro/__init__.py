@@ -11,8 +11,12 @@ Reproduction of Azad & Buluç, *Towards a GraphBLAS Library in Chapel*
 * :mod:`repro.ops` — the GraphBLAS operations (Apply, Assign, eWiseMult,
   SpMSpV, SpMV, MXM, extract, reduce, transpose, masks), each with the
   implementation variants the paper compares;
+* :mod:`repro.exec` — the backend-agnostic execution frontend
+  (descriptors, the :class:`~repro.exec.backend.Backend` protocol, the
+  shared-memory and distributed backends);
 * :mod:`repro.algorithms` — BFS, connected components, SSSP, PageRank,
-  triangle counting built on the ops;
+  triangle counting and more, written once against the frontend and
+  runnable on either backend;
 * :mod:`repro.generators` / :mod:`repro.io` — workloads and Matrix Market;
 * :mod:`repro.bench` — the harness that regenerates every paper figure.
 
@@ -54,7 +58,8 @@ from .generators import erdos_renyi, random_sparse_vector, rmat
 from .io import read_matrix_market, write_matrix_market
 from .runtime import EDISON, Breakdown, CostLedger, LocaleGrid, Machine, MachineConfig, shared_machine
 from .sparse import COOMatrix, CSCMatrix, CSRMatrix, DenseVector, SPA, SparseVector
-from .dist_api import DistMatrix, DistVector
+from .dist_api import DistMask, DistMatrix, DistVector
+from .exec import Backend, Descriptor, DistBackend, ShmBackend
 from .matrix_api import Matrix, MatrixMask
 from .vector_api import Mask, Vector
 
@@ -69,7 +74,9 @@ __all__ = [
     # data structures
     "COOMatrix", "CSRMatrix", "CSCMatrix", "SparseVector", "DenseVector", "SPA",
     "Matrix", "Vector", "Mask", "MatrixMask", "DistMatrix", "DistVector",
-    "DistSparseMatrix", "DistSparseVector", "DistDenseVector",
+    "DistMask", "DistSparseMatrix", "DistSparseVector", "DistDenseVector",
+    # execution frontend
+    "Backend", "Descriptor", "ShmBackend", "DistBackend",
     # runtime
     "MachineConfig", "EDISON", "Machine", "LocaleGrid", "shared_machine",
     "Breakdown", "CostLedger",

@@ -5,40 +5,28 @@ one forward sweep of SpMV-like frontier expansions counts shortest paths
 per depth, one backward sweep accumulates dependencies.  This is the
 batched variant: all sources in ``sources`` advance together, so the hot
 loop is matrix-matrix rather than matrix-vector — the shape distributed
-implementations prefer.
+implementations prefer.  The sweeps run on replicated dense state pulled
+through the backend bridge, so the same code serves both backends.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["betweenness_centrality"]
 
 
-def betweenness_centrality(
-    a: CSRMatrix, sources: np.ndarray | None = None
-) -> np.ndarray:
-    """Betweenness centrality of every vertex (directed; unweighted paths).
-
-    ``sources`` selects the source batch (all vertices by default —
-    exact BC; a subset gives the usual sampled approximation, scaled by
-    ``n / len(sources)``).
-    """
-    if a.nrows != a.ncols:
+def _betweenness_core(b: Backend, a, sources: np.ndarray) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    n = a.nrows
-    if sources is None:
-        sources = np.arange(n, dtype=np.int64)
-    else:
-        sources = np.asarray(sources, dtype=np.int64)
-        if sources.size and (sources.min() < 0 or sources.max() >= n):
-            raise IndexError("source out of bounds")
+    n = b.shape(a)[0]
     ns = sources.size
     if ns == 0:
         return np.zeros(n)
-    dense = a.to_dense() != 0  # pattern only; kept dense for the batched sweep
+    dense = b.to_csr(a).to_dense() != 0  # pattern only, batched dense sweep
 
     # forward: sigma[d][s, v] = #shortest paths of length d from source s to v
     sigma_total = np.zeros((ns, n))
@@ -78,3 +66,27 @@ def betweenness_centrality(
     if ns < n:
         bc *= n / ns
     return bc
+
+
+def betweenness_centrality(
+    a: CSRMatrix,
+    sources: np.ndarray | None = None,
+    *,
+    backend: Backend | None = None,
+) -> np.ndarray:
+    """Betweenness centrality of every vertex (directed; unweighted paths).
+
+    ``sources`` selects the source batch (all vertices by default —
+    exact BC; a subset gives the usual sampled approximation, scaled by
+    ``n / len(sources)``).
+    """
+    b = backend or ShmBackend()
+    am = b.matrix(a)
+    n = b.shape(am)[0]
+    if sources is None:
+        sources = np.arange(n, dtype=np.int64)
+    else:
+        sources = np.asarray(sources, dtype=np.int64)
+        if sources.size and (sources.min() < 0 or sources.max() >= n):
+            raise IndexError("source out of bounds")
+    return _betweenness_core(b, am, sources)

@@ -5,29 +5,26 @@ implement an efficient breadth-first search algorithm, which is often the
 'hello world' example of GraphBLAS."  This module is that composition:
 
 * the frontier is a sparse vector;
-* one level expansion is one SpMSpV over a Boolean/select semiring;
-* already-visited vertices are pruned with a (complement) mask — the
-  eWiseMult filter of §III-C;
+* one level expansion is one vxm over a Boolean/select semiring;
+* already-visited vertices are pruned with a complement mask fused into
+  the kernel — the eWiseMult filter of §III-C;
 * the pruned frontier is Assign-ed into the visited structure.
 
-Both level-labelling and parent-pointer BFS are provided, in shared-memory
-and distributed flavours.  The distributed flavour records per-iteration
-simulated times into the machine's ledger, so benchmarks can attribute BFS
-cost to gather/multiply/scatter exactly like the paper's Figs 8-9.
+Every variant is written once against the backend-agnostic
+:class:`~repro.exec.backend.Backend` protocol and runs unchanged on the
+shared-memory and the distributed backend; the ``*_dist`` names are thin
+shims kept for compatibility.  Each level's kernels are recorded under a
+``bfs[iter=k]:`` ledger prefix, so whole-run traces decompose per
+iteration exactly like the paper's Figs 8-9.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..distributed.dist_matrix import DistSparseMatrix
-from ..distributed.dist_vector import DistSparseVector
-from ..ops.mask import mask_vector_dense
-from ..algebra.semiring import MIN_FIRST
-from ..ops.spmspv import spmspv_dist, spmspv_shm
-from ..runtime.locale import Machine, shared_machine
+from ..algebra.semiring import MIN_FIRST, PLUS_PAIR
+from ..exec import Backend, DistBackend, ShmBackend
 from ..sparse.csr import CSRMatrix
-from ..sparse.vector import SparseVector
 
 __all__ = [
     "bfs_levels",
@@ -39,41 +36,67 @@ __all__ = [
 ]
 
 
-def _frontier_from_source(n: int, source: int) -> SparseVector:
+def _check_source(n: int, source: int) -> None:
     if not 0 <= source < n:
         raise IndexError(f"source {source} outside [0, {n})")
-    return SparseVector(
-        n, np.array([source], dtype=np.int64), np.array([float(source)])
-    )
+
+
+def _bfs_levels_core(b: Backend, a, source: int, *, mode: str | None = None) -> np.ndarray:
+    """Level-synchronous BFS against the backend protocol."""
+    n = b.shape(a)[0]
+    _check_source(n, source)
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = b.vector_from_pairs(n, [source], [float(source)])
+    level = 0
+    while b.vector_nnz(frontier):
+        level += 1
+        with b.iteration("bfs", level):
+            # in-kernel visited pruning: only unvisited columns may receive
+            frontier = b.vxm(
+                frontier, a, semiring=MIN_FIRST, mask=levels < 0, mode=mode
+            )
+        levels[b.to_sparse(frontier).indices] = level
+    return levels
+
+
+def _bfs_parents_core(b: Backend, a, source: int) -> np.ndarray:
+    """Parent-pointer BFS against the backend protocol."""
+    n = b.shape(a)[0]
+    _check_source(n, source)
+    parents = np.full(n, -1, dtype=np.int64)
+    parents[source] = source
+    frontier = b.vector_from_pairs(n, [source], [float(source)])
+    it = 0
+    while b.vector_nnz(frontier):
+        it += 1
+        with b.iteration("bfs_parents", it):
+            fresh = b.vxm(frontier, a, semiring=MIN_FIRST, mask=parents < 0)
+        fs = b.to_sparse(fresh)
+        parents[fs.indices] = fs.values.astype(np.int64)
+        # next frontier carries its own (global) ids as values
+        frontier = b.vector_from_pairs(n, fs.indices, fs.indices.astype(np.float64))
+    return parents
 
 
 def bfs_levels(
-    a: CSRMatrix, source: int, machine: Machine | None = None
+    a: CSRMatrix, source: int, machine=None, *, backend: Backend | None = None
 ) -> np.ndarray:
     """Level-synchronous BFS; returns per-vertex levels (-1 = unreachable).
 
     ``a`` is interpreted as an adjacency matrix with edges ``i → j`` stored
-    as ``A[i, j]``; for undirected graphs pass a symmetric matrix.
+    as ``A[i, j]``; for undirected graphs pass a symmetric matrix.  The
+    default backend is one shared-memory locale pushing from the frontier;
+    pass any :class:`~repro.exec.backend.Backend` to run elsewhere.
     """
-    machine = machine or shared_machine(1)
-    n = a.nrows
-    levels = np.full(n, -1, dtype=np.int64)
-    levels[source] = 0
-    frontier = _frontier_from_source(n, source)
-    level = 0
-    while frontier.nnz:
-        level += 1
-        reached, _ = spmspv_shm(a, frontier, machine, semiring=MIN_FIRST)
-        # prune: keep only vertices not yet assigned a level
-        frontier = mask_vector_dense(reached, levels >= 0, complement=True)
-        levels[frontier.indices] = level
-    return levels
+    b = backend or ShmBackend(machine)
+    return _bfs_levels_core(b, b.matrix(a), source, mode="push")
 
 
 def bfs_levels_dispatch(
     a: CSRMatrix,
     source: int,
-    machine: Machine | None = None,
+    machine=None,
     *,
     dispatcher=None,
     pull_threshold: float | None = None,
@@ -102,33 +125,21 @@ def bfs_levels_dispatch(
         Optional dict receiving the dispatcher's decision counts
         (``{"push": k, "pull": m, "push[merge]": ...}``).
     """
-    from ..ops.dispatch import Dispatcher
-
-    machine = machine or shared_machine(1)
-    if dispatcher is None:
-        # the transpose is reused every pull level, so price it amortised
-        dispatcher = Dispatcher(
-            machine, pull_threshold=pull_threshold, assume_transpose_amortized=True
-        )
-    n = a.nrows
-    levels = np.full(n, -1, dtype=np.int64)
-    levels[source] = 0
-    frontier = _frontier_from_source(n, source)
-    level = 0
-    while frontier.nnz:
-        level += 1
-        # in-kernel visited pruning: only unvisited columns may receive
-        frontier, _ = dispatcher.vxm(
-            a, frontier, semiring=MIN_FIRST, mask=levels < 0
-        )
-        levels[frontier.indices] = level
+    # the transpose is reused every pull level, so price it amortised
+    b = ShmBackend(
+        machine,
+        dispatcher=dispatcher,
+        pull_threshold=pull_threshold,
+        assume_transpose_amortized=True,
+    )
+    levels = _bfs_levels_core(b, b.matrix(a), source)
     if stats is not None:
-        stats.update(dispatcher.stats())
+        stats.update(b.dispatcher.stats())
     return levels
 
 
 def bfs_parents(
-    a: CSRMatrix, source: int, machine: Machine | None = None
+    a: CSRMatrix, source: int, machine=None, *, backend: Backend | None = None
 ) -> np.ndarray:
     """BFS spanning-tree parents (-1 = unreachable, source's parent = itself).
 
@@ -136,127 +147,76 @@ def bfs_parents(
     propagates the smallest parent id along edges, matching the paper's
     Listing 7 trick of "keep row index as value".
     """
-    machine = machine or shared_machine(1)
-    n = a.nrows
-    parents = np.full(n, -1, dtype=np.int64)
-    parents[source] = source
-    frontier = _frontier_from_source(n, source)
-    while frontier.nnz:
-        reached, _ = spmspv_shm(a, frontier, machine, semiring=MIN_FIRST)
-        fresh = mask_vector_dense(reached, parents >= 0, complement=True)
-        parents[fresh.indices] = fresh.values.astype(np.int64)
-        # next frontier carries its own ids as values
-        frontier = SparseVector(n, fresh.indices, fresh.indices.astype(np.float64))
-    return parents
+    b = backend or ShmBackend(machine)
+    return _bfs_parents_core(b, b.matrix(a), source)
 
 
-def bfs_levels_dist(
-    a: DistSparseMatrix, source: int, machine: Machine, *, dispatcher=None
-) -> np.ndarray:
+def bfs_levels_dist(a, source: int, machine, *, dispatcher=None) -> np.ndarray:
     """Distributed level-synchronous BFS over 2-D distributed ``a``.
 
-    Per iteration: one :func:`~repro.ops.spmspv.spmspv_dist` (whose
-    gather/multiply/scatter breakdown lands in ``machine.ledger``) plus a
-    blockwise mask against the replicated visited array.  Pass a
-    :class:`~repro.ops.dispatch.Dispatcher` to resolve the gather/scatter/
-    sort variants per level by cost instead of the paper's fixed choices.
-    Returns the dense level array (gathered — verification convenience).
+    A shim over :func:`bfs_levels`'s backend-agnostic core: per iteration,
+    one distributed SpMSpV (whose gather/multiply/scatter breakdown lands
+    in ``machine.ledger`` under a ``bfs[iter=k]:`` prefix) with the
+    replicated visited array fused as an in-kernel distributed mask.  Pass
+    a :class:`~repro.ops.dispatch.Dispatcher` to reuse its warm caches.
+    Returns the dense level array.
     """
-    n = a.nrows
-    levels = np.full(n, -1, dtype=np.int64)
-    levels[source] = 0
-    frontier = DistSparseVector.from_global(_frontier_from_source(n, source), a.grid)
-    bounds = frontier.dist.bounds
-    level = 0
-    while frontier.nnz:
-        level += 1
-        # visited pruning happens INSIDE the kernel via the distributed
-        # mask (paper §V future work): masked-out vertices are neither
-        # accumulated nor scattered.
-        if dispatcher is not None:
-            reached, _ = dispatcher.vxm_dist(
-                a, frontier, semiring=MIN_FIRST, mask=levels < 0
-            )
-        else:
-            reached, _ = spmspv_dist(
-                a, frontier, machine, semiring=MIN_FIRST, mask=levels < 0
-            )
-        for k, blk in enumerate(reached.blocks):
-            lo = int(bounds[k])
-            levels[lo + blk.indices] = level
-        frontier = reached
-    return levels
+    b = DistBackend(machine, dispatcher=dispatcher)
+    return _bfs_levels_core(b, b.matrix(a), source)
 
 
-def bfs_parents_dist(
-    a: DistSparseMatrix, source: int, machine: Machine
-) -> np.ndarray:
+def bfs_parents_dist(a, source: int, machine) -> np.ndarray:
     """Distributed BFS spanning-tree parents.
 
-    The frontier's values carry *global* vertex ids, so the (min, first)
+    A shim over :func:`bfs_parents`'s backend-agnostic core: the
+    frontier's values carry *global* vertex ids, so the (min, first)
     semiring propagates the smallest parent id through the distributed
-    SpMSpV exactly as in the shared-memory :func:`bfs_parents`; the
-    in-kernel distributed mask prunes visited vertices (paper §V future
-    work).  Returns the dense parent array (-1 = unreachable).
+    SpMSpV exactly as in shared memory.  Returns the dense parent array
+    (-1 = unreachable).
     """
-    n = a.nrows
-    parents = np.full(n, -1, dtype=np.int64)
-    parents[source] = source
-    frontier = DistSparseVector.from_global(
-        SparseVector(n, np.array([source], dtype=np.int64), np.array([float(source)])),
-        a.grid,
-    )
-    bounds = frontier.dist.bounds
-    while frontier.nnz:
-        reached, _ = spmspv_dist(
-            a, frontier, machine, semiring=MIN_FIRST, mask=parents < 0
-        )
-        blocks = []
-        for k, blk in enumerate(reached.blocks):
-            lo = int(bounds[k])
-            gidx = lo + blk.indices
-            parents[gidx] = blk.values.astype(np.int64)
-            # next frontier carries its own global ids as values
-            blocks.append(
-                SparseVector(blk.capacity, blk.indices, gidx.astype(np.float64))
-            )
-        frontier = DistSparseVector(n, a.grid, blocks)
-    return parents
+    b = DistBackend(machine)
+    return _bfs_parents_core(b, b.matrix(a), source)
 
 
 def bfs_levels_batch(
-    a: CSRMatrix, sources: np.ndarray, machine: Machine | None = None
+    a: CSRMatrix,
+    sources: np.ndarray,
+    machine=None,
+    *,
+    backend: Backend | None = None,
 ) -> np.ndarray:
     """Multi-source BFS: levels from every source at once.
 
     The frontier becomes a Boolean *matrix* (one row per source) and each
-    expansion is one masked SpGEMM on the (plus, pair) pattern semiring —
-    the batched shape distributed implementations and betweenness
-    centrality prefer.  Returns a ``len(sources) × n`` level array.
+    expansion is one SpGEMM on the (plus, pair) pattern semiring — the
+    batched shape distributed implementations and betweenness centrality
+    prefer.  Returns a ``len(sources) × n`` level array.
     """
-    from ..algebra.semiring import PLUS_PAIR
-    from ..ops.mxm import mxm
-
-    machine = machine or shared_machine(1)
+    b = backend or ShmBackend(machine)
     sources = np.asarray(sources, dtype=np.int64)
-    n = a.nrows
+    n = a.nrows if isinstance(a, CSRMatrix) else b.shape(b.matrix(a))[0]
     if sources.size and (sources.min() < 0 or sources.max() >= n):
         raise IndexError("source out of bounds")
+    am = b.matrix(a)
     ns = sources.size
     levels = np.full((ns, n), -1, dtype=np.int64)
     levels[np.arange(ns), sources] = 0
-    frontier = CSRMatrix.from_triples(
-        ns, n, np.arange(ns), sources, np.ones(ns)
+    frontier = b.matrix(
+        CSRMatrix.from_triples(ns, n, np.arange(ns), sources, np.ones(ns))
     )
     level = 0
-    while frontier.nnz:
+    while b.matrix_nnz(frontier):
         level += 1
-        reached = mxm(frontier, a, semiring=PLUS_PAIR)
+        with b.iteration("bfs_batch", level):
+            reached = b.mxm(frontier, am, semiring=PLUS_PAIR)
+        g = b.to_csr(reached)
         # keep only (source, vertex) pairs not yet levelled
-        rows = reached.row_indices()
-        cols = reached.colidx
+        rows = g.row_indices()
+        cols = g.colidx
         fresh = levels[rows, cols] < 0
         rows, cols = rows[fresh], cols[fresh]
         levels[rows, cols] = level
-        frontier = CSRMatrix.from_triples(ns, n, rows, cols, np.ones(rows.size))
+        frontier = b.matrix(
+            CSRMatrix.from_triples(ns, n, rows, cols, np.ones(rows.size))
+        )
     return levels

@@ -6,6 +6,11 @@ on ``MIN_SECOND`` per round.  Converges in O(diameter) rounds on the
 component graph, which is what the GraphBLAS formulation trades for its
 one-line inner loop (the full LACC algorithm of the paper's authors is the
 production version; label propagation preserves its operation mix).
+
+Written once against the :class:`~repro.exec.backend.Backend` protocol:
+the distributed flavour is the same core on
+:class:`~repro.exec.dist.DistBackend`, with per-round costs recorded
+under ``cc[iter=k]:`` ledger prefixes.
 """
 
 from __future__ import annotations
@@ -13,26 +18,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..algebra.semiring import MIN_SECOND
-from ..ops.spmv import spmv
+from ..exec import Backend, DistBackend, ShmBackend
 from ..sparse.csr import CSRMatrix
-from ..sparse.vector import DenseVector
 
 __all__ = ["connected_components", "connected_components_dist", "num_components"]
 
 
-def connected_components(a: CSRMatrix, max_rounds: int | None = None) -> np.ndarray:
-    """Per-vertex component labels (the minimum vertex id in the component).
-
-    ``a`` must be symmetric (undirected graph); pass
-    ``ewiseadd_mm(a, a.transposed(), MAX)`` first if it is not.
-    """
-    if a.nrows != a.ncols:
+def _cc_core(b: Backend, a, max_rounds: int | None) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    n = a.nrows
+    n = b.shape(a)[0]
     labels = np.arange(n, dtype=np.float64)
     rounds = max_rounds if max_rounds is not None else n
-    for _ in range(rounds):
-        neighbor_min = spmv(a, DenseVector(labels), semiring=MIN_SECOND).values
+    for r in range(rounds):
+        with b.iteration("cc", r):
+            neighbor_min = b.mxv_dense(a, labels, semiring=MIN_SECOND)
         new_labels = np.minimum(labels, neighbor_min)
         if np.array_equal(new_labels, labels):
             break
@@ -40,17 +40,32 @@ def connected_components(a: CSRMatrix, max_rounds: int | None = None) -> np.ndar
     return labels.astype(np.int64)
 
 
-def num_components(a: CSRMatrix) -> int:
+def connected_components(
+    a: CSRMatrix,
+    max_rounds: int | None = None,
+    *,
+    backend: Backend | None = None,
+) -> np.ndarray:
+    """Per-vertex component labels (the minimum vertex id in the component).
+
+    ``a`` must be symmetric (undirected graph); pass
+    ``ewiseadd_mm(a, a.transposed(), MAX)`` first if it is not.
+    """
+    b = backend or ShmBackend()
+    return _cc_core(b, b.matrix(a), max_rounds)
+
+
+def num_components(a: CSRMatrix, *, backend: Backend | None = None) -> int:
     """Number of connected components of the (undirected) graph."""
-    return int(np.unique(connected_components(a)).size)
+    return int(np.unique(connected_components(a, backend=backend)).size)
 
 
 def connected_components_dist(a, machine, max_rounds: int | None = None) -> np.ndarray:
     """Distributed label propagation over a 2-D distributed matrix.
 
-    Each round is one distributed SpMV on (min, second)
-    (:func:`repro.ops.spmv.spmv_dist`); simulated per-round costs land in
-    the machine's ledger.  Identical labels to
+    A shim over :func:`connected_components`'s backend-agnostic core: each
+    round is one distributed SpMV on (min, second) whose simulated cost
+    lands in the machine's ledger.  Identical labels to
     :func:`connected_components` (asserted by the test-suite).
 
     Parameters
@@ -60,20 +75,5 @@ def connected_components_dist(a, machine, max_rounds: int | None = None) -> np.n
     machine:
         The simulated machine (grid must match ``a``).
     """
-    from ..distributed.dist_vector import DistDenseVector
-    from ..ops.spmv import spmv_dist
-
-    if a.nrows != a.ncols:
-        raise ValueError("adjacency matrix must be square")
-    n = a.nrows
-    labels = np.arange(n, dtype=np.float64)
-    rounds = max_rounds if max_rounds is not None else n
-    for _ in range(rounds):
-        xd = DistDenseVector.from_global(labels, a.grid)
-        neighbor_min_d, _ = spmv_dist(a, xd, machine, semiring=MIN_SECOND)
-        neighbor_min = neighbor_min_d.gather().values
-        new_labels = np.minimum(labels, neighbor_min)
-        if np.array_equal(new_labels, labels):
-            break
-        labels = new_labels
-    return labels.astype(np.int64)
+    b = DistBackend(machine)
+    return _cc_core(b, b.matrix(a), max_rounds)

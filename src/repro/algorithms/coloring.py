@@ -3,44 +3,55 @@
 Jones–Plassmann style: peel a maximal independent set (one colour class)
 off the remaining graph until no vertices remain.  Uses at most Δ+1
 colours in practice and parallelises exactly like the MIS primitive it is
-built on — each round is the same (max, second) SpMV dance.
+built on — each round is the same (max, second) SpMV dance, so the whole
+algorithm runs unchanged on the distributed backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..ops.extract import extract_matrix
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
-from .mis import maximal_independent_set
+from .mis import _mis_core
 
 __all__ = ["greedy_coloring", "is_valid_coloring"]
 
 
-def greedy_coloring(a: CSRMatrix, *, seed: int = 0) -> np.ndarray:
-    """Per-vertex colours (0-based) of the undirected simple graph ``a``.
-
-    No two adjacent vertices share a colour
-    (:func:`is_valid_coloring` asserts it in the tests).
-    """
-    if a.nrows != a.ncols:
+def _greedy_coloring_core(b: Backend, a, *, seed: int) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    n = a.nrows
+    n = b.shape(a)[0]
     colors = np.full(n, -1, dtype=np.int64)
     remaining = np.arange(n, dtype=np.int64)  # original ids of live vertices
     sub = a
     color = 0
     while remaining.size:
-        in_set = maximal_independent_set(sub, seed=seed + color)
-        colors[remaining[in_set]] = color
-        keep = ~in_set
-        if not keep.any():
-            break
-        keep_idx = np.flatnonzero(keep).astype(np.int64)
-        sub = extract_matrix(sub, keep_idx, keep_idx)
-        remaining = remaining[keep_idx]
+        # one colour class per round; the nested MIS rounds keep their own
+        # prefixes, so ledger labels read coloring[iter=c]:mis[iter=r]:...
+        with b.iteration("coloring", color):
+            in_set = _mis_core(b, sub, seed=seed + color, max_rounds=None)
+            colors[remaining[in_set]] = color
+            keep = ~in_set
+            if not keep.any():
+                break
+            keep_idx = np.flatnonzero(keep).astype(np.int64)
+            sub = b.extract(sub, keep_idx, keep_idx)
+            remaining = remaining[keep_idx]
         color += 1
     return colors
+
+
+def greedy_coloring(
+    a: CSRMatrix, *, seed: int = 0, backend: Backend | None = None
+) -> np.ndarray:
+    """Per-vertex colours (0-based) of the undirected simple graph ``a``.
+
+    No two adjacent vertices share a colour
+    (:func:`is_valid_coloring` asserts it in the tests).
+    """
+    b = backend or ShmBackend()
+    return _greedy_coloring_core(b, b.matrix(a), seed=seed)
 
 
 def is_valid_coloring(a: CSRMatrix, colors: np.ndarray) -> bool:

@@ -2,33 +2,33 @@
 
 The coreness of a vertex is the largest k such that it belongs to a
 subgraph where every vertex has degree ≥ k.  Peeling is naturally
-algebraic: repeatedly select vertices below the current threshold
-(a value-select on the degree vector), remove them (a structural mask on
-the matrix), and recompute degrees (a row reduction).
+algebraic: repeatedly select vertices below the current threshold, count
+their edges into the surviving graph with one SpMSpV on the
+(plus, pair) pattern semiring, and decrement degrees.  Each peel round is
+recorded under a ``kcore[iter=k]:`` ledger prefix; "pair" products are
+exact ones, so shared-memory and distributed backends peel identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..algebra.semiring import PLUS_PAIR
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["kcore_decomposition", "kcore_subgraph"]
 
 
-def kcore_decomposition(a: CSRMatrix) -> np.ndarray:
-    """Per-vertex coreness of the undirected simple graph ``a``.
-
-    ``a`` must be symmetric with an empty diagonal.  O(Σ deg) total peeling
-    work; each peel round is vectorised.
-    """
-    if a.nrows != a.ncols:
+def _kcore_core(b: Backend, a) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    n = a.nrows
-    degree = a.row_degrees().astype(np.int64).copy()
+    n = b.shape(a)[0]
+    degree = b.row_degrees(a).astype(np.int64).copy()
     alive = np.ones(n, dtype=bool)
     core = np.zeros(n, dtype=np.int64)
     k = 0
+    it = 0
     remaining = int(alive.sum())
     while remaining:
         # raise k to the minimum remaining degree when nothing peels
@@ -41,15 +41,33 @@ def kcore_decomposition(a: CSRMatrix) -> np.ndarray:
         remaining -= int(peel.sum())
         if not remaining:
             break
-        # subtract the peeled vertices' contribution to remaining degrees
-        peeled_idx = np.flatnonzero(peel)
-        sub = a.extract_rows(peeled_idx)
-        touched = sub.colidx
-        dec = np.bincount(touched, minlength=n)
-        degree -= dec
+        # subtract the peeled vertices' contribution to remaining degrees:
+        # one (plus, pair) SpMSpV from the peeled frontier counts, per
+        # vertex, how many peeled neighbours it just lost
+        peeled_idx = np.flatnonzero(peel).astype(np.int64)
+        frontier = b.vector_from_pairs(n, peeled_idx, np.ones(peeled_idx.size))
+        it += 1
+        with b.iteration("kcore", it):
+            dec = b.vxm(frontier, a, semiring=PLUS_PAIR)
+        ds = b.to_sparse(dec)
+        degree[ds.indices] -= ds.values.astype(np.int64)
     return core
 
 
-def kcore_subgraph(a: CSRMatrix, k: int) -> np.ndarray:
+def kcore_decomposition(
+    a: CSRMatrix, *, backend: Backend | None = None
+) -> np.ndarray:
+    """Per-vertex coreness of the undirected simple graph ``a``.
+
+    ``a`` must be symmetric with an empty diagonal.  O(Σ deg) total peeling
+    work; each peel round is vectorised.
+    """
+    b = backend or ShmBackend()
+    return _kcore_core(b, b.matrix(a))
+
+
+def kcore_subgraph(
+    a: CSRMatrix, k: int, *, backend: Backend | None = None
+) -> np.ndarray:
     """Boolean membership of the k-core (vertices with coreness >= k)."""
-    return kcore_decomposition(a) >= k
+    return kcore_decomposition(a, backend=backend) >= k

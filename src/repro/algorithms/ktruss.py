@@ -5,62 +5,75 @@ least ``k - 2`` triangles.  The GraphBLAS formulation (an HPEC Graph
 Challenge staple) iterates ``S⟨E⟩ = E·Eᵀ`` — per-edge triangle support via
 a masked product on PLUS_PAIR — and drops under-supported edges until a
 fixpoint: exactly the masks-pay-off story of the paper's §V future work.
+Each peel round is recorded under a ``ktruss[iter=k]:`` ledger prefix.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..algebra.functional import VALUEGT
 from ..algebra.semiring import PLUS_PAIR
-from ..ops.mxm import mxm
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["ktruss", "edge_support"]
 
 
-def edge_support(e: CSRMatrix) -> CSRMatrix:
+def _edge_support_core(b: Backend, e):
+    return b.mxm(e, b.transpose(e), semiring=PLUS_PAIR, mask=e)
+
+
+def edge_support(e: CSRMatrix, *, backend: Backend | None = None):
     """Triangle support of every edge: ``S⟨E⟩ = E·Eᵀ`` on (plus, pair).
 
     ``S[u, v]`` counts the common neighbours of ``u`` and ``v`` — the
     number of triangles through edge ``(u, v)``.  Edges supporting no
-    triangle are absent from S.
+    triangle are absent from S.  The default backend returns a global
+    :class:`~repro.sparse.csr.CSRMatrix`; an explicit ``backend`` returns
+    its own matrix handle.
     """
-    return mxm(e, e.transposed(), semiring=PLUS_PAIR, mask=e)
+    b = backend or ShmBackend()
+    s = _edge_support_core(b, b.matrix(e))
+    return b.to_csr(s) if backend is None else s
 
 
-def ktruss(a: CSRMatrix, k: int, *, max_rounds: int | None = None) -> CSRMatrix:
+def _ktruss_core(b: Backend, a, k: int, *, max_rounds: int | None):
+    if b.shape(a)[0] != b.shape(a)[1]:
+        raise ValueError("adjacency matrix must be square")
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    e = b.pattern(a)  # unit values, same structure
+    if k == 2:
+        return e
+    need = k - 2
+    rounds = max_rounds if max_rounds is not None else b.matrix_nnz(a) + 1
+    for r in range(rounds):
+        with b.iteration("ktruss", r):
+            support = _edge_support_core(b, e)
+            # keep edges with support >= need (support > need - 1)
+            kept = b.select_matrix(support, VALUEGT, need - 1 + 0.5)
+        if b.matrix_nnz(kept) == b.matrix_nnz(e):
+            break
+        e = b.pattern(kept)
+        if b.matrix_nnz(e) == 0:
+            break
+    return e
+
+
+def ktruss(
+    a: CSRMatrix,
+    k: int,
+    *,
+    max_rounds: int | None = None,
+    backend: Backend | None = None,
+):
     """The k-truss subgraph of the undirected simple graph ``a``.
 
     ``a`` must be symmetric with an empty diagonal; ``k >= 2``.  The
     2-truss is the graph itself minus nothing (every edge trivially has
     >= 0 triangles); ``k = 3`` keeps edges in at least one triangle, etc.
-    Returns a symmetric CSR of the surviving edges (unit values).
+    Returns a symmetric CSR of the surviving edges (unit values); with an
+    explicit ``backend`` the backend's own matrix handle is returned.
     """
-    if a.nrows != a.ncols:
-        raise ValueError("adjacency matrix must be square")
-    if k < 2:
-        raise ValueError("k must be >= 2")
-    e = CSRMatrix(
-        a.nrows, a.ncols, a.rowptr.copy(), a.colidx.copy(), np.ones(a.nnz)
-    )
-    if k == 2:
-        return e
-    need = k - 2
-    rounds = max_rounds if max_rounds is not None else a.nnz + 1
-    for _ in range(rounds):
-        support = edge_support(e)
-        # keep edges with support >= need (support > need - 1)
-        kept = support.select(VALUEGT, need - 1 + 0.5)  # strict > on floats
-        if kept.nnz == e.nnz:
-            break
-        e = CSRMatrix(
-            kept.nrows,
-            kept.ncols,
-            kept.rowptr.copy(),
-            kept.colidx.copy(),
-            np.ones(kept.nnz),
-        )
-        if e.nnz == 0:
-            break
-    return e
+    b = backend or ShmBackend()
+    out = _ktruss_core(b, b.matrix(a), k, max_rounds=max_rounds)
+    return b.to_csr(out) if backend is None else out

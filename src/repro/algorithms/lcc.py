@@ -5,6 +5,8 @@ triangles through ``v``.  Algebraically: the masked square ``C⟨A⟩ = A·Aᵀ`
 on (plus, pair) gives per-edge common-neighbour counts; halving each
 vertex's row sum yields its triangle count.  Matches
 ``networkx.clustering`` on simple undirected graphs (the test oracle).
+The core runs on any :class:`~repro.exec.backend.Backend` — "pair"
+products are exact ones, so both backends count identically.
 """
 
 from __future__ import annotations
@@ -12,38 +14,50 @@ from __future__ import annotations
 import numpy as np
 
 from ..algebra.semiring import PLUS_PAIR
-from ..ops.mxm import mxm
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["local_clustering", "average_clustering", "triangles_per_vertex"]
 
 
-def triangles_per_vertex(a: CSRMatrix) -> np.ndarray:
-    """Number of triangles through each vertex of the symmetric simple ``a``."""
-    if a.nrows != a.ncols:
+def _triangles_per_vertex_core(b: Backend, a) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    if a.nnz == 0:
-        return np.zeros(a.nrows, dtype=np.int64)
-    support = mxm(a, a.transposed(), semiring=PLUS_PAIR, mask=a)
+    n = b.shape(a)[0]
+    if b.matrix_nnz(a) == 0:
+        return np.zeros(n, dtype=np.int64)
+    support = b.mxm(a, b.transpose(a), semiring=PLUS_PAIR, mask=a)
     # each triangle {u,v,w} contributes to S[u,v], S[u,w] twice total per
     # vertex row (once per incident edge), so tri(v) = row_sum / 2
-    row_sums = np.asarray(support.reduce_rows())
+    row_sums = b.reduce_rows_dense(support)
     return (row_sums / 2).astype(np.int64)
 
 
-def local_clustering(a: CSRMatrix) -> np.ndarray:
+def triangles_per_vertex(
+    a: CSRMatrix, *, backend: Backend | None = None
+) -> np.ndarray:
+    """Number of triangles through each vertex of the symmetric simple ``a``."""
+    b = backend or ShmBackend()
+    return _triangles_per_vertex_core(b, b.matrix(a))
+
+
+def local_clustering(a: CSRMatrix, *, backend: Backend | None = None) -> np.ndarray:
     """Per-vertex clustering coefficient in [0, 1] (0 for degree < 2)."""
-    tri = triangles_per_vertex(a).astype(np.float64)
-    deg = a.row_degrees().astype(np.float64)
+    b = backend or ShmBackend()
+    am = b.matrix(a)
+    tri = _triangles_per_vertex_core(b, am).astype(np.float64)
+    deg = b.row_degrees(am).astype(np.float64)
     possible = deg * (deg - 1.0) / 2.0
-    out = np.zeros(a.nrows)
+    out = np.zeros(b.shape(am)[0])
     ok = possible > 0
     out[ok] = tri[ok] / possible[ok]
     return out
 
 
-def average_clustering(a: CSRMatrix) -> float:
+def average_clustering(a: CSRMatrix, *, backend: Backend | None = None) -> float:
     """Mean local clustering coefficient over all vertices."""
-    if a.nrows == 0:
+    b = backend or ShmBackend()
+    am = b.matrix(a)
+    if b.shape(am)[0] == 0:
         return 0.0
-    return float(local_clustering(a).mean())
+    return float(local_clustering(a, backend=backend).mean())

@@ -7,50 +7,46 @@ asynchronous communication" (§IV).  This module implements the standard
 GraphBLAS building block of that line of work: a one-round-per-step
 **greedy maximal matching**:
 
-1. every unmatched row proposes to its first unmatched column
-   (a masked (min, second-with-index) step);
-2. every proposed-to column accepts its smallest proposer (first-touch SPA);
+1. every unmatched row proposes to its smallest unmatched column — one
+   ``(min, second)`` SpMV over a column vector carrying free column ids;
+2. every proposed-to column accepts its smallest proposer (first-touch);
 3. matched pairs leave the game; repeat until no proposals.
 
 The result is maximal (no augmenting edge remains) and therefore at least
 half the size of the maximum matching — the classic 1/2-approximation the
-tests pin against networkx's exact matching.
+tests pin against networkx's exact matching.  Min is associative, so the
+distributed backend matches identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..algebra.semiring import MIN_SECOND
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["maximal_matching", "is_valid_matching"]
 
 
-def maximal_matching(a: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
-    """Greedy maximal matching of the bipartite graph ``A`` (rows × cols).
-
-    Returns ``(row_match, col_match)``: ``row_match[i]`` is the column
-    matched to row ``i`` (or -1), and symmetrically for columns.  The
-    matching is *maximal*: every unmatched row has only matched neighbours.
-    """
-    row_match = np.full(a.nrows, -1, dtype=np.int64)
-    col_match = np.full(a.ncols, -1, dtype=np.int64)
-    rows_left = np.flatnonzero(np.diff(a.rowptr) > 0).astype(np.int64)
-    while rows_left.size:
-        # step 1: each live row proposes to its smallest unmatched column
-        sub = a.extract_rows(rows_left)
-        cols_ok = col_match[sub.colidx] < 0
-        kept_rows = sub.row_indices()[cols_ok]
-        kept_cols = sub.colidx[cols_ok]
-        if kept_cols.size == 0:
+def _maximal_matching_core(b: Backend, a) -> tuple[np.ndarray, np.ndarray]:
+    nrows, ncols = b.shape(a)
+    row_match = np.full(nrows, -1, dtype=np.int64)
+    col_match = np.full(ncols, -1, dtype=np.int64)
+    live = b.row_degrees(a) > 0
+    rnd = 0
+    while live.any():
+        rnd += 1
+        # step 1: x[j] = j for free columns (inf otherwise); (min, second)
+        # hands every row its smallest unmatched neighbouring column
+        x = np.where(col_match < 0, np.arange(ncols, dtype=np.float64), np.inf)
+        with b.iteration("matching", rnd):
+            best = b.mxv_dense(a, x, semiring=MIN_SECOND)
+        proposals = live & np.isfinite(best)
+        if not proposals.any():
             break
-        # smallest column per proposing row: entries are row-major sorted,
-        # so the first entry of each row group is the minimum column
-        first_of_row = np.empty(kept_rows.size, dtype=bool)
-        first_of_row[0] = True
-        first_of_row[1:] = kept_rows[1:] != kept_rows[:-1]
-        prop_rows = rows_left[kept_rows[first_of_row]]
-        prop_cols = kept_cols[first_of_row]
+        prop_rows = np.flatnonzero(proposals).astype(np.int64)
+        prop_cols = best[prop_rows].astype(np.int64)
         # step 2: each column accepts its smallest proposer (proposals are
         # generated in ascending row order, so the first proposal per
         # column wins under a stable first-touch)
@@ -64,17 +60,23 @@ def maximal_matching(a: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
         won_cols = pc[accept_first]
         row_match[won_rows] = won_cols
         col_match[won_cols] = won_rows
-        # step 3: drop matched rows and rows with no unmatched neighbours
-        still = row_match[rows_left] < 0
-        rows_left = rows_left[still]
-        # prune rows whose entire neighbourhood is now matched
-        if rows_left.size:
-            sub = a.extract_rows(rows_left)
-            has_free = np.zeros(rows_left.size, dtype=bool)
-            free = col_match[sub.colidx] < 0
-            np.logical_or.at(has_free, sub.row_indices(), free)
-            rows_left = rows_left[has_free]
+        # step 3: matched rows leave; rows with no free neighbour left are
+        # pruned by the finiteness test of the next round's proposals
+        live &= row_match < 0
     return row_match, col_match
+
+
+def maximal_matching(
+    a: CSRMatrix, *, backend: Backend | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy maximal matching of the bipartite graph ``A`` (rows × cols).
+
+    Returns ``(row_match, col_match)``: ``row_match[i]`` is the column
+    matched to row ``i`` (or -1), and symmetrically for columns.  The
+    matching is *maximal*: every unmatched row has only matched neighbours.
+    """
+    b = backend or ShmBackend()
+    return _maximal_matching_core(b, b.matrix(a))
 
 
 def is_valid_matching(

@@ -4,7 +4,9 @@ A classic demonstration of masks + semirings beyond BFS (the GGNN/LAGraph
 repertoire): every round, each candidate vertex draws a random score; a
 vertex joins the MIS when its score beats every neighbour's
 (one ``(max, second)`` SpMV); its neighbourhood then leaves the candidate
-set (mask updates).  Expected O(log n) rounds.
+set (mask updates).  Expected O(log n) rounds.  The core is
+backend-agnostic (max is associative, so backends agree bit-exactly) and
+deterministic per seed on every backend.
 """
 
 from __future__ import annotations
@@ -12,48 +14,55 @@ from __future__ import annotations
 import numpy as np
 
 from ..algebra.semiring import MAX_SECOND
-from ..ops.spmv import spmv
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
-from ..sparse.vector import DenseVector
 
 __all__ = ["maximal_independent_set"]
 
 
-def maximal_independent_set(
-    a: CSRMatrix, *, seed: int = 0, max_rounds: int | None = None
-) -> np.ndarray:
-    """A maximal independent set of the undirected graph ``a``.
-
-    ``a`` must be symmetric with an empty diagonal.  Returns a Boolean
-    membership array.  Deterministic for a fixed ``seed``.
-    """
-    if a.nrows != a.ncols:
+def _mis_core(b: Backend, a, *, seed: int, max_rounds: int | None) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    n = a.nrows
+    n = b.shape(a)[0]
     rng = np.random.default_rng(seed)
     in_set = np.zeros(n, dtype=bool)
     candidate = np.ones(n, dtype=bool)
     rounds = max_rounds if max_rounds is not None else 4 * (int(np.log2(n + 1)) + 2)
-    for _ in range(rounds):
+    for r in range(rounds):
         if not candidate.any():
             break
         # random scores; non-candidates score 0 (cannot win or block)
         score = np.where(candidate, rng.random(n) + 1e-9, 0.0)
-        # best neighbouring score via (max, second) over the adjacency
-        neighbor_best = spmv(a, DenseVector(score), semiring=MAX_SECOND).values
+        with b.iteration("mis", r):
+            # best neighbouring score via (max, second) over the adjacency
+            neighbor_best = b.mxv_dense(a, score, semiring=MAX_SECOND)
         neighbor_best = np.where(np.isfinite(neighbor_best), neighbor_best, 0.0)
         winners = candidate & (score > neighbor_best)
         if not winners.any():
             continue
         in_set |= winners
         # winners and their neighbourhoods leave the candidate pool
-        touched = spmv(
-            a, DenseVector(winners.astype(float)), semiring=MAX_SECOND
-        ).values
+        touched = b.mxv_dense(a, winners.astype(float), semiring=MAX_SECOND)
         touched = np.where(np.isfinite(touched), touched, 0.0)
         candidate &= ~winners
         candidate &= touched <= 0
     return in_set
+
+
+def maximal_independent_set(
+    a: CSRMatrix,
+    *,
+    seed: int = 0,
+    max_rounds: int | None = None,
+    backend: Backend | None = None,
+) -> np.ndarray:
+    """A maximal independent set of the undirected graph ``a``.
+
+    ``a`` must be symmetric with an empty diagonal.  Returns a Boolean
+    membership array.  Deterministic for a fixed ``seed``.
+    """
+    b = backend or ShmBackend()
+    return _mis_core(b, b.matrix(a), seed=seed, max_rounds=max_rounds)
 
 
 def _is_independent(a: CSRMatrix, members: np.ndarray) -> bool:

@@ -5,6 +5,14 @@ The canonical "arbitrary semiring pays off" example: the inner loop is one
 teleport correction.  Dangling vertices (no out-edges) redistribute their
 mass uniformly, matching networkx's convention so the test-suite can use it
 as an oracle.
+
+One backend-agnostic core serves both flavours: row normalisation is a
+row reduction + row scaling on the backend, and each power iteration is
+one dense-vector product recorded under a ``pagerank[iter=k]:`` ledger
+prefix.  Floating-point note: the distributed backend reduces and
+multiplies blockwise, so its last-bit rounding can differ from shared
+memory (results agree to ~1e-9, not bit-exactly — the usual distributed
+float-sum caveat, see ``docs/frontend.md``).
 """
 
 from __future__ import annotations
@@ -12,11 +20,36 @@ from __future__ import annotations
 import numpy as np
 
 from ..algebra.semiring import PLUS_TIMES
-from ..ops.spmv import vxm_dense
+from ..exec import Backend, DistBackend, ShmBackend
 from ..sparse.csr import CSRMatrix
-from ..sparse.vector import DenseVector
 
 __all__ = ["pagerank", "pagerank_dist"]
+
+
+def _pagerank_core(
+    b: Backend, a, *, damping: float, tol: float, max_iter: int
+) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
+        raise ValueError("adjacency matrix must be square")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError("damping must be in [0, 1)")
+    n = b.shape(a)[0]
+    out_degree = b.reduce_rows_dense(a)  # weighted out-degree
+    dangling = out_degree == 0
+    # row-normalise A's values in one row-scaling pass
+    inv_deg = np.zeros(n)
+    inv_deg[~dangling] = 1.0 / out_degree[~dangling]
+    norm = b.scale_rows(a, inv_deg)
+    rank = np.full(n, 1.0 / n)
+    for it in range(max_iter):
+        with b.iteration("pagerank", it):
+            spread = b.vxm_dense(rank, norm, semiring=PLUS_TIMES)
+        dangling_mass = rank[dangling].sum()
+        new_rank = damping * (spread + dangling_mass / n) + (1.0 - damping) / n
+        if np.abs(new_rank - rank).sum() < tol:
+            return new_rank
+        rank = new_rank
+    raise RuntimeError(f"PageRank did not converge in {max_iter} iterations")
 
 
 def pagerank(
@@ -25,6 +58,7 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1.0e-10,
     max_iter: int = 200,
+    backend: Backend | None = None,
 ) -> np.ndarray:
     """PageRank scores of the directed graph ``A`` (edge ``i → j`` stored at
     ``A[i, j]``); returns a probability vector.
@@ -32,35 +66,10 @@ def pagerank(
     Raises ``RuntimeError`` if power iteration fails to reach ``tol`` within
     ``max_iter`` rounds (L1 convergence).
     """
-    if a.nrows != a.ncols:
-        raise ValueError("adjacency matrix must be square")
-    if not 0.0 <= damping < 1.0:
-        raise ValueError("damping must be in [0, 1)")
-    n = a.nrows
-    out_degree = a.reduce_rows()  # weighted out-degree
-    dangling = np.asarray(out_degree) == 0
-    # row-normalise A's values in one vectorised pass
-    inv_deg = np.zeros(n)
-    nz = ~dangling
-    inv_deg[nz] = 1.0 / np.asarray(out_degree)[nz]
-    norm = CSRMatrix(
-        a.nrows,
-        a.ncols,
-        a.rowptr.copy(),
-        a.colidx.copy(),
-        a.values * inv_deg[a.row_indices()],
+    b = backend or ShmBackend()
+    return _pagerank_core(
+        b, b.matrix(a), damping=damping, tol=tol, max_iter=max_iter
     )
-    rank = np.full(n, 1.0 / n)
-    for _ in range(max_iter):
-        spread = vxm_dense(DenseVector(rank), norm, semiring=PLUS_TIMES).values
-        dangling_mass = rank[dangling].sum()
-        new_rank = (
-            damping * (spread + dangling_mass / n) + (1.0 - damping) / n
-        )
-        if np.abs(new_rank - rank).sum() < tol:
-            return new_rank
-        rank = new_rank
-    raise RuntimeError(f"PageRank did not converge in {max_iter} iterations")
 
 
 def pagerank_dist(
@@ -73,10 +82,10 @@ def pagerank_dist(
 ) -> np.ndarray:
     """Distributed PageRank over a 2-D distributed matrix.
 
-    Each power iteration is one distributed SpMV
-    (:func:`repro.ops.spmv.spmv_dist`) whose simulated cost lands in the
-    machine's ledger; the returned scores are identical to :func:`pagerank`
-    (asserted by the test-suite).
+    A shim over :func:`pagerank`'s backend-agnostic core: each power
+    iteration is one distributed SpMV whose simulated cost lands in the
+    machine's ledger; the returned scores match :func:`pagerank` to
+    ~1e-9 (asserted by the test-suite).
 
     Parameters
     ----------
@@ -85,40 +94,7 @@ def pagerank_dist(
     machine:
         The simulated machine (grid must match ``a``).
     """
-    from ..distributed.dist_vector import DistDenseVector
-    from ..ops.spmv import spmv_dist
-
-    if a.nrows != a.ncols:
-        raise ValueError("adjacency matrix must be square")
-    n = a.nrows
-    # normalise rows once, locally per block (out-degree needs a row-team
-    # reduction; we compute it from the gathered structure for clarity and
-    # charge only the iteration loop to the ledger)
-    global_a = a.gather()
-    out_degree = np.asarray(global_a.reduce_rows())
-    dangling = out_degree == 0
-    inv_deg = np.zeros(n)
-    inv_deg[~dangling] = 1.0 / out_degree[~dangling]
-    from ..sparse.csr import CSRMatrix
-    from ..distributed.dist_matrix import DistSparseMatrix
-
-    norm = CSRMatrix(
-        global_a.nrows,
-        global_a.ncols,
-        global_a.rowptr.copy(),
-        global_a.colidx.copy(),
-        global_a.values * inv_deg[global_a.row_indices()],
+    b = DistBackend(machine)
+    return _pagerank_core(
+        b, b.matrix(a), damping=damping, tol=tol, max_iter=max_iter
     )
-    # PageRank needs x @ M, i.e. Mᵀ x in SpMV orientation
-    norm_t = DistSparseMatrix.from_global(norm.transposed(), a.grid)
-    rank = np.full(n, 1.0 / n)
-    for _ in range(max_iter):
-        xd = DistDenseVector.from_global(rank, a.grid)
-        spread_d, _ = spmv_dist(norm_t, xd, machine)
-        spread = spread_d.gather().values
-        dangling_mass = rank[dangling].sum()
-        new_rank = damping * (spread + dangling_mass / n) + (1.0 - damping) / n
-        if np.abs(new_rank - rank).sum() < tol:
-            return new_rank
-        rank = new_rank
-    raise RuntimeError(f"PageRank did not converge in {max_iter} iterations")

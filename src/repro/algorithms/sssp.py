@@ -4,7 +4,10 @@ The classic GraphBLAS SSSP: distances relax through repeated
 ``d ← d min (d ⊗ A)`` steps where ``⊗`` is ``(min, +)`` — the MIN_PLUS
 semiring shipped in :mod:`repro.algebra.semiring`.  Runs until a fixpoint or
 ``n-1`` iterations; a further improving iteration afterwards means a
-negative cycle.
+negative cycle.  The core is backend-agnostic, so the same code relaxes
+over the distributed backend (min is associative, so results are
+bit-identical across backends); each relaxation is recorded under an
+``sssp[iter=k]:`` ledger prefix.
 """
 
 from __future__ import annotations
@@ -12,9 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..algebra.semiring import MIN_PLUS
-from ..ops.spmv import vxm_dense
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
-from ..sparse.vector import DenseVector
 
 __all__ = ["sssp", "NegativeCycleError"]
 
@@ -23,29 +25,45 @@ class NegativeCycleError(ValueError):
     """The graph contains a cycle with negative total weight."""
 
 
-def sssp(a: CSRMatrix, source: int, *, check_negative_cycles: bool = True) -> np.ndarray:
-    """Distances from ``source`` along weighted edges ``A[i, j]``.
-
-    Unreachable vertices get ``inf``.  Edge weights may be negative;
-    ``check_negative_cycles`` raises :class:`NegativeCycleError` when a
-    negative cycle is reachable from the source.
-    """
-    if a.nrows != a.ncols:
+def _sssp_core(
+    b: Backend, a, source: int, *, check_negative_cycles: bool
+) -> np.ndarray:
+    if b.shape(a)[0] != b.shape(a)[1]:
         raise ValueError("adjacency matrix must be square")
-    if not 0 <= source < a.nrows:
-        raise IndexError(f"source {source} outside [0, {a.nrows})")
-    n = a.nrows
+    n = b.shape(a)[0]
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} outside [0, {n})")
     dist = np.full(n, np.inf)
     dist[source] = 0.0
-    for _ in range(max(n - 1, 1)):
-        relaxed = vxm_dense(DenseVector(dist), a, semiring=MIN_PLUS).values
+    for it in range(max(n - 1, 1)):
+        with b.iteration("sssp", it):
+            relaxed = b.vxm_dense(dist, a, semiring=MIN_PLUS)
         new_dist = np.minimum(dist, relaxed)
         if np.array_equal(new_dist, dist, equal_nan=True):
             break
         dist = new_dist
     else:
         if check_negative_cycles:
-            relaxed = vxm_dense(DenseVector(dist), a, semiring=MIN_PLUS).values
+            relaxed = b.vxm_dense(dist, a, semiring=MIN_PLUS)
             if np.any(np.minimum(dist, relaxed) < dist):
                 raise NegativeCycleError("negative cycle reachable from source")
     return dist
+
+
+def sssp(
+    a: CSRMatrix,
+    source: int,
+    *,
+    check_negative_cycles: bool = True,
+    backend: Backend | None = None,
+) -> np.ndarray:
+    """Distances from ``source`` along weighted edges ``A[i, j]``.
+
+    Unreachable vertices get ``inf``.  Edge weights may be negative;
+    ``check_negative_cycles`` raises :class:`NegativeCycleError` when a
+    negative cycle is reachable from the source.
+    """
+    b = backend or ShmBackend()
+    return _sssp_core(
+        b, b.matrix(a), source, check_negative_cycles=check_negative_cycles
+    )

@@ -8,29 +8,36 @@ adjacency, every triangle is counted exactly once by::
     triangles = Σ C
 
 The mask keeps SpGEMM from materialising wedge counts outside the edge set
-— the work saving masks exist for.
+— the work saving masks exist for.  On the distributed backend the masked
+product runs as sparse SUMMA (square grids) or the gathered fallback, with
+identical counts ("pair" products are exact ones, so summation order
+cannot change the total).
 """
 
 from __future__ import annotations
 
-from ..ops.mxm import mxm
-from ..ops.reduce import reduce_matrix_scalar
 from ..algebra.semiring import PLUS_PAIR
+from ..exec import Backend, ShmBackend
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["count_triangles"]
 
 
-def count_triangles(a: CSRMatrix) -> int:
+def _count_triangles_core(b: Backend, a) -> int:
+    if b.shape(a)[0] != b.shape(a)[1]:
+        raise ValueError("adjacency matrix must be square")
+    low = b.tril(a, -1)
+    # C(i,j) = |N(i) ∩ N(j)| restricted to edges (i,j) of L, counted with
+    # "pair" so edge weights cannot leak into the count.
+    wedges = b.mxm(low, b.transpose(low), semiring=PLUS_PAIR, mask=low)
+    return int(b.reduce_matrix(wedges))
+
+
+def count_triangles(a: CSRMatrix, *, backend: Backend | None = None) -> int:
     """Number of triangles of the undirected simple graph ``A``.
 
     ``A`` must be symmetric with an empty diagonal (no self-loops); values
     are ignored (structure only).
     """
-    if a.nrows != a.ncols:
-        raise ValueError("adjacency matrix must be square")
-    low = a.tril(-1)
-    # C(i,j) = |N(i) ∩ N(j)| restricted to edges (i,j) of L, counted with
-    # "pair" so edge weights cannot leak into the count.
-    wedges = mxm(low, low.transposed(), semiring=PLUS_PAIR, mask=low)
-    return int(reduce_matrix_scalar(wedges))
+    b = backend or ShmBackend()
+    return _count_triangles_core(b, b.matrix(a))

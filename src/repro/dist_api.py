@@ -19,27 +19,90 @@ from __future__ import annotations
 import numpy as np
 
 from .algebra import PLUS_TIMES, Semiring, UnaryOp
-from .algebra.functional import BinaryOp
+from .algebra.functional import BinaryOp, IndexUnaryOp
+from .algebra.monoid import Monoid, PLUS_MONOID
 from .distributed.dist_matrix import DistSparseMatrix
 from .distributed.dist_vector import DistDenseVector, DistSparseVector
 from .ops.apply import apply1, apply2, apply_agg
 from .ops.assign import assign1, assign2, assign_agg
 from .ops.ewise import ewisemult_dist
+from .ops.extract import extract_matrix
 from .ops.mask import mask_dist_vector
+from .ops.matrix_dist import (
+    reduce_rows_dense_dist,
+    row_degrees_dist,
+    scale_rows_dist,
+    select_dist_matrix,
+    transpose_any,
+)
 from .ops.mxm_dist import mxm_dist
 from .ops.reduce import reduce_dist_vector
 from .ops.spmspv import spmspv_dist
-from .ops.transpose import transpose_dist
 from .runtime.locale import Machine
 from .sparse.csr import CSRMatrix
 from .sparse.vector import SparseVector
 
-__all__ = ["DistMatrix", "DistVector"]
+__all__ = ["DistMask", "DistMatrix", "DistVector"]
 
 #: Apply/Assign implementation variants: 1 = fine-grained driver loop
 #: (Listing 2/4), 2 = SPMD (Listing 3/5), 3 = aggregated remote streams
 _APPLY_VARIANTS = {1: apply1, 2: apply2, 3: apply_agg}
 _ASSIGN_VARIANTS = {1: assign1, 2: assign2, 3: assign_agg}
+
+
+class DistMask:
+    """A (possibly complemented) structural mask over a :class:`DistVector`.
+
+    The distributed analogue of :class:`repro.vector_api.Mask` — built by
+    ``v.as_mask()`` or ``~v`` and passed as the ``mask=`` of
+    :meth:`DistVector.vxm`, where it is fused into the masked distributed
+    kernel rather than applied as a post-filter.
+    """
+
+    __slots__ = ("vector", "complement")
+
+    def __init__(self, vector: "DistVector", complement: bool = False) -> None:
+        self.vector = vector
+        self.complement = complement
+
+    def __invert__(self) -> "DistMask":
+        return DistMask(self.vector, not self.complement)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DistMask(nnz={self.vector.nnz}, complement={self.complement})"
+
+
+def _resolve_vector_mask(mask) -> tuple[np.ndarray | None, bool]:
+    """Normalise a vxm ``mask=`` argument to (dense bool array, complement).
+
+    Accepts ``None``, a dense Boolean array, a :class:`DistVector`
+    (structural), or a :class:`DistMask`.
+    """
+    if mask is None:
+        return None, False
+    if isinstance(mask, DistMask):
+        return mask.vector.dense_pattern(), mask.complement
+    if isinstance(mask, DistVector):
+        return mask.dense_pattern(), False
+    return np.asarray(mask, dtype=bool), False
+
+
+def _strip_complement(desc):
+    """A copy of ``desc`` with its complement bit cleared.
+
+    The callers above fold the descriptor's complement into the mask
+    normalisation (XOR with a complemented :class:`DistMask`), so the
+    descriptor handed to the dispatcher must not re-apply it.
+    """
+    if desc is None or not getattr(desc, "complement", False):
+        return desc
+    from .exec.descriptor import Descriptor
+
+    return Descriptor(
+        replace=bool(getattr(desc, "replace", False)),
+        transpose_a=bool(getattr(desc, "transpose_a", False)),
+        transpose_b=bool(getattr(desc, "transpose_b", False)),
+    )
 
 
 class DistVector:
@@ -138,17 +201,37 @@ class DistVector:
             self.machine,
         )
 
+    def as_mask(self, *, complement: bool = False) -> "DistMask":
+        """This vector's structure as a (possibly complemented) mask."""
+        return DistMask(self, complement)
+
+    def __invert__(self) -> "DistMask":
+        return DistMask(self, True)
+
+    def dense_pattern(self) -> np.ndarray:
+        """The structure as a dense Boolean array over the index space
+        (the shape the fused masked kernels consume)."""
+        m = np.zeros(self.capacity, dtype=bool)
+        bounds = self._data.dist.bounds
+        for k, blk in enumerate(self._data.blocks):
+            m[bounds[k] + blk.indices] = True
+        return m
+
     def vxm(
         self,
         a: "DistMatrix",
         *,
         semiring: Semiring = PLUS_TIMES,
+        mask=None,
+        accum=None,
+        out: "DistVector | None" = None,
+        desc=None,
         gather_mode: str = "auto",
         scatter_mode: str = "auto",
         sort: str = "auto",
         dispatcher=None,
     ) -> "DistVector":
-        """Distributed SpMSpV ``y = x ⊗ A`` (the paper's Listing 8).
+        """Distributed SpMSpV ``out⟨mask⟩ ⊕= x ⊗ A`` (the paper's Listing 8).
 
         Each ``"auto"`` axis (gather, scatter, sort) is resolved per call
         by the machine's cost model via
@@ -157,14 +240,28 @@ class DistVector:
         ``"fine"``/``"bulk"``/``"agg"``/``"merge"``/``"radix"`` force a
         fixed variant (``"agg"`` is the aggregated exchange of
         ``docs/aggregation.md``).
+
+        ``mask`` may be a dense Boolean array, a :class:`DistVector`
+        (structural), or a :class:`DistMask` (``~v`` for the complement);
+        it is fused *into* the distributed kernel — each locale drops
+        masked-out products during local accumulation, rather than
+        post-filtering the assembled result.  ``accum``/``out``/``desc``
+        run the GraphBLAS output step blockwise after the kernel.
         """
         from .ops.dispatch import Dispatcher
 
+        dense_mask, complement = _resolve_vector_mask(mask)
+        complement ^= bool(getattr(desc, "complement", False))
         disp = dispatcher or Dispatcher(self.machine)
         y, _ = disp.vxm_dist(
             a._data,
             self._data,
             semiring=semiring,
+            mask=dense_mask,
+            complement=complement,
+            accum=accum,
+            out=None if out is None else out._data,
+            desc=_strip_complement(desc),
             gather_mode=gather_mode,
             scatter_mode=scatter_mode,
             sort=sort,
@@ -236,29 +333,62 @@ class DistMatrix:
         other: "DistMatrix",
         *,
         semiring: Semiring = PLUS_TIMES,
+        mask: "DistMatrix | None" = None,
+        complement: bool = False,
+        accum=None,
+        out: "DistMatrix | None" = None,
+        desc=None,
         comm_mode: str = "auto",
     ) -> "DistMatrix":
-        """Distributed SpGEMM (sparse SUMMA; square grids).
+        """Distributed SpGEMM ``out⟨mask⟩ ⊕= A ⊗ B`` (sparse SUMMA;
+        square grids).
 
         ``comm_mode``: ``"bulk"`` (one bulk transfer per stage operand),
         ``"agg"`` (flush-batched broadcasts software-pipelined behind the
         previous stage's multiply), or ``"auto"`` — the cost model picks
         and records a ``dispatch[mxm_dist]`` span in the ledger.
+
+        ``mask`` is an aligned :class:`DistMatrix` applied structurally
+        inside the kernel's merge step; ``accum``/``out``/``desc`` run
+        the uniform GraphBLAS output step blockwise afterwards.
         """
+        m = None if mask is None else mask._data
         if comm_mode == "auto":
             from .ops.dispatch import Dispatcher
 
             c, _ = Dispatcher(self.machine).mxm_dist(
-                self._data, other._data, semiring=semiring
+                self._data,
+                other._data,
+                semiring=semiring,
+                mask=m,
+                complement=complement,
+                accum=accum,
+                out=None if out is None else out._data,
+                desc=desc,
             )
         else:
+            replace = bool(getattr(desc, "replace", False))
+            complement = complement or bool(getattr(desc, "complement", False))
             c, _ = mxm_dist(
                 self._data,
                 other._data,
                 self.machine,
                 semiring=semiring,
                 comm_mode=comm_mode,
+                mask=m,
+                complement=complement,
             )
+            if accum is not None or out is not None or replace:
+                from .exec.descriptor import merge_dist_matrix
+
+                c = merge_dist_matrix(
+                    c,
+                    None if out is None else out._data,
+                    mask=m,
+                    complement=complement,
+                    accum=accum,
+                    replace=replace,
+                )
         return DistMatrix(c, self.machine)
 
     def __matmul__(self, other: "DistMatrix") -> "DistMatrix":
@@ -266,9 +396,73 @@ class DistMatrix:
 
     @property
     def T(self) -> "DistMatrix":
-        """Distributed transpose (square grids)."""
-        t, _ = transpose_dist(self._data, self.machine)
+        """Distributed transpose: blockwise exchange on square grids,
+        gather/redistribute fallback elsewhere."""
+        t, _ = transpose_any(self._data, self.machine)
         return DistMatrix(t, self.machine)
+
+    # -- structure ----------------------------------------------------------------
+
+    def select(self, op: IndexUnaryOp, thunk=None) -> "DistMatrix":
+        """``GrB_select`` blockwise, with indices rebased to global
+        coordinates on each locale."""
+        c, _ = select_dist_matrix(self._data, op, self.machine, thunk)
+        return DistMatrix(c, self.machine)
+
+    def tril(self, k: int = 0) -> "DistMatrix":
+        """Lower-triangular part (``col <= row + k``)."""
+        from .algebra.functional import TRIL
+
+        return self.select(TRIL, k)
+
+    def triu(self, k: int = 0) -> "DistMatrix":
+        """Upper-triangular part (``col >= row + k``)."""
+        from .algebra.functional import TRIU
+
+        return self.select(TRIU, k)
+
+    def extract(self, rows, cols) -> "DistMatrix":
+        """``C = A(I, J)`` — gather, extract, redistribute (general index
+        extraction has no aligned blockwise form)."""
+        sub = extract_matrix(
+            self.gather(),
+            np.asarray(list(rows), np.int64),
+            np.asarray(list(cols), np.int64),
+        )
+        return DistMatrix(
+            DistSparseMatrix.from_global(sub, self._data.grid), self.machine
+        )
+
+    def scale_rows(self, factors: np.ndarray) -> "DistMatrix":
+        """A new matrix with row ``i`` scaled by ``factors[i]``
+        (``factors`` replicated)."""
+        c, _ = scale_rows_dist(self._data, factors, self.machine)
+        return DistMatrix(c, self.machine)
+
+    # -- reductions ---------------------------------------------------------------
+
+    def row_degrees(self) -> np.ndarray:
+        """Global stored-entries-per-row counts."""
+        return row_degrees_dist(self._data, self.machine)
+
+    def reduce_rows_dense(self, monoid: Monoid = PLUS_MONOID) -> np.ndarray:
+        """Per-row monoid reduction as a dense global array."""
+        return reduce_rows_dense_dist(self._data, self.machine, monoid)
+
+    def reduce(self, monoid: Monoid = PLUS_MONOID):
+        """Reduce every stored value to one scalar (blockwise partials
+        combined with the monoid)."""
+        parts = [
+            monoid.reduce(blk.values)
+            for blk in self._data.blocks
+            if blk.nnz
+        ]
+        if not parts:
+            return monoid.identity
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = monoid.op(acc, p)
+        return acc
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -1,0 +1,38 @@
+"""Backend-agnostic execution frontend (descriptor-driven op layer).
+
+Algorithms program against the :class:`~repro.exec.backend.Backend`
+protocol; :class:`~repro.exec.shm.ShmBackend` runs them on one
+shared-memory locale and :class:`~repro.exec.dist.DistBackend` on the
+simulated cluster — same code, same results, different cost ledgers.
+See ``docs/frontend.md``.
+"""
+
+from .backend import Backend, BackendBase, IterationScope
+from .descriptor import (
+    COMPLEMENT,
+    DEFAULT,
+    REPLACE,
+    Descriptor,
+    merge_dist_matrix,
+    merge_dist_vector,
+    merge_matrix,
+    merge_vector,
+)
+from .dist import DistBackend
+from .shm import ShmBackend
+
+__all__ = [
+    "Backend",
+    "BackendBase",
+    "IterationScope",
+    "Descriptor",
+    "DEFAULT",
+    "REPLACE",
+    "COMPLEMENT",
+    "merge_vector",
+    "merge_matrix",
+    "merge_dist_vector",
+    "merge_dist_matrix",
+    "ShmBackend",
+    "DistBackend",
+]

@@ -1,0 +1,167 @@
+"""The backend protocol the algorithms program against.
+
+A backend owns a :class:`~repro.runtime.locale.Machine` and exposes the
+GraphBLAS op set over *opaque handles*: shared-memory handles are the
+:class:`~repro.matrix_api.Matrix` / :class:`~repro.vector_api.Vector`
+façades, distributed handles are :class:`~repro.dist_api.DistMatrix` /
+:class:`~repro.dist_api.DistVector`.  An algorithm written against this
+protocol runs unmodified on either — the CombBLAS 2.0 "write once"
+contract — and every op it issues lands in the machine's cost ledger,
+so whole-algorithm runs decompose exactly like single kernels.
+
+Conventions shared by both backends:
+
+* **vector masks** are dense Boolean numpy arrays over the output space
+  (replicated algorithm state like ``levels < 0`` is already in that
+  shape); **matrix masks** are matrix handles (structural).
+* **dense vectors** (``vxm_dense`` / ``mxv_dense``) cross the boundary
+  as plain numpy arrays — replicated state in, replicated state out.
+* ``desc`` is a :class:`~repro.exec.descriptor.Descriptor`; ``accum`` an
+  optional binary op folded against ``out`` via the uniform merge step
+  of :mod:`repro.exec.descriptor`.
+* :meth:`iteration` tags every op recorded inside its scope with an
+  ``algo[iter=k]:`` label prefix, so ``ledger.by_component()`` and
+  :class:`~repro.runtime.trace.Trace` decompose whole-algorithm runs
+  per iteration (the paper's Figs 8–9 view, now for any algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..algebra.functional import BinaryOp, ONE, UnaryOp
+from ..algebra.monoid import Monoid, PLUS_MONOID
+from ..algebra.semiring import Semiring
+from ..runtime.clock import CostLedger
+from ..runtime.locale import Machine
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+from .descriptor import Descriptor
+
+__all__ = ["Backend", "BackendBase", "IterationScope"]
+
+
+class IterationScope:
+    """Context manager labelling ledger entries with an iteration prefix.
+
+    Entries recorded while the scope is open are relabelled from
+    ``spmspv_dist`` to e.g. ``bfs[iter=3]:spmspv_dist``.  Components are
+    untouched, so ``by_component()`` aggregates are unchanged and no
+    extra (double-counting) entries are appended.
+    """
+
+    def __init__(self, ledger: CostLedger | None, prefix: str) -> None:
+        self.ledger = ledger
+        self.prefix = prefix
+        self._start = 0
+
+    def __enter__(self) -> "IterationScope":
+        if self.ledger is not None:
+            self._start = len(self.ledger.entries)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.ledger is None:
+            return
+        entries = self.ledger.entries
+        for i in range(self._start, len(entries)):
+            label, breakdown = entries[i]
+            entries[i] = (f"{self.prefix}:{label}", breakdown)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The op surface an algorithm may use (see module docstring).
+
+    ``Any`` stands for the backend's opaque matrix/vector handles.
+    """
+
+    name: str
+    machine: Machine
+
+    # constructors / bridges
+    def matrix(self, a) -> Any: ...
+    def vector(self, x) -> Any: ...
+    def vector_from_pairs(self, n: int, indices, values) -> Any: ...
+    def empty_vector(self, n: int) -> Any: ...
+    def to_csr(self, a) -> CSRMatrix: ...
+    def to_sparse(self, v) -> SparseVector: ...
+
+    # structure
+    def shape(self, a) -> tuple[int, int]: ...
+    def matrix_nnz(self, a) -> int: ...
+    def vector_nnz(self, v) -> int: ...
+    def row_degrees(self, a) -> np.ndarray: ...
+    def transpose(self, a) -> Any: ...
+    def tril(self, a, k: int = 0) -> Any: ...
+    def extract(self, a, rows, cols) -> Any: ...
+    def select_matrix(self, a, op, thunk=None) -> Any: ...
+
+    # elementwise / apply / assign
+    def apply_vector(self, v, op: UnaryOp) -> Any: ...
+    def apply_matrix(self, a, op: UnaryOp) -> Any: ...
+    def pattern(self, a) -> Any: ...
+    def assign(self, dst, src) -> Any: ...
+    def ewise_mult(self, u, v, op: BinaryOp) -> Any: ...
+    def ewise_add(self, u, v, op) -> Any: ...
+
+    # products
+    def vxm(
+        self, v, a, *, semiring: Semiring = ..., mask=None, accum=None,
+        out=None, desc: Descriptor | None = None, mode: str | None = None,
+    ) -> Any: ...
+    def vxm_dense(self, x: np.ndarray, a, *, semiring: Semiring = ...) -> np.ndarray: ...
+    def mxv_dense(self, a, x: np.ndarray, *, semiring: Semiring = ...) -> np.ndarray: ...
+    def mxm(
+        self, a, b, *, semiring: Semiring = ..., mask=None, accum=None,
+        out=None, desc: Descriptor | None = None,
+    ) -> Any: ...
+
+    # reductions
+    def reduce_vector(self, v, monoid: Monoid = ...) -> float: ...
+    def reduce_matrix(self, a, monoid: Monoid = ...) -> float: ...
+    def reduce_rows_dense(self, a, monoid: Monoid = ...) -> np.ndarray: ...
+
+    # attribution
+    def iteration(self, algo: str, k: int) -> IterationScope: ...
+
+
+class BackendBase:
+    """Shared plumbing for concrete backends."""
+
+    name = "abstract"
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    @property
+    def ledger(self) -> CostLedger | None:
+        """The machine's cost ledger (may be ``None``)."""
+        return self.machine.ledger
+
+    def iteration(self, algo: str, k: int) -> IterationScope:
+        """Scope whose recorded ops get the ``algo[iter=k]:`` label prefix."""
+        return IterationScope(self.machine.ledger, f"{algo}[iter={k}]")
+
+    def pattern(self, a):
+        """The structural pattern of ``a`` (all stored values set to 1)."""
+        return self.apply_matrix(a, ONE)
+
+    def vector_from_pairs(self, n: int, indices: Iterable[int], values) -> Any:
+        """Coordinate vector construction."""
+        return self.vector(
+            SparseVector.from_pairs(n, indices, values, PLUS_MONOID)
+        )
+
+    def empty_vector(self, n: int):
+        """An empty sparse vector of capacity ``n``."""
+        return self.vector(SparseVector.empty(n))
+
+    # concrete backends must provide the rest of the protocol
+    def apply_matrix(self, a, op):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def vector(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError

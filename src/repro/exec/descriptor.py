@@ -1,0 +1,216 @@
+"""GraphBLAS output descriptors: mask, complement, replace, accum, transpose.
+
+The GraphBLAS C API routes every operation's result through one uniform
+output step (Buluç & Gilbert's formulation)::
+
+    C⟨M, replace⟩ ⊕= T
+
+where ``T`` is the raw op result, ``M`` an optional (possibly
+complemented) write mask, ``⊕`` an optional accumulator applied against
+the previous content of ``C``, and ``replace`` decides whether ``C``'s
+entries *outside* the mask region survive.  The paper's kernels fuse the
+mask into the multiply where they can (SpMSpV push/pull, masked SpGEMM);
+everything else — accumulation, replace, the preserved out-of-mask
+region — is a pure output transform, implemented once here and shared by
+every backend.
+
+The merge helpers are deliberately tolerant of fused-mask kernels: ``t``
+is re-restricted to the mask region first, so passing an
+already-mask-restricted result is idempotent.
+
+Vector masks are **dense Boolean arrays** over the output space (the
+representation the dispatcher and the distributed kernels share); matrix
+masks are **structural** (the stored pattern of a CSR), matching
+:func:`repro.ops.mask.mask_matrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algebra.functional import BinaryOp, FIRST
+from ..algebra.monoid import Monoid
+from ..distributed.dist_matrix import DistSparseMatrix
+from ..distributed.dist_vector import DistSparseVector
+from ..ops.ewise import ewiseadd_mm, ewiseadd_vv
+from ..ops.mask import mask_matrix, mask_vector_dense
+from ..sparse.csr import CSRMatrix
+from ..sparse.vector import SparseVector
+
+__all__ = [
+    "Descriptor",
+    "DEFAULT",
+    "REPLACE",
+    "COMPLEMENT",
+    "merge_vector",
+    "merge_matrix",
+    "merge_dist_vector",
+    "merge_dist_matrix",
+]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Execution modifiers for one GraphBLAS call (``GrB_Descriptor``).
+
+    ``complement``
+        Interpret the mask as its structural complement (``GrB_COMP``).
+    ``replace``
+        Clear ``out``'s entries outside the mask region instead of
+        preserving them (``GrB_REPLACE``).  Only meaningful together with
+        a mask and an ``out`` operand.
+    ``transpose_a`` / ``transpose_b``
+        Use the (first / second) matrix operand transposed
+        (``GrB_TRAN``).  Resolved by the backend, which owns the
+        transpose cache, before the kernel runs.
+    """
+
+    complement: bool = False
+    replace: bool = False
+    transpose_a: bool = False
+    transpose_b: bool = False
+
+    def __or__(self, other: "Descriptor") -> "Descriptor":
+        if not isinstance(other, Descriptor):
+            return NotImplemented
+        return Descriptor(
+            self.complement or other.complement,
+            self.replace or other.replace,
+            self.transpose_a or other.transpose_a,
+            self.transpose_b or other.transpose_b,
+        )
+
+
+#: The no-modifier descriptor.
+DEFAULT = Descriptor()
+#: ``GrB_REPLACE``: drop ``out`` entries outside the mask region.
+REPLACE = Descriptor(replace=True)
+#: ``GrB_COMP``: complement the mask.
+COMPLEMENT = Descriptor(complement=True)
+
+
+def _region(mask: np.ndarray, complement: bool) -> np.ndarray:
+    m = np.asarray(mask, dtype=bool)
+    return ~m if complement else m
+
+
+def merge_vector(
+    t: SparseVector,
+    c: SparseVector | None = None,
+    *,
+    mask: np.ndarray | None = None,
+    complement: bool = False,
+    accum: BinaryOp | Monoid | None = None,
+    replace: bool = False,
+) -> SparseVector:
+    """``C⟨M, replace⟩ ⊕= T`` for sparse vectors (``mask``: dense bool).
+
+    With no mask the result is ``accum(C, T)`` (union merge, accumulator
+    on the intersection) or plain ``T``; with a mask, ``T`` contributes
+    only inside the (complemented) region and ``C``'s outside entries
+    survive unless ``replace``.
+    """
+    if mask is None:
+        if accum is None or c is None:
+            return t
+        return ewiseadd_vv(c, t, accum)
+    region = _region(mask, complement)
+    t = mask_vector_dense(t, region)
+    z = ewiseadd_vv(c, t, accum) if (accum is not None and c is not None) else t
+    zin = mask_vector_dense(z, region)
+    if replace or c is None:
+        return zin
+    cout = mask_vector_dense(c, region, complement=True)
+    # zin and cout occupy disjoint index sets, so the merge op never fires
+    return ewiseadd_vv(zin, cout, FIRST)
+
+
+def merge_matrix(
+    t: CSRMatrix,
+    c: CSRMatrix | None = None,
+    *,
+    mask: CSRMatrix | None = None,
+    complement: bool = False,
+    accum: BinaryOp | Monoid | None = None,
+    replace: bool = False,
+) -> CSRMatrix:
+    """``C⟨M, replace⟩ ⊕= T`` for CSR matrices (``mask``: structural)."""
+    if mask is None:
+        if accum is None or c is None:
+            return t
+        return ewiseadd_mm(c, t, accum)
+    t = mask_matrix(t, mask, complement=complement)
+    z = ewiseadd_mm(c, t, accum) if (accum is not None and c is not None) else t
+    zin = mask_matrix(z, mask, complement=complement)
+    if replace or c is None:
+        return zin
+    cout = mask_matrix(c, mask, complement=not complement)
+    return ewiseadd_mm(zin, cout, FIRST)
+
+
+def merge_dist_vector(
+    t: DistSparseVector,
+    c: DistSparseVector | None = None,
+    *,
+    mask: np.ndarray | None = None,
+    complement: bool = False,
+    accum: BinaryOp | Monoid | None = None,
+    replace: bool = False,
+) -> DistSparseVector:
+    """Blockwise :func:`merge_vector` over aligned distributed vectors.
+
+    ``mask`` is a *global* dense Boolean array; each locale applies its
+    slice locally (no communication — the mask is replicated state, the
+    same convention the masked distributed kernels use).
+    """
+    if mask is None and (accum is None or c is None):
+        return t
+    if c is not None and (
+        c.capacity != t.capacity
+        or (c.grid.rows, c.grid.cols) != (t.grid.rows, t.grid.cols)
+    ):
+        raise ValueError("out vector must share the result's distribution")
+    bounds = t.dist.bounds
+    blocks = []
+    for k, blk in enumerate(t.blocks):
+        lo = int(bounds[k])
+        mblk = None if mask is None else np.asarray(mask[lo : lo + blk.capacity])
+        cblk = None if c is None else c.blocks[k]
+        blocks.append(
+            merge_vector(
+                blk, cblk, mask=mblk, complement=complement, accum=accum, replace=replace
+            )
+        )
+    return DistSparseVector(t.capacity, t.grid, blocks)
+
+
+def merge_dist_matrix(
+    t: DistSparseMatrix,
+    c: DistSparseMatrix | None = None,
+    *,
+    mask: DistSparseMatrix | None = None,
+    complement: bool = False,
+    accum: BinaryOp | Monoid | None = None,
+    replace: bool = False,
+) -> DistSparseMatrix:
+    """Blockwise :func:`merge_matrix` over aligned distributed matrices."""
+    if mask is None and (accum is None or c is None):
+        return t
+    for other, what in ((c, "out"), (mask, "mask")):
+        if other is not None and (
+            other.shape != t.shape
+            or (other.grid.rows, other.grid.cols) != (t.grid.rows, t.grid.cols)
+        ):
+            raise ValueError(f"{what} matrix must share the result's distribution")
+    blocks = []
+    for k, blk in enumerate(t.blocks):
+        mblk = None if mask is None else mask.blocks[k]
+        cblk = None if c is None else c.blocks[k]
+        blocks.append(
+            merge_matrix(
+                blk, cblk, mask=mblk, complement=complement, accum=accum, replace=replace
+            )
+        )
+    return DistSparseMatrix(t.nrows, t.ncols, t.grid, blocks)

@@ -294,6 +294,9 @@ class Dispatcher:
         semiring: Semiring = PLUS_TIMES,
         mask: np.ndarray | None = None,
         complement: bool = False,
+        accum=None,
+        out: SparseVector | None = None,
+        desc=None,
         mode: str | None = None,
     ) -> tuple[SparseVector, Breakdown]:
         """``y ← x A`` through the cheapest kernel.
@@ -301,7 +304,16 @@ class Dispatcher:
         Every candidate produces bit-identical results (the property suite
         pins this against the scipy oracle); only the simulated cost —
         and therefore the ledger — depends on the choice.
+
+        ``accum``/``out``/``desc`` apply the GraphBLAS output step
+        ``out⟨mask, replace⟩ ⊕= y`` after the kernel
+        (:mod:`repro.exec.descriptor`); ``desc.complement`` folds into
+        ``complement``.  The dispatch decision is unaffected.
         """
+        replace = False
+        if desc is not None:
+            complement = complement or bool(getattr(desc, "complement", False))
+            replace = bool(getattr(desc, "replace", False))
         mode = self.mode if mode is None else mode
         if mode not in ("auto", "push", "pull") + VXM_KERNELS:
             raise ValueError(f"unknown dispatch mode {mode!r}")
@@ -329,19 +341,30 @@ class Dispatcher:
         self._decide("vxm", chosen, estimates, forced=forced)
         if chosen == PULL:
             at = self.transpose_of(a)
-            return vxm_pull(
+            y, b = vxm_pull(
                 at, x, self.machine, semiring=semiring, mask=mask, complement=complement
             )
-        if chosen == PUSH_SORTBASED:
-            return spmspv_shm_merge(a, x, self.machine, semiring=semiring)
-        return spmspv_shm(
-            a,
-            x,
-            self.machine,
-            semiring=semiring,
-            sort="radix" if chosen == PUSH_RADIX else "merge",
-            mask=mask,
-            complement=complement,
+        elif chosen == PUSH_SORTBASED:
+            y, b = spmspv_shm_merge(a, x, self.machine, semiring=semiring)
+        else:
+            y, b = spmspv_shm(
+                a,
+                x,
+                self.machine,
+                semiring=semiring,
+                sort="radix" if chosen == PUSH_RADIX else "merge",
+                mask=mask,
+                complement=complement,
+            )
+        if accum is None and out is None and not replace:
+            return y, b
+        from ..exec.descriptor import merge_vector
+
+        return (
+            merge_vector(
+                y, out, mask=mask, complement=complement, accum=accum, replace=replace
+            ),
+            b,
         )
 
     # -- distributed vxm ----------------------------------------------------
@@ -439,6 +462,9 @@ class Dispatcher:
         semiring: Semiring = PLUS_TIMES,
         mask: np.ndarray | None = None,
         complement: bool = False,
+        accum=None,
+        out: DistSparseVector | None = None,
+        desc=None,
         gather_mode: str = "auto",
         scatter_mode: str = "auto",
         sort: str = "auto",
@@ -448,8 +474,14 @@ class Dispatcher:
 
         ``"auto"`` resolves each axis independently from the estimates —
         gather and scatter over ``fine``/``bulk``/``agg``, sort over
-        ``merge``/``radix``; an explicit mode forces it.
+        ``merge``/``radix``; an explicit mode forces it.  As in
+        :meth:`vxm`, ``accum``/``out``/``desc`` run the GraphBLAS output
+        step blockwise after the kernel.
         """
+        replace = False
+        if desc is not None:
+            complement = complement or bool(getattr(desc, "complement", False))
+            replace = bool(getattr(desc, "replace", False))
         est = self.estimate_vxm_dist(a, x, agg=agg)
         forced = "auto" not in (gather_mode, scatter_mode, sort)
         if gather_mode == "auto":
@@ -468,7 +500,7 @@ class Dispatcher:
             est,
             forced=forced,
         )
-        return spmspv_dist(
+        y, b = spmspv_dist(
             a,
             x,
             self.machine,
@@ -479,6 +511,16 @@ class Dispatcher:
             mask=mask,
             complement=complement,
             agg=agg,
+        )
+        if accum is None and out is None and not replace:
+            return y, b
+        from ..exec.descriptor import merge_dist_vector
+
+        return (
+            merge_dist_vector(
+                y, out, mask=mask, complement=complement, accum=accum, replace=replace
+            ),
+            b,
         )
 
     # -- distributed mxm ----------------------------------------------------
@@ -543,18 +585,50 @@ class Dispatcher:
         *,
         semiring: Semiring = PLUS_TIMES,
         comm_mode: str = "auto",
+        mask: DistSparseMatrix | None = None,
+        complement: bool = False,
+        accum=None,
+        out: DistSparseMatrix | None = None,
+        desc=None,
         agg: AggregationConfig = AGG_DEFAULT,
     ) -> tuple[DistSparseMatrix, Breakdown]:
         """Sparse SUMMA with the broadcast transport chosen by cost:
         ``"bulk"`` vs ``"agg"`` (pipelined flush streams), recorded as a
-        ``dispatch[mxm_dist]`` span."""
+        ``dispatch[mxm_dist]`` span.
+
+        ``mask`` (aligned distributed matrix) restricts the product
+        structurally inside the kernel's merge step;
+        ``accum``/``out``/``desc`` run the GraphBLAS output step
+        blockwise afterwards.
+        """
+        replace = False
+        if desc is not None:
+            complement = complement or bool(getattr(desc, "complement", False))
+            replace = bool(getattr(desc, "replace", False))
         est = self.estimate_mxm_dist(a, b, agg=agg)
         forced = comm_mode != "auto"
         if comm_mode == "auto":
             comm_mode = min(est, key=est.__getitem__)
         self._decide("mxm_dist", comm_mode, est, forced=forced)
-        return _mxm_dist(
-            a, b, self.machine, semiring=semiring, comm_mode=comm_mode, agg=agg
+        c, bd = _mxm_dist(
+            a,
+            b,
+            self.machine,
+            semiring=semiring,
+            comm_mode=comm_mode,
+            mask=mask,
+            complement=complement,
+            agg=agg,
+        )
+        if accum is None and out is None and not replace:
+            return c, bd
+        from ..exec.descriptor import merge_dist_matrix
+
+        return (
+            merge_dist_matrix(
+                c, out, mask=mask, complement=complement, accum=accum, replace=replace
+            ),
+            bd,
         )
 
     # -- elementwise --------------------------------------------------------

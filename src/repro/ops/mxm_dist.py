@@ -50,12 +50,21 @@ def mxm_dist(
     *,
     semiring: Semiring = PLUS_TIMES,
     comm_mode: str = "bulk",
+    mask: DistSparseMatrix | None = None,
+    complement: bool = False,
     agg: AggregationConfig = AGG_DEFAULT,
 ) -> tuple[DistSparseMatrix, Breakdown]:
     """Sparse SUMMA: ``C = A ⊗ B`` on matching square 2-D distributions.
 
     Returns the distributed product and a Breakdown with ``broadcast`` /
     ``multiply`` / ``merge`` components (per-stage costs, max over locales).
+
+    ``mask`` (an aligned distributed matrix, ``complement`` honoured)
+    restricts the output structurally: every locale filters its
+    accumulated block against its local mask block after the last stage,
+    with the filter work charged to the ``merge`` component.  The kept
+    entries' values are identical to a fused-mask product — the mask only
+    removes outputs, never changes surviving sums.
 
     ``comm_mode="agg"`` receives each stage's operand blocks through the
     aggregation layer's flush buffers and software-pipelines the stages:
@@ -175,5 +184,26 @@ def mxm_dist(
     # every cell received a product in stage 0, so acc is fully populated
     blocks = [blk for blk in acc if blk is not None]
     assert len(blocks) == grid.size
+    if mask is not None:
+        if (mask.grid.rows, mask.grid.cols) != (grid.rows, grid.cols) or mask.shape != (
+            a.nrows,
+            b.ncols,
+        ):
+            raise ValueError("mask must share the product's distribution")
+        from .mask import mask_matrix
+
+        filt: list[Breakdown] = []
+        for k, blk in enumerate(blocks):
+            blocks[k] = mask_matrix(blk, mask.blocks[k], complement=complement)
+            filt.append(
+                Breakdown(
+                    {
+                        "merge": parallel_time(
+                            cfg, blk.nnz * cfg.element_cost * pen, threads
+                        )
+                    }
+                )
+            )
+        total = total + Breakdown.parallel(filt)
     c = DistSparseMatrix(a.nrows, b.ncols, grid, blocks)
     return c, machine.record("mxm_dist", total)

@@ -1,0 +1,220 @@
+"""Unit tests for the uniform GraphBLAS output step (``C⟨M, replace⟩ ⊕= T``).
+
+Each merge helper is checked against an independent dense reference model
+of the GraphBLAS spec, across every mask/complement/accum/replace
+combination, and the distributed variants are checked blockwise-equal to
+the global merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algebra.functional import PLUS
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.exec import (
+    COMPLEMENT,
+    DEFAULT,
+    Descriptor,
+    REPLACE,
+    merge_dist_matrix,
+    merge_dist_vector,
+    merge_matrix,
+    merge_vector,
+)
+from repro.runtime import LocaleGrid
+from repro.sparse import SparseVector
+
+N = 40
+
+
+def sv(seed, nnz=12):
+    return repro.random_sparse_vector(N, nnz=nnz, seed=seed)
+
+
+def dense_merge(t, c, mask, complement, accum, replace):
+    """Dense reference model of C⟨M, replace⟩ ⊕= T.
+
+    Works on (values, present) pairs so ``accum`` only fires where both
+    operands actually have stored entries.
+    """
+    tv, tp = t.to_dense(), np.zeros(N, bool)
+    tp[t.indices] = True
+    if c is None:
+        cv, cp = np.zeros(N), np.zeros(N, bool)
+    else:
+        cv, cp = c.to_dense(), np.zeros(N, bool)
+        cp[c.indices] = True
+    region = np.ones(N, bool) if mask is None else (~mask if complement else mask)
+    tin = tp & region
+    if accum is None:
+        zv = np.where(tin, tv, 0.0)
+        zp = tin
+    else:
+        both = tin & cp
+        zv = np.where(both, cv + tv, np.where(tin, tv, cv))
+        zp = tin | cp
+    zv, zp = np.where(region, zv, 0.0), zp & region
+    if not replace and c is not None:
+        keep = cp & ~region
+        zv, zp = np.where(keep, cv, zv), zp | keep
+    return zv, zp
+
+
+def check_vector(got: SparseVector, zv, zp):
+    assert np.array_equal(got.indices, np.flatnonzero(zp))
+    assert np.allclose(got.to_dense(), zv)
+
+
+@pytest.mark.parametrize("complement", [False, True])
+@pytest.mark.parametrize("replace", [False, True])
+@pytest.mark.parametrize("use_accum", [False, True])
+@pytest.mark.parametrize("with_out", [False, True])
+def test_merge_vector_matrix_of_modes(complement, replace, use_accum, with_out):
+    t, c = sv(1), sv(2, nnz=15) if with_out else None
+    rng = np.random.default_rng(3)
+    mask = rng.random(N) < 0.5
+    accum = PLUS if use_accum else None
+    got = merge_vector(
+        t, c, mask=mask, complement=complement, accum=accum, replace=replace
+    )
+    check_vector(got, *dense_merge(t, c, mask, complement, accum, replace))
+
+
+def test_merge_vector_no_mask_no_accum_is_t():
+    t = sv(4)
+    assert merge_vector(t, sv(5)) is t
+    assert merge_vector(t, None) is t
+
+
+def test_merge_vector_no_mask_accum_unions():
+    t, c = sv(6), sv(7)
+    got = merge_vector(t, c, accum=PLUS)
+    check_vector(got, *dense_merge(t, c, None, False, PLUS, False))
+
+
+def test_merge_vector_idempotent_on_premasked_t():
+    """Fused-mask kernels hand the merge an already-restricted T —
+    re-restricting must change nothing."""
+    t, c = sv(8), sv(9)
+    rng = np.random.default_rng(10)
+    mask = rng.random(N) < 0.4
+    pre = merge_vector(t, None, mask=mask)
+    once = merge_vector(t, c, mask=mask, accum=PLUS)
+    twice = merge_vector(pre, c, mask=mask, accum=PLUS)
+    assert np.array_equal(once.indices, twice.indices)
+    assert np.allclose(once.to_dense(), twice.to_dense())
+
+
+def test_merge_vector_replace_without_out():
+    t = sv(11)
+    rng = np.random.default_rng(12)
+    mask = rng.random(N) < 0.5
+    got = merge_vector(t, None, mask=mask, replace=True)
+    assert np.all(mask[got.indices])
+
+
+@pytest.mark.parametrize("complement", [False, True])
+@pytest.mark.parametrize("replace", [False, True])
+@pytest.mark.parametrize("use_accum", [False, True])
+def test_merge_matrix_modes(complement, replace, use_accum):
+    t = repro.erdos_renyi(N, 3, seed=13)
+    c = repro.erdos_renyi(N, 3, seed=14)
+    mask = repro.erdos_renyi(N, 4, seed=15)
+    accum = PLUS if use_accum else None
+    got = merge_matrix(
+        t, c, mask=mask, complement=complement, accum=accum, replace=replace
+    )
+    td, cd, md = t.to_dense(), c.to_dense(), mask.to_dense() != 0
+    tp, cp = td != 0, cd != 0
+    region = ~md if complement else md
+    tin = tp & region
+    if accum is None:
+        zv, zp = np.where(tin, td, 0.0), tin
+    else:
+        both = tin & cp
+        zv = np.where(both, cd + td, np.where(tin, td, cd))
+        zp = tin | cp
+    zv, zp = np.where(region, zv, 0.0), zp & region
+    if not replace:
+        keep = cp & ~region
+        zv, zp = np.where(keep, cd, zv), zp | keep
+    assert np.allclose(got.to_dense(), zv)
+    assert got.nnz == int(zp.sum())
+
+
+def test_merge_matrix_no_mask():
+    t = repro.erdos_renyi(N, 3, seed=16)
+    c = repro.erdos_renyi(N, 3, seed=17)
+    assert merge_matrix(t, c) is t
+    got = merge_matrix(t, c, accum=PLUS)
+    assert np.allclose(got.to_dense(), t.to_dense() + c.to_dense())
+
+
+@pytest.mark.parametrize("p", [2, 4, 6, 9])
+@pytest.mark.parametrize("complement", [False, True])
+def test_merge_dist_vector_matches_global(p, complement):
+    grid = LocaleGrid.for_count(p)
+    t, c = sv(18), sv(19, nnz=18)
+    rng = np.random.default_rng(20)
+    mask = rng.random(N) < 0.5
+    td = DistSparseVector.from_global(t, grid)
+    cd = DistSparseVector.from_global(c, grid)
+    got = merge_dist_vector(
+        td, cd, mask=mask, complement=complement, accum=PLUS, replace=True
+    ).gather()
+    want = merge_vector(t, c, mask=mask, complement=complement, accum=PLUS, replace=True)
+    assert np.array_equal(got.indices, want.indices)
+    assert np.allclose(got.to_dense(), want.to_dense())
+
+
+def test_merge_dist_vector_trivial_passthrough():
+    grid = LocaleGrid.for_count(4)
+    td = DistSparseVector.from_global(sv(21), grid)
+    assert merge_dist_vector(td, None) is td
+
+
+def test_merge_dist_vector_rejects_mismatched_distribution():
+    t = DistSparseVector.from_global(sv(22), LocaleGrid.for_count(4))
+    c = DistSparseVector.from_global(sv(23), LocaleGrid.for_count(2))
+    with pytest.raises(ValueError, match="distribution"):
+        merge_dist_vector(t, c, accum=PLUS)
+
+
+@pytest.mark.parametrize("p", [4, 6])
+def test_merge_dist_matrix_matches_global(p):
+    grid = LocaleGrid.for_count(p)
+    t = repro.erdos_renyi(N, 3, seed=24)
+    c = repro.erdos_renyi(N, 3, seed=25)
+    mask = repro.erdos_renyi(N, 4, seed=26)
+    td = DistSparseMatrix.from_global(t, grid)
+    cd = DistSparseMatrix.from_global(c, grid)
+    md = DistSparseMatrix.from_global(mask, grid)
+    got = merge_dist_matrix(td, cd, mask=md, accum=PLUS).gather()
+    want = merge_matrix(t, c, mask=mask, accum=PLUS)
+    assert np.allclose(got.to_dense(), want.to_dense())
+    assert got.nnz == want.nnz
+
+
+def test_merge_dist_matrix_rejects_mismatched_distribution():
+    t = DistSparseMatrix.from_global(repro.erdos_renyi(N, 3, seed=27), LocaleGrid.for_count(4))
+    c = DistSparseMatrix.from_global(repro.erdos_renyi(N, 3, seed=28), LocaleGrid.for_count(9))
+    with pytest.raises(ValueError, match="distribution"):
+        merge_dist_matrix(t, c, accum=PLUS)
+
+
+def test_descriptor_or_and_presets():
+    assert DEFAULT == Descriptor()
+    assert REPLACE.replace and not REPLACE.complement
+    assert COMPLEMENT.complement and not COMPLEMENT.replace
+    both = REPLACE | COMPLEMENT
+    assert both.replace and both.complement and not both.transpose_a
+    t = Descriptor(transpose_a=True) | Descriptor(transpose_b=True)
+    assert t.transpose_a and t.transpose_b
+
+
+def test_descriptor_frozen():
+    with pytest.raises(Exception):
+        DEFAULT.replace = True

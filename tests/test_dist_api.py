@@ -132,3 +132,104 @@ class TestDistMatrix:
         assert np.allclose(
             DistMatrix.distribute(a, m).T.gather().to_dense(), a.to_dense().T
         )
+
+
+class TestDistVectorVxmMask:
+    """Satellite of the frontend PR: ``DistVector.vxm`` takes the mask
+    itself (dense bool / DistVector / DistMask, complement included) and
+    fuses it into the masked distributed kernel — callers no longer
+    post-filter with ``mask_dist_vector``.  The post-filter is kept here
+    only as the semantic oracle."""
+
+    def setup_method(self):
+        self.a = repro.erdos_renyi(90, 4, seed=30)
+        self.x = repro.random_sparse_vector(90, nnz=25, seed=31)
+
+    def pair(self, m):
+        return (
+            DistVector.distribute(self.x, m),
+            DistMatrix.distribute(self.a, m),
+        )
+
+    def oracle(self, m, region):
+        from repro.ops.mask import mask_vector_dense
+
+        xv, av = self.pair(m)
+        return mask_vector_dense(xv.vxm(av).gather(), region)
+
+    @pytest.mark.parametrize("p", [1, 4, 6])
+    def test_dense_bool_mask(self, p):
+        m = machine(p)
+        region = random_bool_dense(90, seed=32)
+        xv, av = self.pair(m)
+        got = xv.vxm(av, mask=region).gather()
+        ref = self.oracle(m, region)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.values, ref.values)
+
+    def test_structural_vector_mask_and_complement(self):
+        m = machine(4)
+        sel = DistVector.distribute(
+            repro.random_sparse_vector(90, nnz=40, seed=33), m
+        )
+        xv, av = self.pair(m)
+        pattern = sel.dense_pattern()
+        got = xv.vxm(av, mask=sel).gather()
+        ref = self.oracle(m, pattern)
+        assert np.array_equal(got.indices, ref.indices)
+        comp = xv.vxm(av, mask=~sel).gather()
+        cref = self.oracle(m, ~pattern)
+        assert np.array_equal(comp.indices, cref.indices)
+        # mask and complement partition the unmasked output
+        full = xv.vxm(av).gather()
+        assert got.nnz + comp.nnz == full.nnz
+
+    def test_desc_complement_xors_with_mask_complement(self):
+        from repro.exec import COMPLEMENT
+
+        m = machine(4)
+        sel = DistVector.distribute(
+            repro.random_sparse_vector(90, nnz=40, seed=34), m
+        )
+        xv, av = self.pair(m)
+        # ~mask under GrB_COMP is the mask again
+        double = xv.vxm(av, mask=~sel, desc=COMPLEMENT).gather()
+        plain = xv.vxm(av, mask=sel).gather()
+        assert np.array_equal(double.indices, plain.indices)
+        assert np.array_equal(double.values, plain.values)
+
+    def test_accum_out_merges_blockwise_like_global(self):
+        from repro.algebra.functional import PLUS
+        from repro.exec.descriptor import merge_vector
+
+        m = machine(4)
+        region = random_bool_dense(90, seed=35)
+        c = repro.random_sparse_vector(90, nnz=20, seed=36)
+        xv, av = self.pair(m)
+        cv = DistVector.distribute(c, m)
+        got = xv.vxm(av, mask=region, accum=PLUS, out=cv).gather()
+        ref = merge_vector(self.oracle(m, region), c, mask=region, accum=PLUS)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.allclose(got.values, ref.values)
+
+    def test_replace_drops_out_outside_mask(self):
+        from repro.exec import REPLACE
+        from repro.exec.descriptor import merge_vector
+
+        m = machine(4)
+        region = random_bool_dense(90, seed=37)
+        c = repro.random_sparse_vector(90, nnz=20, seed=38)
+        xv, av = self.pair(m)
+        cv = DistVector.distribute(c, m)
+        got = xv.vxm(av, mask=region, out=cv, desc=REPLACE).gather()
+        ref = merge_vector(self.oracle(m, region), c, mask=region, replace=True)
+        assert np.array_equal(got.indices, ref.indices)
+        assert not np.any(~region[got.indices])  # nothing survives outside
+
+    def test_masked_vxm_still_records_dispatch_span(self):
+        led = CostLedger()
+        m = machine(4, ledger=led)
+        region = random_bool_dense(90, seed=39)
+        xv, av = self.pair(m)
+        xv.vxm(av, mask=region)
+        assert any(lbl.startswith("dispatch[vxm_dist]") for lbl, _ in led.entries)

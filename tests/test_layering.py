@@ -1,0 +1,103 @@
+"""Architectural layering lint for the algorithm layer.
+
+The backend-agnostic refactor's contract: algorithms talk to the
+execution frontend (:mod:`repro.exec`) and nothing below it.  Importing
+kernels (:mod:`repro.ops`) or the simulated runtime
+(:mod:`repro.runtime`) from an algorithm module would re-couple the
+algorithms to one backend, so this AST lint fails the build on any such
+import — with **no allowlist**: every algorithm module must comply.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+ALGO_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "algorithms"
+
+#: subpackages an algorithm module must not reach into
+FORBIDDEN = ("ops", "runtime")
+
+ALGO_MODULES = sorted(ALGO_DIR.glob("*.py"))
+
+
+def _forbidden_target(node: ast.AST, module_parts: tuple[str, ...]) -> str | None:
+    """The offending import target, or None if the node is clean.
+
+    Handles every spelling: ``import repro.ops.x``, ``from repro.ops
+    import x``, ``from ..ops import x``, ``from ..ops.spmv import y``,
+    and ``from .. import ops``.
+    """
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro" and len(parts) > 1 and parts[1] in FORBIDDEN:
+                return alias.name
+        return None
+    if isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            parts = (node.module or "").split(".")
+            if parts and parts[0] == "repro" and len(parts) > 1 and parts[1] in FORBIDDEN:
+                return node.module
+        else:
+            # relative: resolve against repro.algorithms.<module>
+            base = module_parts[: len(module_parts) - node.level]
+            parts = base + tuple((node.module or "").split(".")) if node.module else base
+            if len(parts) > 1 and parts[0] == "repro" and parts[1] in FORBIDDEN:
+                return ".".join(parts)
+            # `from .. import ops` style: the forbidden name is in the alias list
+            if parts == ("repro",):
+                for alias in node.names:
+                    if alias.name in FORBIDDEN:
+                        return f"repro.{alias.name}"
+        return None
+    return None
+
+
+def _violations(path: Path) -> list[str]:
+    module_parts = ("repro", "algorithms", path.stem)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        target = _forbidden_target(node, module_parts)
+        if target is not None:
+            out.append(f"{path.name}:{node.lineno} imports {target}")
+    return out
+
+
+def test_algorithm_modules_exist():
+    assert len(ALGO_MODULES) >= 15  # 14 algorithm modules + __init__
+
+
+@pytest.mark.parametrize("path", ALGO_MODULES, ids=lambda p: p.stem)
+def test_algorithms_import_only_the_frontend(path: Path):
+    """algorithms/*.py must not import repro.ops.* or repro.runtime.*."""
+    bad = _violations(path)
+    assert not bad, (
+        "algorithm modules must go through repro.exec, not the kernel/runtime "
+        "layers:\n  " + "\n  ".join(bad)
+    )
+
+
+def test_lint_catches_absolute_import():
+    tree_src = "import repro.ops.spmv\n"
+    node = ast.parse(tree_src).body[0]
+    assert _forbidden_target(node, ("repro", "algorithms", "x")) == "repro.ops.spmv"
+
+
+def test_lint_catches_relative_import():
+    node = ast.parse("from ..ops.spmv import spmv\n").body[0]
+    assert _forbidden_target(node, ("repro", "algorithms", "x")) == "repro.ops.spmv"
+
+
+def test_lint_catches_from_package_import():
+    node = ast.parse("from .. import ops\n").body[0]
+    assert _forbidden_target(node, ("repro", "algorithms", "x")) == "repro.ops"
+
+
+def test_lint_allows_frontend_and_algebra():
+    for src in ("from ..exec import ShmBackend\n", "from ..algebra.semiring import MIN_PLUS\n"):
+        node = ast.parse(src).body[0]
+        assert _forbidden_target(node, ("repro", "algorithms", "x")) is None
