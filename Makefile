@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-props test-chaos test-algos bench bench-agg bench-frontend bench-full figures report examples clean
+.PHONY: install test test-props test-chaos test-algos test-telemetry bench bench-agg bench-frontend bench-gate bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -26,6 +26,10 @@ test-algos:          ## algorithm suites on both backends + frontend unit tests 
 	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-standard} \
 	    $(PYTHON) -m pytest tests/algorithms/ tests/exec/ tests/test_layering.py
 
+test-telemetry:      ## observability suites: registry, timeline, profiling hooks, gate
+	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-quick} \
+	    $(PYTHON) -m pytest -m telemetry tests/
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -34,6 +38,9 @@ bench-agg:           ## aggregation-exchange ablation; writes results/BENCH_agg.
 
 bench-frontend:      ## frontend-vs-direct-kernel overhead; writes results/BENCH_frontend.json
 	$(PYTHON) -m pytest benchmarks/test_abl_frontend.py
+
+bench-gate:          ## perf-regression gate vs results/BENCH_*.json golden baselines
+	$(PYTHON) -m repro gate
 
 bench-full:          ## paper-exact input sizes (~16 GB, slow)
 	REPRO_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

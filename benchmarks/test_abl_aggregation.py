@@ -1,89 +1,50 @@
 """Ablation — fine vs bulk vs aggregated exchange on the Fig 8/9 configs.
 
-The PR's headline numbers: the destination-buffered, two-hop-routed,
+The PR 3 headline numbers: the destination-buffered, two-hop-routed,
 overlap-pipelined exchange (``docs/aggregation.md``) against the
 fine-grained and bulk transports on the paper's two distributed SpMSpV
 configurations (Fig 8: 1M nnz, Fig 9: 10M nnz; d = 16, f = 0.02).
 
-Beyond the usual figure emission this bench records the perf trajectory in
-``benchmarks/results/BENCH_agg.json``: simulated seconds per (config, mode,
-node count), the dispatcher's auto-mode ratio against the best fixed mode,
-and wall-clock timings of the real numpy kernel (the vectorised group-by
-scatter path) — so later PRs can diff both axes.
+The sweep itself lives in :mod:`repro.bench.ablations` (``run_agg`` and
+friends) so the perf-regression gate can re-run the identical measurement
+against the checked-in baseline; this file adds the qualitative
+assertions, the figure emission, and persists the trajectory to
+``benchmarks/results/BENCH_agg.json`` through the versioned schema.
 """
-
-import json
-import time
-from pathlib import Path
 
 import pytest
 
-from repro.bench.harness import NODE_SWEEP, Series, scaled_nnz
-from repro.distributed import DistSparseMatrix, DistSparseVector
-from repro.generators import erdos_renyi, random_sparse_vector
+from repro.bench.ablations import (
+    AGG_MODES,
+    agg_auto_ratios,
+    agg_configs,
+    agg_distributions,
+    agg_sweep,
+    agg_workloads,
+)
+from repro.bench.harness import NODE_SWEEP, Series
+from repro.bench.schema import SCHEMA_VERSION, dump_bench
 from repro.ops import spmspv_dist
-from repro.ops.dispatch import Dispatcher
 from repro.ops.spmspv import SCATTER_STEP
-from repro.runtime import CostLedger, FaultInjector, FaultPlan, LocaleGrid, Machine, RetryPolicy
+from repro.runtime import FaultInjector, FaultPlan, Machine, RetryPolicy
 
 from _common import RESULTS_DIR, emit
 
-MODES = ["fine", "bulk", "agg"]
-
-CONFIGS = {
-    "fig8_1m": scaled_nnz(1_000_000, minimum=20_000),
-    "fig9_10m": scaled_nnz(10_000_000, minimum=100_000),
-}
+CONFIGS = agg_configs()
 
 
 @pytest.fixture(scope="module")
-def workloads():
-    return {
-        name: (erdos_renyi(n, 16, seed=3), random_sparse_vector(n, density=0.02, seed=5))
-        for name, n in CONFIGS.items()
-    }
-
-
-@pytest.fixture(scope="module")
-def distributions(workloads):
+def distributions():
     """One (matrix, vector) distribution per (config, p), shared by every
     mode and by the dispatch test — distributing the 10M-scale matrix is
     the expensive real work, the sweep should pay it once per grid."""
-    out = {}
-    for name, (a, x) in workloads.items():
-        for p in NODE_SWEEP:
-            grid = LocaleGrid.for_count(p)
-            out[(name, p)] = (
-                DistSparseMatrix.from_global(a, grid),
-                DistSparseVector.from_global(x, grid),
-                grid,
-            )
-    return out
+    return agg_distributions(agg_workloads(CONFIGS))
 
 
 @pytest.fixture(scope="module")
 def sweep(distributions):
     """simulated/wall-clock numbers per (config, mode, p)."""
-    out = {name: {mode: [] for mode in MODES} for name in CONFIGS}
-    for name in CONFIGS:
-        for p in NODE_SWEEP:
-            ad, xd, grid = distributions[(name, p)]
-            for mode in MODES:
-                m = Machine(grid=grid, threads_per_locale=24)
-                t0 = time.perf_counter()
-                _, b = spmspv_dist(
-                    ad, xd, m, gather_mode=mode, scatter_mode=mode
-                )
-                wall = time.perf_counter() - t0
-                out[name][mode].append(
-                    {
-                        "nodes": p,
-                        "simulated_s": b.total,
-                        "scatter_s": b[SCATTER_STEP],
-                        "wall_s": wall,
-                    }
-                )
-    return out
+    return agg_sweep(distributions, CONFIGS)
 
 
 def _series(per_mode):
@@ -131,17 +92,9 @@ def test_ablation_aggregated_exchange(benchmark, sweep, distributions):
 def test_dispatch_auto_never_worse(sweep, distributions):
     """Auto dispatch lands within 1.1x of the best fixed mode everywhere
     on the ablation grid."""
-    auto_ratios = {}
-    for name in CONFIGS:
-        per_mode = sweep[name]
-        for idx, p in enumerate(NODE_SWEEP):
-            ad, xd, grid = distributions[(name, p)]
-            m = Machine(grid=grid, threads_per_locale=24, ledger=CostLedger())
-            _, b = Dispatcher(m).vxm_dist(ad, xd)
-            best = min(per_mode[mode][idx]["simulated_s"] for mode in MODES)
-            ratio = b.total / best
-            auto_ratios[f"{name}@p{p}"] = ratio
-            assert ratio <= 1.1, f"auto {ratio:.3f}x worse than best at {name} p={p}"
+    auto_ratios = agg_auto_ratios(sweep, distributions, CONFIGS)
+    for where, ratio in auto_ratios.items():
+        assert ratio <= 1.1, f"auto {ratio:.3f}x worse than best at {where}"
     # stash for the JSON writer
     sweep["_auto_ratios"] = auto_ratios
 
@@ -173,14 +126,14 @@ def test_agg_faults_bit_identical(distributions):
 def test_write_bench_json(sweep):
     """Persist the perf trajectory (runs after the sweep-consuming tests)."""
     payload = {
-        "bench": "aggregation_exchange",
+        "schema_version": SCHEMA_VERSION,
+        "bench": "agg",
+        "description": "fine vs bulk vs aggregated exchange (paper Figs 8-9)",
         "node_sweep": NODE_SWEEP,
         "configs": {name: {"nnz_target": n} for name, n in CONFIGS.items()},
         "results": {k: v for k, v in sweep.items() if not k.startswith("_")},
         "auto_vs_best_ratio": sweep.get("_auto_ratios", {}),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_agg.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = dump_bench(payload, RESULTS_DIR / "BENCH_agg.json")
     assert out.exists()
     print(f"\nwrote {out}")

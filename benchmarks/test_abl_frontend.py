@@ -8,155 +8,38 @@ sequence the pre-refactor hand-written algorithms issued.  This ablation
 pins that claim on the two workloads the refactor cares most about —
 level-synchronous BFS (SpMSpV-bound) and masked-SpGEMM triangle counting
 — on both backends, asserting frontend simulated time ≤ 1.05× the direct
-kernel sequence, and records the numbers (plus wall-clock, which *does*
-pay a small python toll) in ``benchmarks/results/BENCH_frontend.json``.
+kernel sequence.
+
+The sweep and the direct kernel sequences live in
+:mod:`repro.bench.ablations` (``run_frontend`` and friends) so the
+perf-regression gate re-runs the identical measurement; this file adds
+the assertions and persists ``benchmarks/results/BENCH_frontend.json``
+through the versioned schema (wall-clock, which *does* pay a small
+python toll, rides along ungated).
 """
 
 from __future__ import annotations
 
-import json
-import time
-from pathlib import Path
-
-import numpy as np
 import pytest
 
-from repro.algebra.functional import MAX, OFFDIAG, TRIL
-from repro.algebra.semiring import MIN_FIRST, PLUS_PAIR
-from repro.algorithms import bfs_levels, count_triangles
-from repro.distributed import DistSparseMatrix, DistSparseVector
-from repro.exec import DistBackend, ShmBackend
-from repro.generators import erdos_renyi
-from repro.ops import ewiseadd_mm
-from repro.ops.dispatch import Dispatcher
-from repro.ops.matrix_dist import select_dist_matrix, transpose_any
-from repro.ops.mxm import mxm
-from repro.ops.reduce import reduce_matrix_scalar
-from repro.runtime import CostLedger, LocaleGrid, Machine, shared_machine
-from repro.sparse import CSRMatrix, SparseVector
+from repro.bench.ablations import (
+    BFS_DEG,
+    BFS_N,
+    DIST_P,
+    OVERHEAD_BOUND,
+    TRI_DEG,
+    TRI_N,
+    frontend_graphs,
+    frontend_sweep,
+)
+from repro.bench.schema import SCHEMA_VERSION, dump_bench
 
-RESULTS_DIR = Path(__file__).parent / "results"
-
-BFS_N, BFS_DEG = 30_000, 8
-TRI_N, TRI_DEG = 2_000, 12
-DIST_P = 16  # 4x4: square, so SUMMA (not the gathered fallback) is measured
-OVERHEAD_BOUND = 1.05
-
-
-def sym_simple(a: CSRMatrix) -> CSRMatrix:
-    return ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+from _common import RESULTS_DIR
 
 
 @pytest.fixture(scope="module")
-def graphs():
-    return {
-        "bfs": erdos_renyi(BFS_N, BFS_DEG, seed=3),
-        "triangle": sym_simple(erdos_renyi(TRI_N, TRI_DEG, seed=4, values="one")),
-    }
-
-
-def machine(kind: str) -> Machine:
-    if kind == "shm":
-        m = shared_machine(24)
-        return Machine(config=m.config, grid=m.grid, threads_per_locale=24,
-                       ledger=CostLedger())
-    return Machine(grid=LocaleGrid.for_count(DIST_P), threads_per_locale=24,
-                   ledger=CostLedger())
-
-
-def timed(fn):
-    t0 = time.perf_counter()
-    out = fn()
-    return out, time.perf_counter() - t0
-
-
-# -- direct kernel sequences (the pre-refactor algorithm bodies) --------------
-
-
-def direct_bfs_shm(a: CSRMatrix, source: int, m: Machine) -> np.ndarray:
-    d = Dispatcher(m, mode="push")
-    n = a.nrows
-    levels = np.full(n, -1, dtype=np.int64)
-    levels[source] = 0
-    f = SparseVector(n, np.array([source], dtype=np.int64), np.array([float(source)]))
-    level = 0
-    while f.nnz:
-        level += 1
-        f, _ = d.vxm(a, f, semiring=MIN_FIRST, mask=levels < 0, mode="push")
-        levels[f.indices] = level
-    return levels
-
-
-def direct_bfs_dist(a: CSRMatrix, source: int, m: Machine) -> np.ndarray:
-    d = Dispatcher(m)
-    ad = DistSparseMatrix.from_global(a, m.grid)
-    n = a.nrows
-    levels = np.full(n, -1, dtype=np.int64)
-    levels[source] = 0
-    f = DistSparseVector.from_global(
-        SparseVector(n, np.array([source], dtype=np.int64), np.array([float(source)])),
-        m.grid,
-    )
-    bounds = f.dist.bounds
-    level = 0
-    while f.nnz:
-        level += 1
-        f, _ = d.vxm_dist(ad, f, semiring=MIN_FIRST, mask=levels < 0)
-        for k, blk in enumerate(f.blocks):
-            levels[int(bounds[k]) + blk.indices] = level
-    return levels
-
-
-def direct_triangle_shm(a: CSRMatrix, m: Machine) -> int:
-    low = a.tril(-1)
-    wedges = mxm(low, low.transposed(), semiring=PLUS_PAIR, mask=low)
-    return int(reduce_matrix_scalar(wedges))
-
-
-def direct_triangle_dist(a: CSRMatrix, m: Machine) -> int:
-    d = Dispatcher(m)
-    ad = DistSparseMatrix.from_global(a, m.grid)
-    low, _ = select_dist_matrix(ad, TRIL, m, -1)
-    lowt, _ = transpose_any(low, m)
-    wedges, _ = d.mxm_dist(low, lowt, semiring=PLUS_PAIR, mask=low)
-    return int(sum(blk.values.sum() for blk in wedges.blocks))
-
-
-DIRECT = {
-    ("bfs", "shm"): direct_bfs_shm,
-    ("bfs", "dist"): direct_bfs_dist,
-    ("triangle", "shm"): direct_triangle_shm,
-    ("triangle", "dist"): direct_triangle_dist,
-}
-
-
-def frontend_run(workload: str, a: CSRMatrix, m: Machine):
-    b = ShmBackend(m) if m.num_locales == 1 else DistBackend(m)
-    if workload == "bfs":
-        return bfs_levels(a, 0, backend=b)
-    return count_triangles(a, backend=b)
-
-
-@pytest.fixture(scope="module")
-def sweep(graphs):
-    out = {}
-    for workload, a in graphs.items():
-        for kind in ("shm", "dist"):
-            mf = machine(kind)
-            got, wall_frontend = timed(lambda: frontend_run(workload, a, mf))
-            md = machine(kind)
-            if workload == "bfs":
-                ref, wall_direct = timed(lambda: DIRECT[(workload, kind)](a, 0, md))
-            else:
-                ref, wall_direct = timed(lambda: DIRECT[(workload, kind)](a, md))
-            out[(workload, kind)] = {
-                "frontend_simulated_s": mf.ledger.total,
-                "direct_simulated_s": md.ledger.total,
-                "wall_frontend_s": wall_frontend,
-                "wall_direct_s": wall_direct,
-                "results_equal": bool(np.array_equal(got, ref)),
-            }
-    return out
+def sweep():
+    return frontend_sweep(frontend_graphs())
 
 
 def test_frontend_results_match_direct_kernels(sweep):
@@ -180,17 +63,9 @@ def test_frontend_simulated_overhead_bounded(sweep):
 
 
 def test_write_bench_json(sweep):
-    rows = {}
-    for (workload, kind), row in sweep.items():
-        direct = row["direct_simulated_s"]
-        rows[f"{workload}/{kind}"] = dict(
-            row,
-            simulated_ratio=(
-                row["frontend_simulated_s"] / direct if direct else 1.0
-            ),
-        )
-    RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "frontend",
         "description": "execution-frontend overhead vs direct kernel sequences",
         "configs": {
             "bfs": {"n": BFS_N, "deg": BFS_DEG},
@@ -198,9 +73,8 @@ def test_write_bench_json(sweep):
             "dist_locales": DIST_P,
         },
         "overhead_bound": OVERHEAD_BOUND,
-        "results": rows,
+        "results": sweep,
     }
-    (RESULTS_DIR / "BENCH_frontend.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
-    print(json.dumps(payload["results"], indent=2, sort_keys=True))
+    out = dump_bench(payload, RESULTS_DIR / "BENCH_frontend.json")
+    assert out.exists()
+    print(f"\nwrote {out}")

@@ -1,7 +1,13 @@
-"""Benchmark harness: sweeps, series formatting, per-figure experiments."""
+"""Benchmark harness: sweeps, series formatting, experiments, perf gate.
+
+Heavy pieces (:mod:`.ablations`, :mod:`.regression`) are imported on
+demand — they pull in the whole kernel stack, which figure-table users
+don't need.
+"""
 
 from .harness import NODE_SWEEP, Series, THREAD_SWEEP, format_figure, scale, scaled_nnz, speedup
 from .plotting import render_svg, save_svg
+from .schema import SCHEMA_VERSION, dump_bench, load_bench, simulated_metrics
 
 __all__ = [
     "Series",
@@ -13,4 +19,8 @@ __all__ = [
     "NODE_SWEEP",
     "render_svg",
     "save_svg",
+    "SCHEMA_VERSION",
+    "dump_bench",
+    "load_bench",
+    "simulated_metrics",
 ]

@@ -1,0 +1,310 @@
+"""Reusable ablation harnesses behind the ``BENCH_*.json`` trajectories.
+
+The benchmark files under ``benchmarks/`` used to own their sweep loops
+outright, which made the checked-in ``BENCH_*.json`` baselines decorative:
+nothing else could re-run the measurement to compare against them.  This
+module extracts the sweeps as plain functions — no pytest, no I/O — that
+both the benchmarks (which add assertions and persist the payload) and the
+regression gate (:mod:`repro.bench.regression`, which re-runs and diffs)
+call.
+
+Determinism contract: every simulated-seconds number these sweeps produce
+is a pure function of (workload seed, ``REPRO_SCALE``, cost model), so a
+re-run on any host reproduces the baseline's simulated leaves exactly —
+regressions in them are code changes, never noise.  Wall-clock fields are
+host-dependent and excluded from gating by the schema's metric rule
+(:func:`repro.bench.schema.simulated_metrics`).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..algebra.functional import MAX, OFFDIAG, TRIL
+from ..algebra.semiring import MIN_FIRST, PLUS_PAIR
+from ..algorithms import bfs_levels, count_triangles
+from ..distributed import DistSparseMatrix, DistSparseVector
+from ..exec import DistBackend, ShmBackend
+from ..generators import erdos_renyi, random_sparse_vector
+from ..ops.dispatch import Dispatcher
+from ..ops.ewise import ewiseadd_mm
+from ..ops.matrix_dist import select_dist_matrix, transpose_any
+from ..ops.mxm import mxm
+from ..ops.reduce import reduce_matrix_scalar
+from ..ops.spmspv import SCATTER_STEP, spmspv_dist
+from ..runtime import CostLedger, LocaleGrid, Machine, shared_machine
+from ..sparse import CSRMatrix, SparseVector
+from .harness import NODE_SWEEP, scaled_nnz
+from .schema import SCHEMA_VERSION
+
+__all__ = [
+    "AGG_MODES",
+    "agg_configs",
+    "agg_workloads",
+    "run_agg",
+    "FRONTEND_WORKLOADS",
+    "run_frontend",
+    "RERUNNERS",
+]
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# aggregation-exchange ablation (BENCH_agg.json; paper Figs 8-9)
+# ---------------------------------------------------------------------------
+
+AGG_MODES = ["fine", "bulk", "agg"]
+
+
+def agg_configs() -> dict[str, int]:
+    """The Fig 8/9 problem sizes at the current ``REPRO_SCALE``."""
+    return {
+        "fig8_1m": scaled_nnz(1_000_000, minimum=20_000),
+        "fig9_10m": scaled_nnz(10_000_000, minimum=100_000),
+    }
+
+
+def agg_workloads(configs: dict[str, int] | None = None):
+    """Deterministic (matrix, vector) per config (seeds fixed forever)."""
+    configs = agg_configs() if configs is None else configs
+    return {
+        name: (
+            erdos_renyi(n, 16, seed=3),
+            random_sparse_vector(n, density=0.02, seed=5),
+        )
+        for name, n in configs.items()
+    }
+
+
+def agg_distributions(
+    workloads, node_sweep: list[int] | None = None
+) -> dict[tuple[str, int], tuple]:
+    """One (DistMatrix, DistVector, grid) per (config, node count)."""
+    node_sweep = NODE_SWEEP if node_sweep is None else node_sweep
+    out = {}
+    for name, (a, x) in workloads.items():
+        for p in node_sweep:
+            grid = LocaleGrid.for_count(p)
+            out[(name, p)] = (
+                DistSparseMatrix.from_global(a, grid),
+                DistSparseVector.from_global(x, grid),
+                grid,
+            )
+    return out
+
+
+def agg_sweep(distributions, configs, node_sweep: list[int] | None = None) -> dict:
+    """simulated/wall numbers per (config, mode, node count)."""
+    node_sweep = NODE_SWEEP if node_sweep is None else node_sweep
+    out = {name: {mode: [] for mode in AGG_MODES} for name in configs}
+    for name in configs:
+        for p in node_sweep:
+            ad, xd, grid = distributions[(name, p)]
+            for mode in AGG_MODES:
+                m = Machine(grid=grid, threads_per_locale=24)
+                (_, b), wall = _timed(
+                    lambda: spmspv_dist(ad, xd, m, gather_mode=mode, scatter_mode=mode)
+                )
+                out[name][mode].append(
+                    {
+                        "nodes": p,
+                        "simulated_s": b.total,
+                        "scatter_s": b[SCATTER_STEP],
+                        "wall_s": wall,
+                    }
+                )
+    return out
+
+
+def agg_auto_ratios(sweep, distributions, configs, node_sweep=None) -> dict[str, float]:
+    """Auto-dispatch simulated time vs the best fixed mode, per grid point."""
+    node_sweep = NODE_SWEEP if node_sweep is None else node_sweep
+    ratios = {}
+    for name in configs:
+        for idx, p in enumerate(node_sweep):
+            ad, xd, grid = distributions[(name, p)]
+            m = Machine(grid=grid, threads_per_locale=24, ledger=CostLedger())
+            _, b = Dispatcher(m).vxm_dist(ad, xd)
+            best = min(sweep[name][mode][idx]["simulated_s"] for mode in AGG_MODES)
+            ratios[f"{name}@p{p}"] = b.total / best
+    return ratios
+
+
+def run_agg() -> dict:
+    """The full aggregation ablation as a schema-valid BENCH payload."""
+    configs = agg_configs()
+    distributions = agg_distributions(agg_workloads(configs))
+    sweep = agg_sweep(distributions, configs)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "agg",
+        "description": "fine vs bulk vs aggregated exchange (paper Figs 8-9)",
+        "node_sweep": NODE_SWEEP,
+        "configs": {name: {"nnz_target": n} for name, n in configs.items()},
+        "results": sweep,
+        "auto_vs_best_ratio": agg_auto_ratios(sweep, distributions, configs),
+    }
+
+
+# ---------------------------------------------------------------------------
+# execution-frontend ablation (BENCH_frontend.json)
+# ---------------------------------------------------------------------------
+
+BFS_N, BFS_DEG = 30_000, 8
+TRI_N, TRI_DEG = 2_000, 12
+DIST_P = 16  # 4x4: square, so SUMMA (not the gathered fallback) is measured
+OVERHEAD_BOUND = 1.05
+
+FRONTEND_WORKLOADS = ("bfs", "triangle")
+
+
+def _sym_simple(a: CSRMatrix) -> CSRMatrix:
+    return ewiseadd_mm(a, a.transposed(), MAX).select(OFFDIAG)
+
+
+def frontend_graphs() -> dict[str, CSRMatrix]:
+    """The two frontend workloads' graphs (seeds fixed forever)."""
+    return {
+        "bfs": erdos_renyi(BFS_N, BFS_DEG, seed=3),
+        "triangle": _sym_simple(erdos_renyi(TRI_N, TRI_DEG, seed=4, values="one")),
+    }
+
+
+def frontend_machine(kind: str) -> Machine:
+    """A fresh ledgered machine for one measurement (shm or dist)."""
+    if kind == "shm":
+        m = shared_machine(24)
+        return Machine(
+            config=m.config, grid=m.grid, threads_per_locale=24, ledger=CostLedger()
+        )
+    return Machine(
+        grid=LocaleGrid.for_count(DIST_P), threads_per_locale=24, ledger=CostLedger()
+    )
+
+
+# -- direct kernel sequences (the pre-refactor algorithm bodies) --------------
+
+
+def direct_bfs_shm(a: CSRMatrix, source: int, m: Machine) -> np.ndarray:
+    """Hand-written shared-memory BFS against the raw kernels."""
+    d = Dispatcher(m, mode="push")
+    n = a.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    f = SparseVector(n, np.array([source], dtype=np.int64), np.array([float(source)]))
+    level = 0
+    while f.nnz:
+        level += 1
+        f, _ = d.vxm(a, f, semiring=MIN_FIRST, mask=levels < 0, mode="push")
+        levels[f.indices] = level
+    return levels
+
+
+def direct_bfs_dist(a: CSRMatrix, source: int, m: Machine) -> np.ndarray:
+    """Hand-written distributed BFS against the raw kernels."""
+    d = Dispatcher(m)
+    ad = DistSparseMatrix.from_global(a, m.grid)
+    n = a.nrows
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    f = DistSparseVector.from_global(
+        SparseVector(n, np.array([source], dtype=np.int64), np.array([float(source)])),
+        m.grid,
+    )
+    bounds = f.dist.bounds
+    level = 0
+    while f.nnz:
+        level += 1
+        f, _ = d.vxm_dist(ad, f, semiring=MIN_FIRST, mask=levels < 0)
+        for k, blk in enumerate(f.blocks):
+            levels[int(bounds[k]) + blk.indices] = level
+    return levels
+
+
+def direct_triangle_shm(a: CSRMatrix, m: Machine) -> int:
+    """Hand-written shared-memory masked-SpGEMM triangle count."""
+    low = a.tril(-1)
+    wedges = mxm(low, low.transposed(), semiring=PLUS_PAIR, mask=low)
+    return int(reduce_matrix_scalar(wedges))
+
+
+def direct_triangle_dist(a: CSRMatrix, m: Machine) -> int:
+    """Hand-written distributed masked-SpGEMM triangle count."""
+    d = Dispatcher(m)
+    ad = DistSparseMatrix.from_global(a, m.grid)
+    low, _ = select_dist_matrix(ad, TRIL, m, -1)
+    lowt, _ = transpose_any(low, m)
+    wedges, _ = d.mxm_dist(low, lowt, semiring=PLUS_PAIR, mask=low)
+    return int(sum(blk.values.sum() for blk in wedges.blocks))
+
+
+DIRECT = {
+    ("bfs", "shm"): direct_bfs_shm,
+    ("bfs", "dist"): direct_bfs_dist,
+    ("triangle", "shm"): direct_triangle_shm,
+    ("triangle", "dist"): direct_triangle_dist,
+}
+
+
+def frontend_run(workload: str, a: CSRMatrix, m: Machine):
+    """The same workload through the backend-agnostic frontend."""
+    b = ShmBackend(m) if m.num_locales == 1 else DistBackend(m)
+    if workload == "bfs":
+        return bfs_levels(a, 0, backend=b)
+    return count_triangles(a, backend=b)
+
+
+def frontend_sweep(graphs=None) -> dict[str, dict]:
+    """Frontend vs direct numbers per ``"workload/kind"`` row."""
+    graphs = frontend_graphs() if graphs is None else graphs
+    out = {}
+    for workload, a in graphs.items():
+        for kind in ("shm", "dist"):
+            mf = frontend_machine(kind)
+            got, wall_frontend = _timed(lambda: frontend_run(workload, a, mf))
+            md = frontend_machine(kind)
+            if workload == "bfs":
+                ref, wall_direct = _timed(lambda: DIRECT[(workload, kind)](a, 0, md))
+            else:
+                ref, wall_direct = _timed(lambda: DIRECT[(workload, kind)](a, md))
+            direct = md.ledger.total
+            out[f"{workload}/{kind}"] = {
+                "frontend_simulated_s": mf.ledger.total,
+                "direct_simulated_s": direct,
+                "simulated_ratio": mf.ledger.total / direct if direct else 1.0,
+                "wall_frontend_s": wall_frontend,
+                "wall_direct_s": wall_direct,
+                "results_equal": bool(np.array_equal(got, ref)),
+            }
+    return out
+
+
+def run_frontend() -> dict:
+    """The full frontend-overhead ablation as a schema-valid BENCH payload."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "frontend",
+        "description": "execution-frontend overhead vs direct kernel sequences",
+        "configs": {
+            "bfs": {"n": BFS_N, "deg": BFS_DEG},
+            "triangle": {"n": TRI_N, "deg": TRI_DEG},
+            "dist_locales": DIST_P,
+        },
+        "overhead_bound": OVERHEAD_BOUND,
+        "results": frontend_sweep(),
+    }
+
+
+#: bench name (the BENCH_<name>.json stem) → payload re-runner, used by the
+#: regression gate to regenerate current numbers for a golden baseline.
+RERUNNERS = {
+    "agg": run_agg,
+    "frontend": run_frontend,
+}

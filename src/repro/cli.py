@@ -7,6 +7,10 @@ Subcommands:
   algorithm on a Matrix Market graph (or a generated one) and print results;
 * ``spmspv`` — one SpMSpV on a simulated machine with the component
   breakdown (the paper's Fig 7/8 measurement as a one-liner);
+* ``telemetry`` — run an algorithm on the simulated machine and export its
+  timeline as Chrome ``trace_event`` JSON (Perfetto-loadable) plus metric
+  and profile summaries (``docs/observability.md``);
+* ``gate`` — the perf-regression gate over ``benchmarks/results/BENCH_*``;
 * ``figures`` — regenerate every paper figure (text series);
 * ``report`` — write EXPERIMENTS.md.
 """
@@ -72,6 +76,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine preset for the cost model",
     )
     s.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser(
+        "telemetry",
+        help="run an algorithm and export its Chrome-trace timeline + metrics",
+    )
+    t.add_argument(
+        "graph",
+        nargs="?",
+        default="er:2000:8",
+        help=".mtx file, or 'er:N:D' / 'rmat:SCALE:D' (default er:2000:8)",
+    )
+    t.add_argument(
+        "--algo",
+        choices=["bfs", "cc", "pagerank", "sssp", "triangles"],
+        default="bfs",
+    )
+    t.add_argument("--source", type=int, default=0, help="source vertex")
+    t.add_argument("--nodes", type=int, default=4, help="locales (1 = shm backend)")
+    t.add_argument("--threads", type=int, default=24)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="transient fault rate (>0 attaches a covered injector, so "
+        "retry spans appear in the timeline)",
+    )
+    t.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    t.add_argument("--csv", default=None, help="also write the flat span CSV here")
+    t.add_argument("--summary", default=None, help="also write the JSON summary here")
+    t.add_argument(
+        "--metrics", action="store_true", help="print the metrics registry"
+    )
+    t.add_argument(
+        "--profile", action="store_true", help="print per-op backend tallies"
+    )
+
+    gate = sub.add_parser(
+        "gate", help="perf-regression gate over the BENCH_*.json baselines"
+    )
+    gate.add_argument("--results-dir", default=None)
+    gate.add_argument("--bench", action="append", dest="benches")
+    gate.add_argument("--tolerance", type=float, default=None)
 
     sub.add_parser("figures", help="regenerate every paper figure (text series)")
     sub.add_parser("report", help="write EXPERIMENTS.md (paper vs measured)")
@@ -214,6 +261,94 @@ def cmd_spmspv(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Handle ``repro telemetry``: run, trace, export, summarise."""
+    from .exec import DistBackend, ShmBackend
+    from .runtime import (
+        CostLedger,
+        FaultInjector,
+        FaultPlan,
+        LocaleGrid,
+        Machine,
+        RetryPolicy,
+        Trace,
+        shared_machine,
+        write_chrome_trace,
+        write_trace_csv,
+        write_trace_summary,
+    )
+    from .runtime import telemetry as tm
+
+    tm.reset()
+    a = _load_graph(args.graph, args.seed)
+    faults = None
+    if args.fault_rate > 0.0:
+        # covered plan: repairs change the timeline, never the result
+        faults = FaultInjector(
+            FaultPlan(seed=args.seed, transient_rate=args.fault_rate, max_burst=3),
+            RetryPolicy(max_attempts=8),
+        )
+    if args.nodes == 1:
+        base = shared_machine(args.threads)
+        machine = Machine(
+            config=base.config, grid=base.grid, threads_per_locale=args.threads,
+            ledger=CostLedger(), faults=faults,
+        )
+        backend = ShmBackend(machine)
+    else:
+        machine = Machine(
+            grid=LocaleGrid.for_count(args.nodes),
+            threads_per_locale=args.threads,
+            ledger=CostLedger(),
+            faults=faults,
+        )
+        backend = DistBackend(machine)
+    profile = backend.attach_profile()
+
+    from .algorithms import (
+        bfs_levels,
+        connected_components,
+        count_triangles,
+        pagerank,
+        sssp,
+    )
+
+    if args.algo == "bfs":
+        levels = bfs_levels(a, args.source, backend=backend)
+        print(f"bfs: reached {int((levels >= 0).sum())}/{a.nrows} vertices")
+    elif args.algo == "cc":
+        labels = connected_components(_symmetrized(a), backend=backend)
+        print(f"cc: {np.unique(labels).size} components")
+    elif args.algo == "pagerank":
+        r = pagerank(a, backend=backend)
+        print(f"pagerank: top vertex {int(np.argmax(r))}")
+    elif args.algo == "sssp":
+        dist = sssp(a, args.source, backend=backend)
+        print(f"sssp: reachable {int(np.isfinite(dist).sum())}/{a.nrows}")
+    else:
+        print(f"triangles: {count_triangles(_symmetrized(a), backend=backend)}")
+
+    trace = Trace(machine.ledger)
+    out = write_chrome_trace(trace, args.out, machine=machine)
+    retries = sum(1 for s in trace.spans if s.component == "Retries")
+    print(
+        f"trace: {len(trace.roots)} ops, {len(trace.spans)} spans "
+        f"({retries} retry spans), makespan {trace.makespan:.6f} s"
+    )
+    print(f"wrote {out} (open in https://ui.perfetto.dev)")
+    if args.csv:
+        print(f"wrote {write_trace_csv(trace, args.csv)}")
+    if args.summary:
+        print(f"wrote {write_trace_summary(trace, args.summary)}")
+    if args.profile:
+        print("\nbackend op tallies:")
+        print(profile.render())
+    if args.metrics:
+        print("\nmetrics:")
+        print(tm.default_registry().render())
+    return 0
+
+
 def main(argv=None) -> int:
     """Command-line entry point."""
     args = build_parser().parse_args(argv)
@@ -226,6 +361,21 @@ def main(argv=None) -> int:
         return cmd_algorithm(args)
     if args.command == "spmspv":
         return cmd_spmspv(args)
+    if args.command == "telemetry":
+        return cmd_telemetry(args)
+    if args.command == "gate":
+        from .bench.regression import DEFAULT_TOLERANCE, main as gate_main
+
+        gate_argv = []
+        if args.results_dir:
+            gate_argv += ["--results-dir", args.results_dir]
+        for bench in args.benches or []:
+            gate_argv += ["--bench", bench]
+        gate_argv += [
+            "--tolerance",
+            str(args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE),
+        ]
+        return gate_main(gate_argv)
     if args.command == "figures":
         from .bench.figures import main as figures_main
 

@@ -7,7 +7,7 @@ simulated cluster — same code, same results, different cost ledgers.
 See ``docs/frontend.md``.
 """
 
-from .backend import Backend, BackendBase, IterationScope
+from .backend import Backend, BackendBase, BackendProfile, IterationScope, OpStat
 from .descriptor import (
     COMPLEMENT,
     DEFAULT,
@@ -24,7 +24,9 @@ from .shm import ShmBackend
 __all__ = [
     "Backend",
     "BackendBase",
+    "BackendProfile",
     "IterationScope",
+    "OpStat",
     "Descriptor",
     "DEFAULT",
     "REPLACE",

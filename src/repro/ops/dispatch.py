@@ -53,6 +53,7 @@ from ..runtime.clock import Breakdown
 from ..runtime.comm import bulk, fine_grained, gather_parts_fine
 from ..runtime.locale import Machine
 from ..runtime.tasks import parallel_time, sort_time
+from ..runtime.telemetry import registry as _metrics
 from ..sparse.csr import CSRMatrix
 from ..sparse.vector import SparseVector
 from .ewise import ewisemult_dist as _ewisemult_dist
@@ -200,6 +201,7 @@ class Dispatcher:
     def _decide(self, op: str, chosen: str, estimates: dict[str, float], *, forced: bool) -> Decision:
         d = Decision(op=op, chosen=chosen, estimates=dict(estimates), forced=forced)
         self.decisions.append(d)
+        _metrics.counter("dispatch.decisions").inc(1, op=op, choice=chosen, forced=forced)
         # a real dispatch costs a handful of comparisons; charging it makes
         # every decision visible as a `dispatch[op]:<choice>` span in Trace
         cfg = self.machine.config

@@ -26,6 +26,15 @@ from .faults import (
 )
 from .machines import ETHERNET_CLUSTER, FAST_NETWORK, FAT_NODE, PRESETS, preset
 from .locale import Locale, LocaleGrid, Machine, shared_machine
+from .telemetry import (
+    MetricsRegistry,
+    chrome_trace,
+    default_registry,
+    trace_summary,
+    write_chrome_trace,
+    write_trace_csv,
+    write_trace_summary,
+)
 from .trace import Span, Trace
 
 __all__ = [
@@ -37,4 +46,6 @@ __all__ = [
     "AGG_DEFAULT", "AggregationConfig", "ExchangeCost", "exchange",
     "flush_cost", "flush_startup", "gather_agg", "gather_agg_ft",
     "group_by_owner", "overlap_exposed", "split_exposed",
+    "MetricsRegistry", "default_registry", "chrome_trace", "trace_summary",
+    "write_chrome_trace", "write_trace_csv", "write_trace_summary",
 ]

@@ -47,6 +47,7 @@ import numpy as np
 from .config import MachineConfig
 from .faults import FaultInjector
 from .locale import LocaleGrid
+from .telemetry import registry as _metrics
 
 __all__ = [
     "AggregationConfig",
@@ -242,6 +243,14 @@ def gather_agg_ft(
     Each part's batched stream is independently retried as whole
     sequence-tagged batches.  Returns ``(base_seconds, retry_seconds)``.
     """
+    elems = sum(s for s in part_sizes if s > 0)
+    if elems:
+        _metrics.counter("agg.gather.elems").inc(elems, local=local)
+        _metrics.counter("agg.flush.batches").inc(
+            sum(num_flushes(s, agg.flush_elems) for s in part_sizes if s > 0),
+            site="gather",
+        )
+        _metrics.counter("agg.bytes").inc(elems * agg.itemsize, site="gather")
     if faults is None:
         return gather_agg(cfg, part_sizes, agg=agg, local=local), 0.0
     if not part_sizes or not any(part_sizes):
@@ -326,6 +335,11 @@ def exchange(
             return
         batches = num_flushes(n_elems, agg.flush_elems)
         cost = flush_cost(cfg, n_elems, agg=agg, local=local)
+        _metrics.counter("agg.flush.batches").inc(batches, site="exchange", leg=leg)
+        _metrics.counter("agg.bytes").inc(
+            n_elems * agg.itemsize, site="exchange", leg=leg
+        )
+        _metrics.counter("agg.exchange.messages").inc(batches, leg=leg)
         if faults is not None:
             base, extra = faults.batched_transfer(
                 f"{site}.{leg}[{src}->{dst}]", batches, cost / batches,

@@ -27,6 +27,7 @@ import math
 
 from .config import MachineConfig
 from .faults import FaultInjector
+from .telemetry import registry as _metrics
 
 __all__ = [
     "fine_grained",
@@ -125,6 +126,9 @@ def fine_grained_ft(
     base = fine_grained(
         cfg, n_ops, threads=threads, concurrent_peers=concurrent_peers, local=local
     )
+    if n_ops > 0:
+        _metrics.counter("comm.fine.elems").inc(n_ops, local=local)
+        _metrics.counter("comm.fine.seconds").inc(base, local=local)
     if faults is None or n_ops <= 0:
         return base, 0.0
     return faults.transfer(site, base, src=src, dst=dst)
@@ -142,6 +146,9 @@ def bulk_ft(
 ) -> tuple[float, float]:
     """:func:`bulk` under transient-fault injection."""
     base = bulk(cfg, nbytes, local=local)
+    if nbytes > 0:
+        _metrics.counter("comm.bulk.bytes").inc(nbytes, local=local)
+        _metrics.counter("comm.bulk.seconds").inc(base, local=local)
     if faults is None or nbytes <= 0:
         return base, 0.0
     return faults.transfer(site, base, src=src, dst=dst)
@@ -166,17 +173,20 @@ def gather_parts_ft(
     the graceful-degradation path of Listing 8 Step 1.  Returns
     ``(base_seconds, retry_seconds)``.
     """
+    if part_sizes:
+        _metrics.counter("comm.gather.parts").inc(len(part_sizes), local=local)
+        _metrics.counter("comm.gather.elems").inc(sum(part_sizes), local=local)
     if faults is None:
-        return (
-            gather_parts_fine(
-                cfg,
-                part_sizes,
-                threads=threads,
-                concurrent_peers=concurrent_peers,
-                local=local,
-            ),
-            0.0,
+        base = gather_parts_fine(
+            cfg,
+            part_sizes,
+            threads=threads,
+            concurrent_peers=concurrent_peers,
+            local=local,
         )
+        if part_sizes:
+            _metrics.counter("comm.gather.seconds").inc(base, local=local)
+        return base, 0.0
     total = 0.0
     retries = 0.0
     for size, src in zip(part_sizes, part_srcs):
@@ -186,6 +196,8 @@ def gather_parts_ft(
         base, extra = faults.transfer(f"{site}[{src}->{dst}]", part, src=src, dst=dst)
         total += base
         retries += extra
+    if part_sizes:
+        _metrics.counter("comm.gather.seconds").inc(total, local=local)
     return total, retries
 
 

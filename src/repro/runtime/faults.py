@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .telemetry import registry as _metrics
+
 __all__ = [
     "RETRY_STEP",
     "TRANSIENT",
@@ -205,6 +207,11 @@ class FaultInjector:
         self.events: list[FaultEvent] = []
         self._streams: dict[str, random.Random] = {}
 
+    def _note(self, event: FaultEvent) -> None:
+        """Log one injected fault and count it (``faults.events{kind}``)."""
+        self.events.append(event)
+        _metrics.counter("faults.events").inc(event.count, kind=event.kind)
+
     # -- determinism -------------------------------------------------------
 
     def _stream(self, site: str) -> random.Random:
@@ -234,7 +241,7 @@ class FaultInjector:
     def check_locale(self, locale: int, site: str = "") -> None:
         """Raise :class:`LocaleFailure` if ``locale`` is down (uncovered)."""
         if self.failed(locale):
-            self.events.append(FaultEvent(LOCALE_FAILURE, site, locale))
+            self._note(FaultEvent(LOCALE_FAILURE, site, locale))
             raise LocaleFailure(locale, site, "locale is down")
 
     def check_grid(self, grid, site: str = "") -> None:
@@ -269,7 +276,7 @@ class FaultInjector:
             burst += 1
         overhead = 0.0
         for attempt in range(burst):
-            self.events.append(FaultEvent(TRANSIENT, site, dst, attempt))
+            self._note(FaultEvent(TRANSIENT, site, dst, attempt))
             overhead += (
                 base_seconds * slow
                 + self.policy.detect_timeout
@@ -282,6 +289,8 @@ class FaultInjector:
                     f"transient burst of {burst} outlasted "
                     f"{self.policy.max_attempts} attempts",
                 )
+        if overhead:
+            _metrics.counter("faults.retry.seconds").inc(overhead, channel="transfer")
         return base_seconds * slow, overhead
 
     def batched_transfer(
@@ -324,7 +333,7 @@ class FaultInjector:
             ):
                 burst += 1
             for attempt in range(burst):
-                self.events.append(FaultEvent(TRANSIENT, site, dst, attempt))
+                self._note(FaultEvent(TRANSIENT, site, dst, attempt))
                 overhead += (
                     per_batch
                     + self.policy.detect_timeout
@@ -339,7 +348,7 @@ class FaultInjector:
                     )
             if self.plan.drop_rate > 0.0 and rs.random() < self.plan.drop_rate:
                 # the whole batch is lost; timeout, back off, re-send it
-                self.events.append(FaultEvent(DROP, site, dst))
+                self._note(FaultEvent(DROP, site, dst))
                 overhead += (
                     self.policy.detect_timeout
                     + self.policy.backoff(0)
@@ -348,8 +357,10 @@ class FaultInjector:
             elif self.plan.dup_rate > 0.0 and rs.random() < self.plan.dup_rate:
                 # redelivered batch is discarded by its sequence tag; the
                 # wasted delivery time is the only cost
-                self.events.append(FaultEvent(DUPLICATE, site, dst))
+                self._note(FaultEvent(DUPLICATE, site, dst))
                 overhead += per_batch
+        if overhead:
+            _metrics.counter("faults.retry.seconds").inc(overhead, channel="batched")
         return n_batches * per_batch, overhead
 
     def deliver_puts(
@@ -390,15 +401,17 @@ class FaultInjector:
         n_drop = int(dropped.sum())
         n_dup = int(doubled.sum())
         if n_drop:
-            self.events.append(FaultEvent(DROP, site, dst, count=n_drop))
+            self._note(FaultEvent(DROP, site, dst, count=n_drop))
             overhead += (
                 self.policy.detect_timeout
                 + self.policy.backoff(0)
                 + n_drop * per_element_seconds
             )
         if n_dup:
-            self.events.append(FaultEvent(DUPLICATE, site, dst, count=n_dup))
+            self._note(FaultEvent(DUPLICATE, site, dst, count=n_dup))
             overhead += n_dup * per_element_seconds
+        if overhead:
+            _metrics.counter("faults.retry.seconds").inc(overhead, channel="puts")
         return indices[final], values[final], overhead
 
     # -- summaries ---------------------------------------------------------

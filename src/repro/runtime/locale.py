@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from .clock import Breakdown, CostLedger
 from .config import EDISON, MachineConfig
 from .faults import FaultInjector
+from .telemetry import registry as _metrics
 
 __all__ = ["Locale", "LocaleGrid", "Machine", "shared_machine"]
 
@@ -164,9 +165,20 @@ class Machine:
         )
 
     def record(self, label: str, breakdown: Breakdown) -> Breakdown:
-        """Log ``breakdown`` to the ledger (if any); returns it unchanged."""
+        """Log ``breakdown`` to the ledger (if any); returns it unchanged.
+
+        Also mirrors the entry into the telemetry registry —
+        ``ledger.ops{label}`` counts recorded operations and
+        ``ledger.seconds{component}`` accumulates exactly what
+        :meth:`CostLedger.by_component` will later sum, so metric totals
+        reconcile with ledger breakdowns to the last bit.
+        """
         if self.ledger is not None:
             self.ledger.record(label, breakdown)
+            _metrics.counter("ledger.ops").inc(1, label=label)
+            seconds = _metrics.counter("ledger.seconds")
+            for component, value in breakdown.items():
+                seconds.inc(value, component=component)
         return breakdown
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from .config import MachineConfig
+from .telemetry import registry as _metrics
 
 __all__ = [
     "parallel_time",
@@ -143,9 +144,15 @@ def local_time_ft(
     ``faults=None`` this is the identity.
     """
     if faults is None:
+        if seconds > 0:
+            _metrics.counter("tasks.compute.seconds").inc(seconds, straggler=False)
         return seconds
     faults.check_locale(locale, site)
-    return seconds * faults.slowdown(locale)
+    slow = faults.slowdown(locale)
+    stretched = seconds * slow
+    if stretched > 0:
+        _metrics.counter("tasks.compute.seconds").inc(stretched, straggler=slow > 1.0)
+    return stretched
 
 
 def sort_time(

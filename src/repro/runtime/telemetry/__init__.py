@@ -1,0 +1,61 @@
+"""Observability for the simulated runtime: metrics, timelines, profiles.
+
+Three complementary views of the same execution:
+
+* :mod:`.registry` — *aggregate*: labeled counters/gauges/histograms fed
+  by instrumentation in the comm, tasks, aggregation and faults layers,
+  the dispatcher, and both exec backends;
+* :mod:`.timeline` — *when*: Chrome ``trace_event`` export of nested
+  :class:`~repro.runtime.trace.Trace` spans (Perfetto-loadable, one
+  track per locale, retries flagged) plus flat CSV/JSON summaries;
+* :class:`~repro.exec.backend.BackendProfile` (in the exec layer) —
+  *what*: per-op call/second tallies via the ``Backend`` protocol's
+  ``on_op_start``/``on_op_end`` hooks.
+
+See ``docs/observability.md`` for the metric naming scheme and the
+regression-gate workflow built on top (:mod:`repro.bench.regression`).
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    reset,
+    scoped,
+    set_default_registry,
+    snapshot,
+)
+from .timeline import (
+    chrome_trace,
+    trace_summary,
+    write_chrome_trace,
+    write_trace_csv,
+    write_trace_summary,
+)
+
+__all__ = [
+    "MetricError",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "default_registry",
+    "set_default_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "scoped",
+    "snapshot",
+    "reset",
+    "chrome_trace",
+    "write_chrome_trace",
+    "trace_summary",
+    "write_trace_csv",
+    "write_trace_summary",
+]

@@ -1,0 +1,158 @@
+"""Tests for the versioned BENCH result schema (:mod:`repro.bench.schema`).
+
+Covers the envelope contract, the pre-versioning upgrade path, the
+bench-stamp/filename agreement, and the gateable-metric flattening rules
+(``*_s`` leaves in, ``wall*`` and non-numeric leaves out) — plus a check
+that every baseline actually checked into ``benchmarks/results/`` loads
+through the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    bench_name_from_path,
+    dump_bench,
+    load_bench,
+    normalize,
+    simulated_metrics,
+    validate,
+)
+
+pytestmark = pytest.mark.telemetry
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+def payload(**over):
+    base = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "demo",
+        "configs": {"n": 100},
+        "results": {"cfg": [{"nodes": 4, "simulated_s": 0.5, "wall_s": 9.0}]},
+    }
+    base.update(over)
+    return base
+
+
+class TestEnvelope:
+    def test_bench_name_from_path(self):
+        assert bench_name_from_path("a/b/BENCH_agg.json") == "agg"
+        with pytest.raises(BenchSchemaError, match="not a BENCH"):
+            bench_name_from_path("results.json")
+
+    def test_validate_accepts_current(self):
+        assert validate(payload()) is not None
+
+    def test_validate_rejects_unknown_version(self):
+        with pytest.raises(BenchSchemaError, match="schema_version"):
+            validate(payload(schema_version=99))
+
+    def test_validate_requires_results_object(self):
+        with pytest.raises(BenchSchemaError, match="results"):
+            validate(payload(results=[1, 2]))
+        bad = payload()
+        del bad["results"]
+        with pytest.raises(BenchSchemaError, match="results"):
+            validate(bad)
+
+    def test_validate_rejects_non_string_bench(self):
+        with pytest.raises(BenchSchemaError, match="bench"):
+            validate(payload(bench=7))
+
+    def test_normalize_upgrades_preversioning_payload(self):
+        legacy = {"results": {"x_s": 1.0}, "configs": {}}
+        up = normalize(legacy, bench="agg")
+        assert up["schema_version"] == SCHEMA_VERSION
+        assert up["bench"] == "agg"
+        assert "schema_version" not in legacy  # pure
+
+    def test_normalize_never_overwrites_stamps(self):
+        up = normalize(payload(bench="original"), bench="fromfile")
+        assert up["bench"] == "original"
+
+    def test_normalize_rejects_non_dict(self):
+        with pytest.raises(BenchSchemaError, match="object"):
+            normalize([1, 2])
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self, tmp_path):
+        path = dump_bench(payload(), tmp_path / "BENCH_demo.json")
+        back = load_bench(path)
+        assert back == payload()
+        # the on-disk form is sorted, indented, newline-terminated
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == back
+
+    def test_dump_rejects_mismatched_stamp(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="does not match filename"):
+            dump_bench(payload(bench="other"), tmp_path / "BENCH_demo.json")
+
+    def test_dump_stamps_from_filename(self, tmp_path):
+        unstamped = payload()
+        del unstamped["bench"]
+        path = dump_bench(unstamped, tmp_path / "BENCH_demo.json")
+        assert load_bench(path)["bench"] == "demo"
+
+    def test_load_upgrades_legacy_file(self, tmp_path):
+        legacy = {"configs": {}, "results": {"t_s": 2.0}}
+        f = tmp_path / "BENCH_old.json"
+        f.write_text(json.dumps(legacy))
+        up = load_bench(f)
+        assert up["schema_version"] == SCHEMA_VERSION
+        assert up["bench"] == "old"
+
+
+class TestSimulatedMetrics:
+    def test_flattening_paths(self):
+        metrics = simulated_metrics(payload())
+        assert metrics == {"cfg[0]/simulated_s": 0.5}
+
+    def test_wall_clock_excluded(self):
+        p = payload(
+            results={"a": {"wall_s": 1.0, "wall_clock_s": 2.0, "sim_s": 3.0}}
+        )
+        assert simulated_metrics(p) == {"a/sim_s": 3.0}
+
+    def test_non_numeric_and_bool_leaves_excluded(self):
+        p = payload(
+            results={"a": {"label_s": "fast", "flag_s": True, "real_s": 1.5}}
+        )
+        assert simulated_metrics(p) == {"a/real_s": 1.5}
+
+    def test_deep_nesting(self):
+        p = payload(
+            results={"x": {"y": [{"z": [{"deep_s": 0.25}]}, {"other": 1}]}}
+        )
+        assert simulated_metrics(p) == {"x/y[0]/z[0]/deep_s": 0.25}
+
+    def test_empty_results(self):
+        assert simulated_metrics({"results": {}}) == {}
+        assert simulated_metrics({}) == {}
+
+
+class TestCheckedInBaselines:
+    """Every committed golden baseline must satisfy the schema."""
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(RESULTS_DIR.glob("BENCH_*.json")) or [None],
+        ids=lambda p: p.name if p else "none",
+    )
+    def test_baseline_loads_and_gates(self, path):
+        if path is None:
+            pytest.skip("no baselines present (fresh checkout before make bench)")
+        doc = load_bench(path)
+        assert doc["bench"] == bench_name_from_path(path)
+        metrics = simulated_metrics(doc)
+        assert metrics, f"{path.name} has no gateable metrics"
+        assert all(v >= 0.0 for v in metrics.values())
+        assert not any("wall" in m.rsplit("/", 1)[-1] for m in metrics)

@@ -1,0 +1,131 @@
+"""Chaos-suite telemetry invariants: metrics reconcile with the ledger.
+
+Under *covered* fault plans (every injected fault repaired), the metric
+registry and the cost ledger are two views of the same execution and
+must agree:
+
+* ``ledger.seconds{component=c}`` equals ``CostLedger.by_component()[c]``
+  exactly — both are fed float-for-float from :meth:`Machine.record`;
+* ``ledger.ops`` counts exactly the ledger entries (no double-counting:
+  one increment per recorded span, however many retries happened inside);
+* ``faults.events{kind}`` matches the injector's event log;
+* injector-level ``faults.retry.seconds`` dominates the ledger's
+  ``Retries`` component — kernels parallel-max per-locale retry bills
+  while the injector logs each serially, so metric >= ledger, with the
+  other direction impossible.
+
+Each Hypothesis example runs against its own private registry (swapped
+in around the kernel call), so examples never see each other's series.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.ops import spmspv_dist
+from repro.runtime import (
+    RETRY_STEP,
+    CostLedger,
+    FaultInjector,
+    LocaleGrid,
+    Machine,
+)
+from repro.runtime.telemetry.registry import MetricsRegistry, set_default_registry
+from tests.strategies import PROFILE_FAST, covered_setups, matrix_vector_pairs
+
+pytestmark = [pytest.mark.chaos, pytest.mark.telemetry]
+
+grids = st.integers(1, 9).map(LocaleGrid.for_count)
+modes = st.sampled_from(["fine", "bulk", "agg"])
+
+
+def run(wl, grid, setup, mode):
+    """One distributed SpMSpV against a private default registry;
+    returns the machine and the registry's recorded state."""
+    a, x = wl
+    plan, policy = setup
+    m = Machine(
+        grid=grid,
+        threads_per_locale=2,
+        ledger=CostLedger(),
+        faults=FaultInjector(plan, policy),
+    )
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    try:
+        spmspv_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+            m,
+            gather_mode=mode,
+            scatter_mode=mode,
+        )
+    finally:
+        set_default_registry(previous)
+    return m, registry
+
+
+class TestLedgerReconciliation:
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(), grids, covered_setups(), modes)
+    def test_ledger_seconds_exact_per_component(self, wl, grid, setup, mode):
+        m, registry = run(wl, grid, setup, mode)
+        seconds = registry.counter("ledger.seconds")
+        by_comp = m.ledger.by_component()
+        assert {ls["component"] for ls in seconds.labelsets()} == set(by_comp)
+        for component, total in by_comp.items():
+            assert seconds.total(component=component) == total
+        assert seconds.total() == sum(by_comp.values())
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(), grids, covered_setups(), modes)
+    def test_ledger_ops_no_double_counting(self, wl, grid, setup, mode):
+        m, registry = run(wl, grid, setup, mode)
+        ops = registry.counter("ledger.ops")
+        assert ops.total() == len(m.ledger.entries)
+        by_label = {}
+        for label, _ in m.ledger.entries:
+            by_label[label] = by_label.get(label, 0) + 1
+        for label, n in by_label.items():
+            assert ops.total(label=label) == n
+
+
+class TestFaultReconciliation:
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(), grids, covered_setups(), modes)
+    def test_fault_events_match_injector_log(self, wl, grid, setup, mode):
+        m, registry = run(wl, grid, setup, mode)
+        events = registry.counter("faults.events")
+        per_kind = {}
+        for e in m.faults.events:
+            per_kind[e.kind] = per_kind.get(e.kind, 0) + e.count
+        assert {ls["kind"] for ls in events.labelsets()} == set(per_kind)
+        for kind, n in per_kind.items():
+            assert events.total(kind=kind) == n
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(), grids, covered_setups(), modes)
+    def test_retry_seconds_dominate_ledger_retries(self, wl, grid, setup, mode):
+        m, registry = run(wl, grid, setup, mode)
+        metric = registry.counter("faults.retry.seconds").total()
+        ledger_retries = m.ledger.by_component().get(RETRY_STEP, 0.0)
+        # serial injector accounting >= parallel-maxed kernel accounting
+        assert metric >= ledger_retries - 1e-12
+        if not any(
+            e.kind in ("transient", "drop", "duplicate") for e in m.faults.events
+        ):
+            assert metric == 0.0 and ledger_retries == 0.0
+
+
+class TestResultUnaffectedByTelemetry:
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(), grids, covered_setups())
+    def test_metrics_are_observers_only(self, wl, grid, setup):
+        """The registry is a pure observer: two identical runs against
+        different registries charge identical simulated time."""
+        m1, _ = run(wl, grid, setup, "agg")
+        m2, _ = run(wl, grid, setup, "agg")
+        assert m1.ledger.total == m2.ledger.total
+        assert m1.ledger.by_component() == m2.ledger.by_component()

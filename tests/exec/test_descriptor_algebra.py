@@ -1,0 +1,157 @@
+"""Property tests for :class:`~repro.exec.Descriptor` composition (``|``)
+and its backend round-trip.
+
+The algebra: ``|`` is a field-wise *or*, so composition must be
+associative, commutative, idempotent, monotone (a flag set by either
+operand survives), with :data:`~repro.exec.DEFAULT` as identity — and
+a composed descriptor must drive ``vxm`` to the *same result* no matter
+the composition order, on both backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+import repro
+from repro.exec import COMPLEMENT, DEFAULT, Descriptor, DistBackend, REPLACE, ShmBackend
+from repro.runtime import LocaleGrid, Machine
+from tests.strategies import PROFILE_FAST
+
+FLAGS = ("complement", "replace", "transpose_a", "transpose_b")
+
+descriptors = st.builds(
+    Descriptor,
+    complement=st.booleans(),
+    replace=st.booleans(),
+    transpose_a=st.booleans(),
+    transpose_b=st.booleans(),
+)
+
+
+class TestAlgebra:
+    @given(descriptors, descriptors, descriptors)
+    @PROFILE_FAST
+    def test_associative(self, a, b, c):
+        assert (a | b) | c == a | (b | c)
+
+    @given(descriptors, descriptors)
+    @PROFILE_FAST
+    def test_commutative(self, a, b):
+        assert a | b == b | a
+
+    @given(descriptors)
+    @PROFILE_FAST
+    def test_idempotent(self, d):
+        assert d | d == d
+
+    @given(descriptors)
+    @PROFILE_FAST
+    def test_default_is_identity(self, d):
+        assert d | DEFAULT == d
+        assert DEFAULT | d == d
+
+    @given(descriptors, descriptors)
+    @PROFILE_FAST
+    def test_flags_are_monotone_or(self, a, b):
+        c = a | b
+        for flag in FLAGS:
+            assert getattr(c, flag) == (getattr(a, flag) or getattr(b, flag))
+
+    @given(st.permutations([COMPLEMENT, REPLACE, Descriptor(transpose_a=True)]))
+    @PROFILE_FAST
+    def test_disjoint_flags_compose_order_free(self, perm):
+        a, b, c = perm
+        assert a | b | c == Descriptor(
+            complement=True, replace=True, transpose_a=True
+        )
+
+    def test_or_with_non_descriptor_not_implemented(self):
+        with pytest.raises(TypeError):
+            DEFAULT | 3
+
+    @given(descriptors)
+    @PROFILE_FAST
+    def test_frozen(self, d):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            d.replace = True
+
+
+# ---------------------------------------------------------------------------
+# backend round-trip
+# ---------------------------------------------------------------------------
+
+N = 80
+
+
+@pytest.fixture(scope="module")
+def workload():
+    a = repro.erdos_renyi(N, 5, seed=31)
+    x = repro.random_sparse_vector(N, nnz=20, seed=32)
+    out0 = repro.random_sparse_vector(N, nnz=15, seed=33)
+    rng = np.random.default_rng(34)
+    mask = rng.random(N) < 0.5
+    return a, x, out0, mask
+
+
+def backends():
+    return [
+        ShmBackend(),
+        DistBackend(Machine(grid=LocaleGrid.for_count(4), threads_per_locale=2)),
+        DistBackend(Machine(grid=LocaleGrid.for_count(6), threads_per_locale=2)),
+    ]
+
+
+def vxm_result(backend, workload, desc):
+    a, x, out0, mask = workload
+    y = backend.vxm(
+        backend.vector(x),
+        backend.matrix(a),
+        mask=mask,
+        out=backend.vector(out0),
+        desc=desc,
+    )
+    return backend.to_sparse(y)
+
+
+# the descriptor pairs worth crossing: every combination of the two
+# mask-relevant flags with a transpose thrown in
+PAIRS = [
+    (COMPLEMENT, REPLACE),
+    (REPLACE, Descriptor(transpose_a=True)),
+    (COMPLEMENT, Descriptor(transpose_a=True)),
+    (Descriptor(complement=True, replace=True), Descriptor(transpose_a=True)),
+]
+
+
+class TestBackendRoundTrip:
+    @pytest.mark.parametrize("pair", PAIRS, ids=lambda p: f"{p[0]}|{p[1]}")
+    def test_composition_order_invisible_to_backends(self, workload, pair):
+        d1, d2 = pair
+        for backend in backends():
+            left = vxm_result(backend, workload, d1 | d2)
+            right = vxm_result(backend, workload, d2 | d1)
+            assert np.array_equal(left.indices, right.indices), backend.name
+            assert np.array_equal(left.values, right.values), backend.name
+
+    @pytest.mark.parametrize("pair", PAIRS, ids=lambda p: f"{p[0]}|{p[1]}")
+    def test_backends_agree_on_composed_descriptor(self, workload, pair):
+        d = pair[0] | pair[1]
+        ref = vxm_result(ShmBackend(), workload, d)
+        for backend in backends()[1:]:
+            got = vxm_result(backend, workload, d)
+            assert np.array_equal(got.indices, ref.indices), backend.name
+            assert np.allclose(got.values, ref.values), backend.name
+
+    def test_composed_equals_inline_flags(self, workload):
+        """``COMPLEMENT | REPLACE`` behaves exactly like the descriptor
+        built with both flags set directly."""
+        composed = vxm_result(ShmBackend(), workload, COMPLEMENT | REPLACE)
+        direct = vxm_result(
+            ShmBackend(), workload, Descriptor(complement=True, replace=True)
+        )
+        assert np.array_equal(composed.indices, direct.indices)
+        assert np.array_equal(composed.values, direct.values)

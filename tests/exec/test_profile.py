@@ -1,0 +1,165 @@
+"""Tests for the backend profiling hooks (``on_op_start``/``on_op_end``),
+:class:`~repro.exec.BackendProfile`, and the metric-scoped
+:class:`~repro.exec.IterationScope`.
+
+The attribution contract: the profile's simulated seconds sum to exactly
+the ledger total (each ledger entry is attributed to precisely one
+outermost backend op — never zero, never twice), and per-iteration
+tallies line up with the ledger's ``algo[iter=k]:`` relabelling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exec import BackendProfile, DistBackend, OpStat, ShmBackend
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.runtime.telemetry.registry import MetricsRegistry, set_default_registry
+
+pytestmark = pytest.mark.telemetry
+
+N = 120
+
+
+@pytest.fixture()
+def fresh_default():
+    mine = MetricsRegistry()
+    previous = set_default_registry(mine)
+    yield mine
+    set_default_registry(previous)
+
+
+def dist_backend(p=4):
+    m = Machine(
+        grid=LocaleGrid.for_count(p), threads_per_locale=4, ledger=CostLedger()
+    )
+    return DistBackend(m)
+
+
+def run_bfs(backend):
+    a = repro.erdos_renyi(N, 5, seed=21)
+    return repro.bfs_levels(a, 0, backend=backend)
+
+
+class TestProfileAttribution:
+    def test_profile_seconds_sum_to_ledger_total(self, fresh_default):
+        backend = dist_backend()
+        profile = backend.attach_profile()
+        run_bfs(backend)
+        total = sum(s.seconds for s in profile.totals.values())
+        assert total == pytest.approx(backend.machine.ledger.total, rel=0, abs=0)
+
+    def test_vxm_carries_the_bfs_time(self, fresh_default):
+        backend = dist_backend()
+        profile = backend.attach_profile()
+        run_bfs(backend)
+        assert profile.totals["vxm"].count >= 1
+        # constructors/bridges never touch the simulated clock
+        for op in ("matrix", "vector_from_pairs", "to_sparse"):
+            if op in profile.totals:
+                assert profile.totals[op].seconds == 0.0
+
+    def test_per_iteration_tallies(self, fresh_default):
+        backend = dist_backend()
+        profile = backend.attach_profile()
+        run_bfs(backend)
+        iters = profile.iterations("bfs")
+        assert iters, "bfs must have run scoped iterations"
+        assert sorted(iters) == list(range(1, max(iters) + 1))
+        for stats in iters.values():
+            assert stats["vxm"].count == 1
+        per_iter = sum(
+            st.seconds for stats in iters.values() for st in stats.values()
+        )
+        total = sum(s.seconds for s in profile.totals.values())
+        assert per_iter == pytest.approx(total)
+
+    def test_shm_backend_profiles_without_a_ledger(self, fresh_default):
+        backend = ShmBackend()
+        profile = backend.attach_profile()
+        run_bfs(backend)
+        assert profile.totals["vxm"].count >= 1
+        if backend.machine.ledger is None:
+            assert all(s.seconds == 0.0 for s in profile.totals.values())
+
+    def test_render_smoke(self, fresh_default):
+        backend = dist_backend()
+        profile = backend.attach_profile()
+        run_bfs(backend)
+        text = profile.render()
+        assert "vxm" in text
+
+
+class TestHooks:
+    def test_custom_hooks_bracket_every_op(self, fresh_default):
+        calls = []
+
+        class SpyBackend(ShmBackend):
+            def on_op_start(self, op):
+                calls.append(("start", op))
+
+            def on_op_end(self, op, seconds):
+                calls.append(("end", op))
+
+        backend = SpyBackend()
+        v = backend.vector_from_pairs(
+            10, np.array([1, 3], dtype=np.int64), np.ones(2)
+        )
+        backend.to_sparse(v)
+        ops = [op for kind, op in calls]
+        assert calls[0] == ("start", "vector_from_pairs")
+        assert ("end", "to_sparse") in calls
+        # starts and ends pair up
+        assert ops.count("vector_from_pairs") % 2 == 0
+        starts = [c for c in calls if c[0] == "start"]
+        ends = [c for c in calls if c[0] == "end"]
+        assert len(starts) == len(ends)
+
+    def test_nested_ops_attribute_seconds_once(self, fresh_default):
+        """A profiled op that internally calls other profiled ops must not
+        double-count: only the outermost call owns the ledger delta."""
+        backend = dist_backend()
+        backend.attach_profile()
+        seen = []
+        original = backend.on_op_end
+
+        def spy(op, seconds):
+            seen.append((op, seconds))
+            original(op, seconds)
+
+        backend.on_op_end = spy
+        run_bfs(backend)
+        attributed = sum(s for _, s in seen)
+        assert attributed == pytest.approx(backend.machine.ledger.total)
+
+    def test_default_hooks_feed_registry(self, fresh_default):
+        backend = dist_backend()
+        run_bfs(backend)
+        ops = fresh_default.counter("backend.ops")
+        assert ops.total(backend=backend.name, op="vxm") >= 1
+        hist = fresh_default.histogram("backend.op.seconds")
+        assert hist.total() == pytest.approx(backend.machine.ledger.total)
+
+    def test_metric_scope_mirrors_iteration(self, fresh_default):
+        backend = dist_backend()
+        run_bfs(backend)
+        ops = fresh_default.counter("backend.ops")
+        scopes = {ls.get("scope") for ls in ops.labelsets()}
+        assert any(s and s.startswith("bfs[iter=") for s in scopes)
+
+    def test_profile_object_reuse(self, fresh_default):
+        shared = BackendProfile()
+        b1, b2 = dist_backend(), ShmBackend()
+        b1.attach_profile(shared)
+        b2.attach_profile(shared)
+        run_bfs(b1)
+        run_bfs(b2)
+        assert shared.totals["vxm"].count >= 2
+
+    def test_opstat_add(self):
+        s = OpStat()
+        s.add(0.5)
+        s.add(1.5)
+        assert s.count == 2 and s.seconds == 2.0

@@ -1,0 +1,307 @@
+"""Unit + property tests for the metrics registry and the runtime's
+instrumentation of it.
+
+The registry half is plain data-structure testing (label algebra, kind
+clashes, scoping, snapshots).  The instrumentation half runs real
+distributed kernels against a fresh default registry and pins the
+headline reconciliation invariant: the ``ledger.seconds`` metric mirrors
+``CostLedger.by_component()`` *exactly* — same components, same floats —
+because both are fed from the same :meth:`Machine.record` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops import spmspv_dist
+from repro.runtime import CostLedger, FaultInjector, FaultPlan, LocaleGrid, Machine, RetryPolicy
+from repro.runtime.telemetry import registry as tm
+from repro.runtime.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    SCOPE_LABEL,
+)
+from tests.strategies import PROFILE_FAST
+
+pytestmark = pytest.mark.telemetry
+
+label_values = st.text("abcxyz01", min_size=1, max_size=4)
+label_sets = st.dictionaries(
+    st.sampled_from(["op", "mode", "site", "leg"]), label_values, max_size=3
+)
+amounts = st.floats(0.0, 1e6, allow_nan=False)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("x")
+        c.inc(2.0, op="a")
+        c.inc(3.0, op="a")
+        c.inc(5.0, op="b")
+        assert c.value(op="a") == 5.0
+        assert c.value(op="b") == 5.0
+        assert c.total() == 10.0
+
+    def test_label_order_irrelevant(self, reg):
+        c = reg.counter("x")
+        c.inc(1.0, op="a", mode="m")
+        c.inc(1.0, mode="m", op="a")
+        assert c.value(op="a", mode="m") == 2.0
+        assert len(c) == 1
+
+    def test_negative_rejected(self, reg):
+        with pytest.raises(MetricError, match="cannot decrease"):
+            reg.counter("x").inc(-1.0)
+
+    def test_absent_series_reads_zero(self, reg):
+        assert reg.counter("x").value(op="nope") == 0.0
+        assert reg.counter("x").total(op="nope") == 0.0
+
+    @given(updates=st.lists(st.tuples(label_sets, amounts), max_size=20))
+    @PROFILE_FAST
+    def test_total_equals_sum_of_series(self, updates):
+        reg = MetricsRegistry()
+        c = reg.counter("prop")
+        expect = 0.0
+        for labels, amount in updates:
+            c.inc(amount, **labels)
+            expect += amount
+        assert c.total() == pytest.approx(expect)
+        # subset-sum over any single label partitions the total
+        for key in {k for labels, _ in updates for k in labels}:
+            vals = {dict(ls).get(key) for ls in map(dict, (l for l, _ in updates))}
+            part = sum(
+                c.total(**{key: v}) for v in vals if v is not None
+            ) + sum(
+                amount for labels, amount in updates if key not in labels
+            )
+            assert part == pytest.approx(expect)
+
+
+class TestGauge:
+    def test_set_is_last_write_wins(self, reg):
+        g = reg.gauge("depth")
+        g.set(3.0, q="a")
+        g.set(1.0, q="a")
+        assert g.value(q="a") == 1.0
+
+    def test_inc_may_go_negative(self, reg):
+        g = reg.gauge("depth")
+        g.inc(1.0)
+        g.inc(-4.0)
+        assert g.value() == -3.0
+
+
+class TestHistogram:
+    def test_summary_and_count(self, reg):
+        h = reg.histogram("lat")
+        for v in (1e-6, 2e-6, 5e-3):
+            h.observe(v, op="a")
+        h.observe(1.0, op="b")
+        assert h.count(op="a") == 3
+        assert h.count() == 4
+        s = h.summary(op="a")
+        assert s["count"] == 3
+        assert s["sum"] == pytest.approx(1e-6 + 2e-6 + 5e-3)
+        assert s["min"] == 1e-6 and s["max"] == 5e-3
+        # value()/total() read the sum, aligning with counters
+        assert h.total() == pytest.approx(s["sum"] + 1.0)
+
+    def test_bucket_counts_cover_all_observations(self, reg):
+        h = reg.histogram("lat", buckets=(1e-3, 1e-1, 10.0))
+        for v in (1e-4, 1e-2, 1.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()[0]["value"]
+        assert sum(snap["buckets"].values()) == 4
+        assert snap["buckets"]["+inf"] == 1  # the 100.0 overflow
+
+    def test_empty_summary_is_zeroed(self, reg):
+        s = reg.histogram("lat").summary()
+        assert s == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self, reg):
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_clash_raises(self, reg):
+        reg.counter("x")
+        with pytest.raises(MetricError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(MetricError, match="already registered"):
+            reg.histogram("x")
+
+    def test_kinds(self, reg):
+        assert isinstance(reg.counter("c"), Counter)
+        assert isinstance(reg.gauge("g"), Gauge)
+        assert isinstance(reg.histogram("h"), Histogram)
+
+    def test_reset_clears_series_keeps_definitions(self, reg):
+        c = reg.counter("x")
+        c.inc(1.0)
+        reg.reset()
+        assert c.total() == 0.0
+        assert reg.counter("x") is c
+
+    def test_snapshot_skips_empty_metrics(self, reg):
+        reg.counter("empty")
+        reg.counter("used").inc(2.0, op="a")
+        snap = reg.snapshot()
+        assert "empty" not in snap
+        assert snap["used"]["series"] == [{"labels": {"op": "a"}, "value": 2.0}]
+
+    def test_render_mentions_series(self, reg):
+        reg.counter("used").inc(2.5, op="a")
+        reg.histogram("h").observe(0.5)
+        text = reg.render()
+        assert "used (counter)" in text and "{op=a} 2.5" in text
+        assert "count=1" in text
+
+    def test_render_empty(self, reg):
+        assert reg.render() == "(no metrics recorded)"
+
+
+class TestScoping:
+    def test_scope_labels_writes_not_reads(self, reg):
+        c = reg.counter("x")
+        with reg.scoped("bfs[iter=1]"):
+            c.inc(2.0, op="a")
+        c.inc(3.0, op="a")
+        assert c.value(op="a", scope="bfs[iter=1]") == 2.0
+        assert c.value(op="a") == 3.0  # unscoped series is separate
+        assert c.total(op="a") == 5.0  # totals span scopes
+
+    def test_nested_scopes_join_like_ledger_prefixes(self, reg):
+        c = reg.counter("x")
+        with reg.scoped("outer[iter=0]"):
+            with reg.scoped("inner[iter=2]"):
+                c.inc(1.0)
+        assert c.value(scope="outer[iter=0]:inner[iter=2]") == 1.0
+
+    def test_scope_label_reserved(self, reg):
+        with pytest.raises(MetricError, match="reserved"):
+            reg.counter("x").inc(1.0, **{SCOPE_LABEL: "boom"})
+
+    def test_scope_stack_unwinds_on_error(self, reg):
+        with pytest.raises(RuntimeError):
+            with reg.scoped("a"):
+                raise RuntimeError("boom")
+        assert reg.scope_label() is None
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_follow_swaps(self):
+        mine = MetricsRegistry()
+        previous = tm.set_default_registry(mine)
+        try:
+            tm.counter("swap.test").inc(1.0)
+            assert mine.counter("swap.test").total() == 1.0
+            assert tm.default_registry() is mine
+        finally:
+            tm.set_default_registry(previous)
+        assert "swap.test" not in tm.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# instrumentation: real kernels feed the registry
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def fresh_default():
+    """Route the runtime's instrumentation into a throwaway registry."""
+    mine = MetricsRegistry()
+    previous = tm.set_default_registry(mine)
+    yield mine
+    tm.set_default_registry(previous)
+
+
+def run_spmspv(p=4, faulted=False, **modes):
+    a = erdos_renyi(300, 6, seed=7)
+    x = random_sparse_vector(300, nnz=40, seed=9)
+    grid = LocaleGrid.for_count(p)
+    faults = None
+    if faulted:
+        faults = FaultInjector(
+            FaultPlan(seed=5, transient_rate=0.3, max_burst=2, drop_rate=0.2),
+            RetryPolicy(max_attempts=6, detect_timeout=1e-4, backoff_base=5e-5),
+        )
+    m = Machine(
+        grid=grid, threads_per_locale=2, ledger=CostLedger(), faults=faults
+    )
+    spmspv_dist(
+        DistSparseMatrix.from_global(a, grid),
+        DistSparseVector.from_global(x, grid),
+        m,
+        **modes,
+    )
+    return m
+
+
+class TestInstrumentation:
+    def test_ledger_seconds_mirrors_by_component_exactly(self, fresh_default):
+        m = run_spmspv(gather_mode="agg", scatter_mode="agg")
+        seconds = fresh_default.counter("ledger.seconds")
+        by_comp = m.ledger.by_component()
+        assert by_comp  # the kernel charged something
+        for component, total in by_comp.items():
+            assert seconds.total(component=component) == total
+        assert seconds.total() == pytest.approx(m.ledger.total, rel=0, abs=0)
+
+    def test_ledger_ops_counts_entries(self, fresh_default):
+        m = run_spmspv()
+        assert fresh_default.counter("ledger.ops").total() == len(m.ledger.entries)
+
+    def test_comm_and_agg_families_populate(self, fresh_default):
+        run_spmspv(gather_mode="agg", scatter_mode="agg")
+        assert fresh_default.counter("agg.gather.elems").total() > 0
+        assert fresh_default.counter("agg.bytes").total() > 0
+        assert fresh_default.counter("tasks.compute.seconds").total() > 0
+
+    def test_fault_events_match_injector_log(self, fresh_default):
+        m = run_spmspv(faulted=True)
+        events = fresh_default.counter("faults.events")
+        kinds = {e.kind for e in m.faults.events}
+        assert kinds  # the seeded plan fired
+        for kind in kinds:
+            assert events.total(kind=kind) == sum(
+                e.count for e in m.faults.events if e.kind == kind
+            )
+
+    def test_dispatch_decisions_counted(self, fresh_default):
+        from repro.ops.dispatch import Dispatcher
+
+        a = erdos_renyi(200, 5, seed=3)
+        x = random_sparse_vector(200, nnz=30, seed=4)
+        grid = LocaleGrid.for_count(4)
+        m = Machine(grid=grid, threads_per_locale=2, ledger=CostLedger())
+        d = Dispatcher(m)
+        d.vxm_dist(
+            DistSparseMatrix.from_global(a, grid),
+            DistSparseVector.from_global(x, grid),
+        )
+        decisions = fresh_default.counter("dispatch.decisions")
+        assert decisions.total() == len(d.decisions)
+        assert decisions.total(op="vxm_dist") >= 1
+
+    def test_estimators_do_not_record(self, fresh_default):
+        """Pricing a transfer (the pure estimator) must not move metrics —
+        only executing one may."""
+        from repro.runtime.comm import fine_grained
+
+        m = run_spmspv()
+        before = fresh_default.counter("comm.fine.elems").total()
+        fine_grained(m.config, 1000)
+        assert fresh_default.counter("comm.fine.elems").total() == before

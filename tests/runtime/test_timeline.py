@@ -1,0 +1,162 @@
+"""Tests for the Chrome-trace timeline exporter and the flat summaries.
+
+The headline acceptance check lives here: exporting a *distributed BFS
+under injected faults* yields valid ``trace_event`` JSON with one track
+per locale and the retry spans flagged, exactly what ISSUE 5 gates on.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+import repro
+from repro.exec import DistBackend
+from repro.runtime import CostLedger, FaultInjector, FaultPlan, LocaleGrid, Machine, RetryPolicy, Trace
+from repro.runtime import faults as faults_mod
+from repro.runtime.telemetry import timeline
+from repro.runtime.telemetry.timeline import (
+    PID,
+    SUMMARY_FIELDS,
+    chrome_trace,
+    trace_summary,
+    write_chrome_trace,
+    write_trace_csv,
+    write_trace_summary,
+)
+
+pytestmark = pytest.mark.telemetry
+
+P = 4
+
+
+@pytest.fixture(scope="module")
+def bfs_run():
+    """A distributed BFS under a covered fault plan: the acceptance
+    workload (retries guaranteed by the seeded transient burst)."""
+    a = repro.erdos_renyi(400, 6, seed=11)
+    m = Machine(
+        grid=LocaleGrid.for_count(P),
+        threads_per_locale=4,
+        ledger=CostLedger(),
+        faults=FaultInjector(
+            FaultPlan(seed=2, transient_rate=0.25, max_burst=2),
+            RetryPolicy(max_attempts=6, detect_timeout=1e-4, backoff_base=5e-5),
+        ),
+    )
+    backend = DistBackend(m)
+    levels = repro.bfs_levels(a, 0, backend=backend)
+    assert levels[0] == 0
+    return m, Trace(m.ledger)
+
+
+def test_retry_step_constant_in_sync():
+    """timeline.RETRY_STEP is a copy (import-cycle dodge); pin it."""
+    assert timeline.RETRY_STEP == faults_mod.RETRY_STEP
+
+
+class TestChromeTrace:
+    def test_document_shape(self, bfs_run):
+        m, trace = bfs_run
+        doc = chrome_trace(trace, machine=m)
+        assert set(doc) == {"displayTimeUnit", "otherData", "traceEvents"}
+        assert doc["otherData"]["num_locales"] == P
+        assert doc["otherData"]["num_ops"] == len(trace.roots)
+        assert doc["otherData"]["makespan_s"] == trace.makespan
+
+    def test_one_track_per_locale(self, bfs_run):
+        m, trace = bfs_run
+        doc = chrome_trace(trace, machine=m)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in xs} == set(range(P))
+        names = {
+            (e["args"]["name"], e.get("tid"))
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {(f"locale {t}", t) for t in range(P)}
+        # SPMD replication: every op span appears once on every track
+        per_track = {t: sum(1 for e in xs if e["tid"] == t) for t in range(P)}
+        assert len(set(per_track.values())) == 1
+
+    def test_retry_spans_flagged(self, bfs_run):
+        m, trace = bfs_run
+        doc = chrome_trace(trace, machine=m)
+        retries = [e for e in doc["traceEvents"] if e.get("cat") == "retry"]
+        assert retries, "covered fault plan must surface retry spans"
+        for e in retries:
+            assert e["args"]["retry"] is True
+            assert e["args"]["component"] == timeline.RETRY_STEP
+
+    def test_timestamps_are_microseconds(self, bfs_run):
+        m, trace = bfs_run
+        doc = chrome_trace(trace, machine=m)
+        by_idx = {
+            (e["args"]["op_index"], e["name"]): e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "op" and e["tid"] == 0
+        }
+        for idx, root in enumerate(trace.roots):
+            e = by_idx[(idx, root.label)]
+            assert e["ts"] == pytest.approx(root.start * 1e6)
+            assert e["dur"] == pytest.approx(root.duration * 1e6)
+            assert e["pid"] == PID
+
+    def test_children_contained_in_roots(self, bfs_run):
+        m, trace = bfs_run
+        doc = chrome_trace(trace, machine=m)
+        roots = {
+            e["args"]["op_index"]: e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "op" and e["tid"] == 0
+        }
+        eps = 1e-6  # microsecond rounding slack
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X" or e["cat"] == "op" or e["tid"] != 0:
+                continue
+            parent = roots[e["args"]["op_index"]]
+            assert e["ts"] >= parent["ts"] - eps
+            assert e["ts"] + e["dur"] <= parent["ts"] + parent["dur"] + eps
+
+    def test_no_machine_means_single_track(self, bfs_run):
+        _, trace = bfs_run
+        doc = chrome_trace(trace)
+        assert {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"} == {0}
+
+    def test_write_round_trips_through_json(self, bfs_run, tmp_path):
+        m, trace = bfs_run
+        path = write_chrome_trace(trace, tmp_path / "sub" / "trace.json", machine=m)
+        doc = json.loads(path.read_text())
+        assert doc == chrome_trace(trace, machine=m)
+
+
+class TestSummaries:
+    def test_rows_cover_all_spans(self, bfs_run):
+        _, trace = bfs_run
+        rows = trace_summary(trace)
+        assert sum(1 for r in rows if r["depth"] == 0) == len(trace.roots)
+        for r in rows:
+            assert set(r) == set(SUMMARY_FIELDS)
+            assert r["end_s"] == pytest.approx(r["start_s"] + r["duration_s"])
+        assert any(r["retry"] for r in rows)
+
+    def test_csv_round_trip(self, bfs_run, tmp_path):
+        _, trace = bfs_run
+        path = write_trace_csv(trace, tmp_path / "trace.csv")
+        with path.open() as fh:
+            got = list(csv.DictReader(fh))
+        rows = trace_summary(trace)
+        assert len(got) == len(rows)
+        assert got[0]["label"] == rows[0]["label"]
+        assert float(got[0]["duration_s"]) == pytest.approx(rows[0]["duration_s"])
+
+    def test_json_summary_totals(self, bfs_run, tmp_path):
+        _, trace = bfs_run
+        path = write_trace_summary(trace, tmp_path / "summary.json")
+        doc = json.loads(path.read_text())
+        assert doc["makespan_s"] == trace.makespan
+        assert doc["by_component"] == dict(trace.by_component())
+        assert doc["by_label"] == dict(trace.by_label())
+        assert len(doc["spans"]) == len(trace_summary(trace))

@@ -23,6 +23,7 @@ from tests.strategies.matrices import (
 )
 from tests.strategies.settings import (
     PROFILE,
+    PROFILE_FAST,
     PROFILE_SLOW,
     QUICK_SETTINGS,
     SLOW_SETTINGS,
@@ -34,6 +35,7 @@ __all__ = [
     "EXACT_VALUES",
     "MONOIDS",
     "PROFILE",
+    "PROFILE_FAST",
     "PROFILE_SLOW",
     "QUICK_SETTINGS",
     "SEMIRINGS",

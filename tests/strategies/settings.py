@@ -53,3 +53,11 @@ PROFILE_SLOW = _PROFILES[
         os.environ.get("REPRO_TEST_PROFILE", "standard").lower()
     ]
 ]
+
+#: deliberately small tier for the wide differential suites (matrix_dist
+#: vs scipy/dense oracles, descriptor algebra, telemetry invariants):
+#: every example distributes data across a locale grid, so even the
+#: standard CI profile keeps them at quick-tier example counts.
+PROFILE_FAST = _PROFILES[
+    {"quick": "quick", "standard": "quick", "slow": "standard"}[PROFILE_NAME]
+]

@@ -74,6 +74,55 @@ class TestCommands:
         assert fine == bulk  # same nnz(y)
 
 
+@pytest.mark.telemetry
+class TestTelemetryCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["telemetry"])
+        assert args.algo == "bfs" and args.nodes == 4 and args.out == "trace.json"
+
+    def test_exports_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        csv_out = tmp_path / "trace.csv"
+        summary = tmp_path / "summary.json"
+        assert main(
+            [
+                "telemetry", "er:400:6", "--nodes", "4", "--fault-rate", "0.2",
+                "--out", str(out), "--csv", str(csv_out),
+                "--summary", str(summary), "--metrics", "--profile",
+            ]
+        ) == 0
+        doc = json.loads(out.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in xs} == {0, 1, 2, 3}
+        assert any(e.get("cat") == "retry" for e in xs)
+        assert csv_out.exists() and summary.exists()
+        text = capsys.readouterr().out
+        assert "makespan" in text
+        assert "ledger.seconds" in text  # --metrics table
+        assert "vxm" in text  # --profile table
+
+    def test_shared_memory_single_track(self, tmp_path):
+        import json
+
+        out = tmp_path / "t.json"
+        assert main(
+            ["telemetry", "er:200:4", "--algo", "bfs", "--nodes", "1",
+             "--out", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"} == {0}
+
+
+@pytest.mark.telemetry
+class TestGateCommand:
+    def test_gate_subcommand_wires_through(self, tmp_path, capsys):
+        # empty results dir → "no gateable baselines" and exit 1
+        assert main(["gate", "--results-dir", str(tmp_path)]) == 1
+        assert "no gateable baselines" in capsys.readouterr().out
+
+
 class TestExtendedCommands:
     def test_kcore(self, capsys):
         assert main(["kcore", "er:150:5"]) == 0
