@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-props test-chaos test-algos test-telemetry bench bench-agg bench-frontend bench-gate bench-full figures report examples clean
+.PHONY: install test test-fast test-props test-chaos test-algos test-telemetry bench bench-agg bench-frontend bench-wall bench-gate bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -14,6 +14,9 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-fast:           ## pre-commit default: unit + quick property tier, no chaos/slow
+	REPRO_TEST_PROFILE=quick $(PYTHON) -m pytest tests/ -m "not chaos and not slow"
 
 test-props:          ## full property suite (slow tier included, 100 examples)
 	REPRO_RUN_SLOW=1 REPRO_TEST_PROFILE=standard $(PYTHON) -m pytest tests/test_properties.py tests/ops/test_dispatch.py
@@ -38,6 +41,9 @@ bench-agg:           ## aggregation-exchange ablation; writes results/BENCH_agg.
 
 bench-frontend:      ## frontend-vs-direct-kernel overhead; writes results/BENCH_frontend.json
 	$(PYTHON) -m pytest benchmarks/test_abl_frontend.py
+
+bench-wall:          ## fast-path wall-clock before/after; writes results/BENCH_wall.json
+	$(PYTHON) -m pytest benchmarks/test_abl_wall.py
 
 bench-gate:          ## perf-regression gate vs results/BENCH_*.json golden baselines
 	$(PYTHON) -m repro gate

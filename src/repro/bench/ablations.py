@@ -24,7 +24,7 @@ import numpy as np
 
 from ..algebra.functional import MAX, OFFDIAG, TRIL
 from ..algebra.semiring import MIN_FIRST, PLUS_PAIR
-from ..algorithms import bfs_levels, count_triangles
+from ..algorithms import bfs_levels, count_triangles, pagerank_dist
 from ..distributed import DistSparseMatrix, DistSparseVector
 from ..exec import DistBackend, ShmBackend
 from ..generators import erdos_renyi, random_sparse_vector
@@ -46,6 +46,8 @@ __all__ = [
     "run_agg",
     "FRONTEND_WORKLOADS",
     "run_frontend",
+    "WALL_WORKLOADS",
+    "run_wall",
     "RERUNNERS",
 ]
 
@@ -302,9 +304,117 @@ def run_frontend() -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# fast-path wall-clock ablation (BENCH_wall.json)
+# ---------------------------------------------------------------------------
+
+PR_N, PR_DEG = 10_000, 8
+PR_TOL, PR_MAX_ITER = 1e-8, 100
+WALL_REPS = 5
+
+WALL_WORKLOADS = ("bfs", "triangle", "pagerank")
+
+#: the headline criterion: the fast path must keep BFS (the SpMSpV-bound,
+#: most iteration-heavy workload) at least this much faster than the
+#: retained pure-reference path.  The checked-in baseline records ~5x.
+WALL_BFS_SPEEDUP_FLOOR = 4.0
+
+
+def wall_graphs() -> dict[str, CSRMatrix]:
+    """The wall ablation's graphs: the frontend pair plus PageRank's."""
+    graphs = frontend_graphs()
+    graphs["pagerank"] = erdos_renyi(PR_N, PR_DEG, seed=5)
+    return graphs
+
+
+def wall_run(workload: str, a: CSRMatrix, m: Machine):
+    """One distributed run of a wall workload on a fresh machine."""
+    if workload == "pagerank":
+        return pagerank_dist(a, m, tol=PR_TOL, max_iter=PR_MAX_ITER)
+    return frontend_run(workload, a, m)
+
+
+def _wall_row(workload: str, a: CSRMatrix, reps: int = WALL_REPS) -> dict:
+    """Before/after wall measurement of one workload, noise-hardened.
+
+    Wall time on a shared host drifts by tens of percent between
+    *processes*, but fast and reference mode drift together, so the two
+    modes are interleaved in one process: a warmup run each (first-touch
+    caches, lazy imports), then ``reps`` alternating timed runs, keeping
+    the **minimum** per mode — min-of-k is the standard low-noise
+    estimator for a deterministic computation (noise only ever adds).
+
+    The row also records the invariant the switch promises: identical
+    results and a bit-identical simulated-seconds total in both modes.
+    """
+    from ..runtime import fastpath
+
+    for mode in (False, True):
+        with fastpath.force(mode):
+            wall_run(workload, a, frontend_machine("dist"))
+    best = {False: float("inf"), True: float("inf")}
+    sim: dict[bool, float] = {}
+    res: dict[bool, object] = {}
+    for _ in range(reps):
+        for mode in (False, True):
+            m = frontend_machine("dist")
+            with fastpath.force(mode):
+                got, wall = _timed(lambda: wall_run(workload, a, m))
+            best[mode] = min(best[mode], wall)
+            sim[mode] = m.ledger.total
+            res[mode] = got
+    return {
+        "simulated_s": sim[True],
+        "simulated_equal": bool(sim[False] == sim[True]),
+        "results_equal": bool(np.array_equal(res[False], res[True])),
+        "wall_before_s": best[False],
+        "wall_after_s": best[True],
+        "speedup": best[False] / best[True] if best[True] else float("inf"),
+    }
+
+
+def wall_sweep(graphs=None, reps: int = WALL_REPS) -> dict[str, dict]:
+    """Fast-path before/after rows per ``"workload/dist"`` key."""
+    graphs = wall_graphs() if graphs is None else graphs
+    return {f"{w}/dist": _wall_row(w, graphs[w], reps) for w in WALL_WORKLOADS}
+
+
+def run_wall() -> dict:
+    """The fast-path wall ablation as a schema-valid BENCH payload.
+
+    ``simulated_s`` leaves are deterministic and gated at the tight
+    tolerance like every other bench; the ``wall_*_s`` leaves are
+    host-dependent but measured carefully enough (interleaved min-of-k)
+    that the payload opts into the gate's loose wall tolerance via
+    ``gate_wall`` — a fast path that silently stops being fast fails.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "wall",
+        "description": "simulator fast path (vectorized kernels + plan cache "
+        "+ buffer pool) wall-clock before/after",
+        "gate_wall": True,
+        "configs": {
+            "bfs": {"n": BFS_N, "deg": BFS_DEG},
+            "triangle": {"n": TRI_N, "deg": TRI_DEG},
+            "pagerank": {
+                "n": PR_N,
+                "deg": PR_DEG,
+                "tol": PR_TOL,
+                "max_iter": PR_MAX_ITER,
+            },
+            "dist_locales": DIST_P,
+            "reps": WALL_REPS,
+        },
+        "bfs_speedup_floor": WALL_BFS_SPEEDUP_FLOOR,
+        "results": wall_sweep(),
+    }
+
+
 #: bench name (the BENCH_<name>.json stem) → payload re-runner, used by the
 #: regression gate to regenerate current numbers for a golden baseline.
 RERUNNERS = {
     "agg": run_agg,
     "frontend": run_frontend,
+    "wall": run_wall,
 }

@@ -10,12 +10,21 @@ by code — not noise.  This module is the enforcement:
 2. re-run the matching ablation harness from
    :data:`repro.bench.ablations.RERUNNERS`;
 3. diff every gateable metric (:func:`repro.bench.schema.simulated_metrics`
-   — simulated-seconds leaves only, wall-clock excluded);
-4. fail if any metric regressed beyond ``tolerance`` (default 10%),
-   vanished, or the workload configs no longer match the baseline's.
+   — simulated-seconds leaves, gated at ``tolerance``, default 10%; plus,
+   for baselines stamped ``"gate_wall": true``,
+   :func:`repro.bench.schema.wall_metrics` — wall-clock leaves, gated at
+   the loose ``wall_tolerance``, default 1.5×, because wall time is
+   host-dependent even when measured interleaved/min-of-k);
+4. fail if any metric regressed beyond its tolerance, vanished, or the
+   workload configs no longer match the baseline's.
 
 Improvements never fail the gate — they are reported so the baseline can
 be refreshed (re-run ``make bench`` and commit the new JSON).
+
+``--check`` runs the *structural* half only: every baseline must load,
+validate, expose gateable metrics, and have a registered re-runner — a
+sub-second smoke test (wired into the test suite) that catches schema
+drift and unwired benches without paying for a full re-measurement.
 
 Wired into ``make bench-gate`` and ``python -m repro gate``.
 """
@@ -26,21 +35,34 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .schema import bench_name_from_path, load_bench, simulated_metrics
+from .schema import (
+    BenchSchemaError,
+    bench_name_from_path,
+    load_bench,
+    simulated_metrics,
+    wall_metrics,
+)
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "WALL_TOLERANCE",
     "MetricCheck",
     "GateResult",
     "default_results_dir",
     "available_benches",
     "compare_payloads",
+    "check_baselines",
     "run_gate",
     "main",
 ]
 
 #: default allowed relative regression before a metric fails the gate.
 DEFAULT_TOLERANCE = 0.10
+
+#: allowed relative regression for wall-clock metrics (1.5×): loose enough
+#: for host drift, tight enough that a fast path silently falling back to
+#: its reference implementation (typically 4-5× slower) still fails.
+WALL_TOLERANCE = 0.50
 
 #: regressions below this absolute simulated-seconds delta are ignored
 #: (guards the ratio test against meaningless jitter on ~0-valued metrics).
@@ -143,8 +165,13 @@ def compare_payloads(
     current: dict,
     *,
     tolerance: float = DEFAULT_TOLERANCE,
+    wall_tolerance: float = WALL_TOLERANCE,
 ) -> GateResult:
     """Diff two schema-valid payloads' gateable metrics.
+
+    Simulated-seconds leaves are always gated at ``tolerance``.  When the
+    baseline is stamped ``"gate_wall": true``, wall-clock leaves are gated
+    too, at the loose ``wall_tolerance``.
 
     Structural drift — changed workload configs, a metric present in the
     baseline but missing from the re-run — is a ``problem`` (gate fails):
@@ -172,7 +199,65 @@ def compare_payloads(
         result.checks.append(
             MetricCheck(metric, base_value, cur_metrics[metric], tolerance)
         )
+    if baseline.get("gate_wall"):
+        base_wall = wall_metrics(baseline)
+        cur_wall = wall_metrics(current)
+        if not base_wall:
+            result.problems.append(
+                "baseline requests wall gating but has no wall-clock metrics"
+            )
+        for metric, base_value in sorted(base_wall.items()):
+            if metric not in cur_wall:
+                result.problems.append(f"wall metric {metric} missing from re-run")
+                continue
+            result.checks.append(
+                MetricCheck(metric, base_value, cur_wall[metric], wall_tolerance)
+            )
     return result
+
+
+def check_baselines(
+    results_dir: str | Path | None = None,
+    *,
+    benches: list[str] | None = None,
+) -> list[GateResult]:
+    """Structural smoke check of the gate's wiring — no re-running.
+
+    Every discovered (or selected) baseline must load, validate against
+    the envelope schema, expose at least one gateable simulated metric
+    (plus wall metrics when it requests wall gating), and have a
+    re-runner registered in :data:`repro.bench.ablations.RERUNNERS`.
+    Sub-second; run from the test suite as ``python -m repro gate
+    --check`` so an unwired or schema-drifted baseline fails CI without
+    paying for a full re-measurement.
+    """
+    from .ablations import RERUNNERS
+
+    found = available_benches(results_dir)
+    if benches is not None:
+        missing = sorted(set(benches) - set(found))
+        if missing:
+            r = GateResult(bench=",".join(missing))
+            r.problems.append(f"no baseline file for bench(es): {', '.join(missing)}")
+            return [r]
+        found = {name: found[name] for name in benches}
+    results = []
+    for name, path in sorted(found.items()):
+        r = GateResult(bench=name)
+        try:
+            payload = load_bench(path)
+        except (BenchSchemaError, OSError, ValueError) as exc:
+            r.problems.append(f"baseline failed to load: {exc}")
+            results.append(r)
+            continue
+        if not simulated_metrics(payload):
+            r.problems.append("no gateable simulated-time metrics")
+        if payload.get("gate_wall") and not wall_metrics(payload):
+            r.problems.append("requests wall gating but has no wall-clock metrics")
+        if name not in RERUNNERS:
+            r.problems.append("no re-runner registered in RERUNNERS")
+        results.append(r)
+    return results
 
 
 def run_gate(
@@ -180,6 +265,7 @@ def run_gate(
     *,
     benches: list[str] | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
+    wall_tolerance: float = WALL_TOLERANCE,
 ) -> list[GateResult]:
     """Gate every (or the selected) discovered baseline; returns per-bench
     results.  Baselines with no registered re-runner are skipped with a
@@ -202,7 +288,13 @@ def run_gate(
             continue  # no harness extracted for this baseline yet
         baseline = load_bench(path)
         results.append(
-            compare_payloads(name, baseline, rerun(), tolerance=tolerance)
+            compare_payloads(
+                name,
+                baseline,
+                rerun(),
+                tolerance=tolerance,
+                wall_tolerance=wall_tolerance,
+            )
         )
     return results
 
@@ -232,10 +324,32 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help=f"allowed relative regression (default {DEFAULT_TOLERANCE})",
     )
-    args = parser.parse_args(argv)
-    results = run_gate(
-        args.results_dir, benches=args.benches, tolerance=args.tolerance
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=WALL_TOLERANCE,
+        help=(
+            "allowed relative regression for wall-clock metrics of benches "
+            f"stamped gate_wall (default {WALL_TOLERANCE}, i.e. 1.5x)"
+        ),
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="structural smoke check only (schema + wiring), no re-running",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        results = check_baselines(args.results_dir, benches=args.benches)
+        label = "bench-check"
+    else:
+        results = run_gate(
+            args.results_dir,
+            benches=args.benches,
+            tolerance=args.tolerance,
+            wall_tolerance=args.wall_tolerance,
+        )
+        label = "bench-gate"
     if not results:
         print("no gateable baselines found")
         return 1
@@ -243,7 +357,7 @@ def main(argv: list[str] | None = None) -> int:
         print(r.render())
     failed = [r for r in results if not r.passed]
     print(
-        f"\nbench-gate: {len(results) - len(failed)}/{len(results)} benches passed"
+        f"\n{label}: {len(results) - len(failed)}/{len(results)} benches passed"
         + (f" — FAILED: {', '.join(r.bench for r in failed)}" if failed else "")
     )
     return 1 if failed else 0

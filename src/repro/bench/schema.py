@@ -17,10 +17,16 @@ layout and each reader re-parsed it ad hoc; now there is one envelope::
 inside it are exactly the numeric leaves whose key ends in ``_s`` but
 does not start with ``wall`` — simulated seconds are deterministic
 functions of (workload seed, cost model) and therefore diffable across
-runs, while wall-clock leaves depend on the host and are recorded for
-humans only.  :func:`simulated_metrics` flattens those leaves to
-``path → value`` rows, which is the sole currency of the regression gate
-(:mod:`repro.bench.regression`).
+runs at a tight (10%) tolerance.  :func:`simulated_metrics` flattens
+those leaves to ``path → value`` rows, which is the primary currency of
+the regression gate (:mod:`repro.bench.regression`).
+
+Wall-clock leaves (numeric, key starts with ``wall`` and ends in ``_s``)
+depend on the host and are recorded for humans by default.  A bench that
+measures wall time *carefully* (interleaved modes, warmup, min-of-k — see
+``repro.bench.ablations.run_wall``) can opt into gating them by stamping
+``"gate_wall": true`` in its payload; the gate then compares the
+:func:`wall_metrics` rows at a loose (1.5×) tolerance.
 
 Version history:
 
@@ -43,6 +49,7 @@ __all__ = [
     "load_bench",
     "dump_bench",
     "simulated_metrics",
+    "wall_metrics",
 ]
 
 #: current BENCH envelope version.
@@ -120,26 +127,33 @@ def dump_bench(payload: dict, path: str | Path) -> Path:
     return path
 
 
-def _gateable(key: str, value) -> bool:
+def _seconds_leaf(key: str, value) -> bool:
     return (
         isinstance(value, (int, float))
         and not isinstance(value, bool)
         and key.endswith("_s")
-        and not key.startswith("wall")
     )
 
 
-def _walk(node, prefix: str, out: dict[str, float]) -> None:
+def _simulated(key: str, value) -> bool:
+    return _seconds_leaf(key, value) and not key.startswith("wall")
+
+
+def _wall(key: str, value) -> bool:
+    return _seconds_leaf(key, value) and key.startswith("wall")
+
+
+def _walk(node, prefix: str, out: dict[str, float], match) -> None:
     if isinstance(node, dict):
         for key, value in node.items():
             path = f"{prefix}/{key}" if prefix else str(key)
-            if _gateable(str(key), value):
+            if match(str(key), value):
                 out[path] = float(value)
             else:
-                _walk(value, path, out)
+                _walk(value, path, out, match)
     elif isinstance(node, list):
         for i, value in enumerate(node):
-            _walk(value, f"{prefix}[{i}]", out)
+            _walk(value, f"{prefix}[{i}]", out, match)
 
 
 def simulated_metrics(payload: dict) -> dict[str, float]:
@@ -150,5 +164,17 @@ def simulated_metrics(payload: dict) -> dict[str, float]:
     start with ``wall``.  Deterministic leaves only, by construction.
     """
     out: dict[str, float] = {}
-    _walk(payload.get("results", {}), "", out)
+    _walk(payload.get("results", {}), "", out, _simulated)
+    return out
+
+
+def wall_metrics(payload: dict) -> dict[str, float]:
+    """Flatten the wall-clock leaves of ``results``.
+
+    Returns every numeric leaf whose key starts with ``wall`` and ends in
+    ``_s``.  Host-dependent; gated only for payloads stamped
+    ``"gate_wall": true`` and then at the loose wall tolerance.
+    """
+    out: dict[str, float] = {}
+    _walk(payload.get("results", {}), "", out, _wall)
     return out

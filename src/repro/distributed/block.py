@@ -9,13 +9,35 @@ blocks, the first ``n % p`` blocks one element larger.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 import numpy as np
 
+from ..runtime import fastpath
 from ..runtime.locale import LocaleGrid
 from ..runtime.tasks import chunk_sizes
 
 __all__ = ["Partition1D", "Block1D", "GridBlock1D", "Block2D"]
+
+
+# Interned partition instances (fast path only).  Partitions are frozen
+# value objects constructed on every kernel call (`GridBlock1D.for_grid`,
+# the `dist`/`layout` properties), so interning them makes the per-instance
+# bounds cache effective across calls — one cumsum per (n, parts) per
+# process instead of one per superstep.
+@lru_cache(maxsize=1024)
+def _interned_block1d(n: int, num_parts: int) -> "Block1D":
+    return Block1D(n, num_parts)
+
+
+@lru_cache(maxsize=1024)
+def _interned_gridblock1d(n: int, rows: int, cols: int) -> "GridBlock1D":
+    return GridBlock1D(n, rows, cols)
+
+
+@lru_cache(maxsize=1024)
+def _interned_block2d(nrows: int, ncols: int, rows: int, cols: int) -> "Block2D":
+    return Block2D(nrows, ncols, rows, cols)
 
 
 @dataclass(frozen=True)
@@ -92,12 +114,41 @@ class Block1D(Partition1D):
         if self.num_parts < 1:
             raise ValueError("parts must be positive")
 
-    @property
-    def bounds(self) -> np.ndarray:
-        """Partition boundaries: part ``k`` owns ``[bounds[k], bounds[k+1])``."""
+    @classmethod
+    def of(cls, n: int, num_parts: int) -> "Block1D":
+        """Interned constructor: the same (n, parts) yields the same
+        instance on the fast path, so its cached bounds survive across
+        kernel calls.  Reference mode constructs fresh."""
+        if fastpath.enabled():
+            return _interned_block1d(int(n), int(num_parts))
+        return cls(n, num_parts)
+
+    def _compute_bounds(self) -> np.ndarray:
         out = np.zeros(self.num_parts + 1, dtype=np.int64)
         np.cumsum(chunk_sizes(self.n, self.num_parts), out=out[1:])
         return out
+
+    @cached_property
+    def _bounds_cached(self) -> np.ndarray:
+        # cached_property writes through the instance __dict__, which
+        # frozen dataclasses still have; read-only because it is shared
+        out = self._compute_bounds()
+        out.flags.writeable = False
+        return out
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Partition boundaries: part ``k`` owns ``[bounds[k], bounds[k+1])``.
+
+        On the fast path this is computed once per (interned) instance and
+        returned read-only — recomputing the cumsum per superstep was a
+        measurable slice of the interpreter overhead ROADMAP item 4
+        attacks.  With :mod:`repro.runtime.fastpath` disabled every access
+        recomputes, matching the original implementation.
+        """
+        if not fastpath.enabled():
+            return self._compute_bounds()
+        return self._bounds_cached
 
 
 @dataclass(frozen=True)
@@ -125,25 +176,49 @@ class GridBlock1D(Partition1D):
             raise ValueError("grid dimensions must be positive")
 
     @classmethod
+    def of(cls, n: int, rows: int, cols: int) -> "GridBlock1D":
+        """Interned constructor (see :meth:`Block1D.of`)."""
+        if fastpath.enabled():
+            return _interned_gridblock1d(int(n), int(rows), int(cols))
+        return cls(n, rows, cols)
+
+    @classmethod
     def for_grid(cls, n: int, grid: LocaleGrid) -> "GridBlock1D":
         """Build the partition matching a locale grid."""
-        return cls(n, grid.rows, grid.cols)
+        return cls.of(n, grid.rows, grid.cols)
 
-    @property
-    def bounds(self) -> np.ndarray:
-        """Partition boundaries: part ``k`` owns ``[bounds[k], bounds[k+1])``."""
-        row_bounds = Block1D(self.n, self.grid_rows).bounds
+    def _compute_bounds(self) -> np.ndarray:
+        row_bounds = Block1D.of(self.n, self.grid_rows).bounds
         pieces = [
-            Block1D(int(row_bounds[i + 1] - row_bounds[i]), self.grid_cols).bounds[1:]
+            Block1D.of(
+                int(row_bounds[i + 1] - row_bounds[i]), self.grid_cols
+            ).bounds[1:]
             + row_bounds[i]
             for i in range(self.grid_rows)
         ]
         return np.concatenate([[0], np.concatenate(pieces)]).astype(np.int64)
 
+    @cached_property
+    def _bounds_cached(self) -> np.ndarray:
+        out = self._compute_bounds()
+        out.flags.writeable = False
+        return out
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Partition boundaries: part ``k`` owns ``[bounds[k], bounds[k+1])``.
+
+        Cached per (interned) instance on the fast path, read-only, like
+        :attr:`Block1D.bounds`: the nested row/column cuts made this the
+        single most recomputed array in the distributed kernels.
+        """
+        if not fastpath.enabled():
+            return self._compute_bounds()
+        return self._bounds_cached
+
     def row_block(self, i: int) -> tuple[int, int]:
         """Global extent of grid-row ``i``'s combined blocks."""
-        rb = Block1D(self.n, self.grid_rows)
-        return rb.extent(i)
+        return Block1D.of(self.n, self.grid_rows).extent(i)
 
 
 @dataclass(frozen=True)
@@ -161,19 +236,28 @@ class Block2D:
     grid_cols: int
 
     @classmethod
+    def of(cls, nrows: int, ncols: int, rows: int, cols: int) -> "Block2D":
+        """Interned constructor (see :meth:`Block1D.of`)."""
+        if fastpath.enabled():
+            return _interned_block2d(
+                int(nrows), int(ncols), int(rows), int(cols)
+            )
+        return cls(nrows, ncols, rows, cols)
+
+    @classmethod
     def for_grid(cls, nrows: int, ncols: int, grid: LocaleGrid) -> "Block2D":
         """Build the partition matching a locale grid."""
-        return cls(nrows, ncols, grid.rows, grid.cols)
+        return cls.of(nrows, ncols, grid.rows, grid.cols)
 
     @property
     def row_blocks(self) -> Block1D:
-        """The row-dimension 1-D partition."""
-        return Block1D(self.nrows, self.grid_rows)
+        """The row-dimension 1-D partition (interned on the fast path)."""
+        return Block1D.of(self.nrows, self.grid_rows)
 
     @property
     def col_blocks(self) -> Block1D:
-        """The column-dimension 1-D partition."""
-        return Block1D(self.ncols, self.grid_cols)
+        """The column-dimension 1-D partition (interned on the fast path)."""
+        return Block1D.of(self.ncols, self.grid_cols)
 
     def extent(self, i: int, j: int) -> tuple[int, int, int, int]:
         """Global ``(rlo, rhi, clo, chi)`` rectangle of grid cell (i, j)."""

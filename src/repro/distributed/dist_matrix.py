@@ -16,8 +16,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..runtime import fastpath
 from ..runtime.locale import LocaleGrid
 from ..sparse.csr import CSRMatrix
+from ..sparse.sort import stable_argsort_bounded
 from .block import Block1D, Block2D
 
 __all__ = ["DistSparseMatrix", "DistSparseMatrix1D"]
@@ -33,6 +35,53 @@ def _partition_to_cells(
     from the sorted slices with rebased indices.
     """
     pr, pc = layout.grid_rows, layout.grid_cols
+    rbounds = layout.row_blocks.bounds
+    cbounds = layout.col_blocks.bounds
+    if fastpath.enabled():
+        # Row blocks are CONTIGUOUS row ranges of an already row-sorted
+        # CSR, so the global sort-by-cell reduces to: slice each row
+        # block's nonzeros straight out of the CSR arrays, stable-sort
+        # only within the slice by column owner (preserving the (row,
+        # col) order inside each cell exactly like the global stable
+        # sort), and build each cell's CSR directly — the triples are
+        # sorted and duplicate-free by construction, so the reference
+        # path's coalesce round-trip is pure overhead.
+        blocks2: list[CSRMatrix] = []
+        for i in range(pr):
+            rlo, rhi = int(rbounds[i]), int(rbounds[i + 1])
+            s, e = int(a.rowptr[rlo]), int(a.rowptr[rhi])
+            nr = rhi - rlo
+            cols_i = a.colidx[s:e]
+            vals_i = a.values[s:e]
+            lens_i = np.diff(a.rowptr[rlo : rhi + 1])
+            rows_i = np.repeat(np.arange(nr, dtype=np.int64), lens_i)
+            owner_i = (
+                np.searchsorted(cbounds, cols_i, side="right") - 1
+                if cols_i.size
+                else cols_i
+            )
+            order = stable_argsort_bounded(owner_i, pc)
+            rows_s = rows_i[order]
+            cols_s = cols_i[order]
+            vals_s = vals_i[order]
+            cuts = np.searchsorted(owner_i[order], np.arange(pc + 1))
+            for j in range(pc):
+                clo, chi = int(cbounds[j]), int(cbounds[j + 1])
+                lo, hi = int(cuts[j]), int(cuts[j + 1])
+                rowptr = np.zeros(nr + 1, dtype=np.int64)
+                np.cumsum(
+                    np.bincount(rows_s[lo:hi], minlength=nr), out=rowptr[1:]
+                )
+                blocks2.append(
+                    CSRMatrix(
+                        nr,
+                        chi - clo,
+                        rowptr,
+                        cols_s[lo:hi] - clo,
+                        vals_s[lo:hi].copy(),
+                    )
+                )
+        return blocks2
     rows = a.row_indices()
     cols = a.colidx
     vals = a.values
@@ -42,8 +91,6 @@ def _partition_to_cells(
     order = np.argsort(cell, kind="stable")
     rows, cols, vals, cell = rows[order], cols[order], vals[order], cell[order]
     cuts = np.searchsorted(cell, np.arange(pr * pc + 1))
-    rbounds = layout.row_blocks.bounds
-    cbounds = layout.col_blocks.bounds
     blocks: list[CSRMatrix] = []
     for i in range(pr):
         rlo, rhi = rbounds[i], rbounds[i + 1]
@@ -87,7 +134,7 @@ class DistSparseMatrix:
     @property
     def layout(self) -> Block2D:
         """The 2-D block layout of this matrix."""
-        return Block2D(self.nrows, self.ncols, self.grid.rows, self.grid.cols)
+        return Block2D.of(self.nrows, self.ncols, self.grid.rows, self.grid.cols)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -178,7 +225,7 @@ class DistSparseMatrix1D:
     @classmethod
     def from_global(cls, a: CSRMatrix, grid: LocaleGrid) -> "DistSparseMatrix1D":
         """Row-band distribute a global CSR over the grid's locales."""
-        dist = Block1D(a.nrows, grid.size)
+        dist = Block1D.of(a.nrows, grid.size)
         blocks = []
         for k in range(grid.size):
             lo, hi = dist.extent(k)
@@ -188,7 +235,7 @@ class DistSparseMatrix1D:
     @property
     def row_dist(self) -> Block1D:
         """The 1-D row-band partition over locales."""
-        return Block1D(self.nrows, self.grid.size)
+        return Block1D.of(self.nrows, self.grid.size)
 
     @property
     def nnz(self) -> int:

@@ -19,6 +19,7 @@ from ..distributed.dist_vector import DistSparseVector
 from ..runtime.aggregation import (
     AGG_DEFAULT,
     AggregationConfig,
+    default_pool,
     flush_cost,
     group_by_owner,
     num_flushes,
@@ -67,6 +68,9 @@ def redistribute(
     if faults is not None:
         faults.check_grid(grid, "redistribute")
         v.require_available(faults)
+    # new pool epoch: scratch taken by the previous op (possibly on a
+    # different grid shape) is recycled rather than leaked
+    default_pool.reset()
     tgt_dist = GridBlock1D.for_grid(v.capacity, grid)
     src_bounds = v.dist.bounds
     owner_idx: list[list[np.ndarray]] = [[] for _ in range(grid.size)]

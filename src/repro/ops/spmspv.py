@@ -28,12 +28,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..distributed.block import GridBlock1D
+from ..runtime import fastpath
 from ..distributed.dist_matrix import DistSparseMatrix, DistSparseMatrix1D
 from ..distributed.dist_vector import DistSparseVector
 from ..runtime.aggregation import (
     AGG_DEFAULT,
     AggregationConfig,
     ceil_div,
+    default_pool,
     exchange,
     flush_startup,
     gather_agg_ft,
@@ -54,8 +56,8 @@ from ..runtime.config import MachineConfig
 from ..runtime.faults import RETRY_STEP
 from ..runtime.locale import Machine
 from ..runtime.tasks import coforall_spawn, local_time_ft, makespan, parallel_time, sort_time
-from ..sparse.csr import CSRMatrix
-from ..sparse.sort import merge_sort, radix_sort
+from ..sparse.csr import CSRMatrix, _ranges as _csr_ranges
+from ..sparse.sort import merge_sort, radix_sort, stable_argsort_bounded
 from ..sparse.spa import SPA
 from ..sparse.vector import SparseVector
 from ..algebra.semiring import PLUS_TIMES, Semiring
@@ -183,11 +185,22 @@ def _local_spmspv(
 
     ``mask`` filters products by output index *before* SPA insertion.
     """
-    sub = a.extract_rows(x.indices)
-    row_nnzs = np.diff(sub.rowptr)
-    xvals = np.repeat(x.values, row_nnzs)
-    products = np.asarray(semiring.mult(xvals, sub.values))
-    cols = sub.colidx
+    if fastpath.enabled():
+        # raw row gather: same arrays extract_rows would produce, without
+        # materialising the intermediate CSRMatrix (its rowptr is only
+        # ever diffed back into the per-row lengths we already have)
+        starts = a.rowptr[x.indices]
+        row_nnzs = a.rowptr[x.indices + 1] - starts
+        gather = _csr_ranges(starts, row_nnzs)
+        cols = a.colidx[gather]
+        xvals = np.repeat(x.values, row_nnzs)
+        products = np.asarray(semiring.mult(xvals, a.values[gather]))
+    else:
+        sub = a.extract_rows(x.indices)
+        row_nnzs = np.diff(sub.rowptr)
+        xvals = np.repeat(x.values, row_nnzs)
+        products = np.asarray(semiring.mult(xvals, sub.values))
+        cols = sub.colidx
     if mask is not None:
         allowed = np.asarray(mask, dtype=bool)
         if allowed.size != a.ncols:
@@ -197,6 +210,44 @@ def _local_spmspv(
         keep = ~allowed[cols] if complement else allowed[cols]
         cols = cols[keep]
         products = products[keep]
+    if fastpath.enabled():
+        # Sort-reduce fast path, bit-identical to the SPA reference below:
+        # a stable argsort of `cols` applies the same permutation as the
+        # SPA's stable argsort of the unique-inverse (the inverse is the
+        # rank of the column, so the two key sequences have identical
+        # relative order), the segment heads are the ascending unique
+        # columns (== the SPA's sorted nzinds), and each segment is folded
+        # left-to-right by the same monoid.reduceat in the same dtype, then
+        # cast at store exactly as the dense SPA array would.  The `sort`
+        # parameter only shapes the *simulated* cost (spmspv_shm_cost); the
+        # result is the sorted output either way.
+        if products.size == 0:
+            return (
+                SparseVector(
+                    a.ncols,
+                    np.empty(0, np.int64),
+                    np.empty(0, dtype=products.dtype),
+                ),
+                row_nnzs,
+            )
+        order = stable_argsort_bounded(cols, a.ncols)
+        sc = cols[order]
+        is_first = np.empty(sc.size, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = sc[1:] != sc[:-1]
+        if is_first.all():
+            # no duplicate columns: mirror the SPA's no-fold shortcut,
+            # which stores the raw products without a reduceat round-trip
+            vals = products[order]
+        else:
+            starts = np.flatnonzero(is_first)
+            # boundary starts are strictly increasing and in range by
+            # construction — the dense reduceat applies
+            vals = semiring.add.reduceat_dense(products[order], starts).astype(
+                products.dtype, copy=False
+            )
+            sc = sc[starts]
+        return SparseVector(a.ncols, sc, vals), row_nnzs
     spa = SPA(a.ncols, dtype=products.dtype)
     spa.scatter(cols, products, monoid=semiring.add)
     nzinds = spa.nzinds
@@ -264,37 +315,75 @@ def spmspv_dist(
         faults.check_grid(grid, "spmspv_dist")
 
     spawn = coforall_spawn(cfg, machine.num_locales, machine.locales_per_node)
-    gather_bs: list[Breakdown] = []
-    multiply_bs: list[Breakdown] = []
-    scatter_bs: list[Breakdown] = []
-    retry_bs: list[Breakdown] = []
+    # per-locale per-step seconds; every list is one Breakdown component, so
+    # the final assembly folds each with max() — the same value (bit for
+    # bit) Breakdown.parallel over single-component breakdowns produces,
+    # without constructing ~5 dicts per locale per superstep
+    gather_ts: list[float] = []
+    multiply_ts: list[float] = []
+    scatter_ts: list[float] = []
+    retry_ts: list[float] = []
     # partial outputs grouped by owner locale of the global index.  The
     # output index space is the matrix's COLUMN space — for non-square
     # matrices this differs from x's partition (over the row space).
     out_dist = GridBlock1D.for_grid(a.ncols, grid)
     owner_indices: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
     owner_values: list[list[np.ndarray]] = [[] for _ in range(grid.size)]
+    # fault-free fast path: instead of appending per-(locale, owner) slices
+    # and merging each owner with its own sort, keep every locale's full
+    # sorted batch and merge the whole superstep with ONE global stable
+    # sort after the loop (see the merge step below for the identity
+    # argument).  Fault runs keep the per-owner loop — deliver_puts must
+    # see each (src, dst) stream individually.
+    global_merge = fastpath.enabled() and faults is None
+    sent_idx: list[np.ndarray] = []
+    sent_vals: list[np.ndarray] = []
     # per-(source, destination) scatter traffic, filled during the loop and
-    # costed afterwards when the aggregated exchange needs the whole matrix
-    scatter_counts = np.zeros((grid.size, grid.size), dtype=np.int64)
+    # costed afterwards when the aggregated exchange needs the whole matrix.
+    # New pool epoch at op entry: last superstep's scratch (this matrix, the
+    # exchange's cost vectors) is recycled, so a steady-state BFS/PageRank
+    # iteration allocates nothing here.
+    default_pool.reset()
+    scatter_counts = default_pool.take((grid.size, grid.size), np.int64)
+
+    # the gathered slice lx is a pure function of the processor ROW (every
+    # locale of row i assembles the same parts shifted by the same rlo), so
+    # on the fast path it is built once per row and shared read-only —
+    # identical arrays, pc× fewer concatenations
+    lx_by_row: dict[int, SparseVector] = {}
+    # loop invariants: the put cost is a pure function of machine constants,
+    # the x partition bounds never change mid-op, and the row team (with its
+    # part sizes) depends only on the processor row
+    put_cost = fine_grained(
+        cfg, 1, threads=threads, concurrent_peers=pr, local=local
+    )
+    xb_bounds = x.dist.bounds
+    teams_by_row: dict[int, tuple[list, list[int]]] = {}
 
     for loc in grid:
         i, j = loc.row, loc.col
         rlo, rhi, clo, chi = layout.extent(i, j)
         # ---- Step 1: gather x parts along processor row i ----------------
-        row_team = grid.row_team(i)
-        part_sizes = [x.blocks[t.id].nnz for t in row_team]
-        xb_bounds = x.dist.bounds
-        idx_parts, val_parts = [], []
-        for t in row_team:
-            blk = x.blocks[t.id]
-            idx_parts.append(blk.indices + (xb_bounds[t.id] - rlo))
-            val_parts.append(blk.values)
-        lx = SparseVector(
-            rhi - rlo,
-            np.concatenate(idx_parts) if idx_parts else np.empty(0, np.int64),
-            np.concatenate(val_parts) if val_parts else np.empty(0),
-        )
+        team = teams_by_row.get(i)
+        if team is None:
+            row_team = grid.row_team(i)
+            part_sizes = [x.blocks[t.id].nnz for t in row_team]
+            teams_by_row[i] = (row_team, part_sizes)
+        else:
+            row_team, part_sizes = team
+        lx = lx_by_row.get(i) if fastpath.enabled() else None
+        if lx is None:
+            idx_parts, val_parts = [], []
+            for t in row_team:
+                blk = x.blocks[t.id]
+                idx_parts.append(blk.indices + (xb_bounds[t.id] - rlo))
+                val_parts.append(blk.values)
+            lx = SparseVector(
+                rhi - rlo,
+                np.concatenate(idx_parts) if idx_parts else np.empty(0, np.int64),
+                np.concatenate(val_parts) if val_parts else np.empty(0),
+            )
+            lx_by_row[i] = lx
         remote_parts = [
             s for t, s in zip(row_team, part_sizes) if t.id != loc.id
         ]
@@ -348,7 +437,7 @@ def spmspv_dist(
             retry_t += extra
         else:
             raise ValueError(f"unknown gather_mode {gather_mode!r}")
-        gather_bs.append(Breakdown({GATHER_STEP: gt}))
+        gather_ts.append(gt)
 
         # ---- Step 2: local multiply (with this column block's mask slice)
         mask_slice = (
@@ -365,16 +454,12 @@ def spmspv_dist(
             ncols=chi - clo,
             sort=sort,
         )
-        multiply_bs.append(
-            Breakdown(
-                {
-                    MULTIPLY_STEP: local_time_ft(
-                        mb.total,
-                        faults=faults,
-                        locale=loc.id,
-                        site="spmspv_dist.multiply",
-                    )
-                }
+        multiply_ts.append(
+            local_time_ft(
+                mb.total,
+                faults=faults,
+                locale=loc.id,
+                site="spmspv_dist.multiply",
             )
         )
 
@@ -385,34 +470,41 @@ def spmspv_dist(
         # output stays bit-identical to fault-free execution
         gidx = ly.indices + clo
         owners = out_dist.owners(gidx) if gidx.size else np.empty(0, np.int64)
-        put_cost = fine_grained(
-            cfg, 1, threads=threads, concurrent_peers=pr, local=local
-        )
         # group the outgoing puts by owner in one vectorised pass (stable,
-        # ascending owners — bit-compatible with the per-owner mask loop)
-        uniq, offsets, (gidx_s, vals_s) = group_by_owner(owners, gidx, ly.values)
+        # ascending owners — bit-compatible with the per-owner mask loop).
+        # ly.indices is sorted and out_dist is contiguous, so owners is
+        # already non-decreasing: the fast path skips the identity argsort.
+        uniq, offsets, (gidx_s, vals_s) = group_by_owner(
+            owners, gidx, ly.values, assume_sorted=fastpath.enabled()
+        )
         if uniq.size:
             scatter_counts[loc.id, uniq] = offsets[1:] - offsets[:-1]
-        for k, o in enumerate(uniq):
-            o = int(o)
-            idx_o = gidx_s[offsets[k] : offsets[k + 1]] - out_dist.bounds[o]
-            val_o = vals_s[offsets[k] : offsets[k + 1]]
-            if faults is not None and o != loc.id and scatter_mode != "agg":
-                # element-wise modes: puts can drop/duplicate individually.
-                # The aggregated exchange ships sequence-tagged batches
-                # instead, so its delivery is exact by construction and its
-                # batch-level faults are charged post-loop by exchange().
-                idx_o, val_o, extra = faults.deliver_puts(
-                    f"spmspv_dist.scatter[{loc.id}->{o}]",
-                    idx_o,
-                    val_o,
-                    src=loc.id,
-                    dst=o,
-                    per_element_seconds=put_cost,
-                )
-                retry_t += extra
-            owner_indices[o].append(idx_o)
-            owner_values[o].append(val_o)
+        if global_merge:
+            if gidx_s.size:
+                sent_idx.append(gidx_s)
+                sent_vals.append(vals_s)
+        else:
+            for k, o in enumerate(uniq):
+                o = int(o)
+                idx_o = gidx_s[offsets[k] : offsets[k + 1]] - out_dist.bounds[o]
+                val_o = vals_s[offsets[k] : offsets[k + 1]]
+                if faults is not None and o != loc.id and scatter_mode != "agg":
+                    # element-wise modes: puts can drop/duplicate
+                    # individually.  The aggregated exchange ships
+                    # sequence-tagged batches instead, so its delivery is
+                    # exact by construction and its batch-level faults are
+                    # charged post-loop by exchange().
+                    idx_o, val_o, extra = faults.deliver_puts(
+                        f"spmspv_dist.scatter[{loc.id}->{o}]",
+                        idx_o,
+                        val_o,
+                        src=loc.id,
+                        dst=o,
+                        per_element_seconds=put_cost,
+                    )
+                    retry_t += extra
+                owner_indices[o].append(idx_o)
+                owner_values[o].append(val_o)
         remote_elems = int((owners != loc.id).sum()) if gidx.size else 0
         if scatter_mode == "fine":
             st = fine_grained(
@@ -424,8 +516,8 @@ def spmspv_dist(
             st = 0.0  # costed post-loop from the full traffic matrix
         else:
             raise ValueError(f"unknown scatter_mode {scatter_mode!r}")
-        scatter_bs.append(Breakdown({SCATTER_STEP: st}))
-        retry_bs.append(Breakdown({RETRY_STEP: retry_t}))
+        scatter_ts.append(st)
+        retry_ts.append(retry_t)
 
     if scatter_mode == "agg":
         # two-hop destination-buffered exchange over the whole grid; each
@@ -446,51 +538,87 @@ def spmspv_dist(
                 out_remote = int(scatter_counts[k].sum() - scatter_counts[k, k])
                 comm = overlap_exposed(
                     comm,
-                    multiply_bs[k][MULTIPLY_STEP],
+                    multiply_ts[k],
                     flush_startup(cfg, out_remote, agg=agg, local=local),
                 )
-            scatter_bs[k] = Breakdown({SCATTER_STEP: comm})
+            scatter_ts[k] = comm
             if faults is not None:
-                retry_bs[k] = retry_bs[k] + Breakdown(
-                    {RETRY_STEP: float(ex.retry_seconds[k])}
-                )
+                retry_ts[k] = retry_ts[k] + float(ex.retry_seconds[k])
 
     # merge partial outputs at their owners (the "global SPA" + denseToSparse)
     out_blocks: list[SparseVector] = []
-    finalize: list[Breakdown] = []
+    finalize_ts: list[float] = []
+    if global_merge:
+        # One global stable sort replaces the per-owner from_pairs merges.
+        # Bit-identical: the owner is a function of the index (contiguous
+        # partition), so sorting ALL batches by global index groups each
+        # owner's entries contiguously; entries with equal index keep the
+        # batch (= locale) order the per-owner concatenation used, dedup
+        # segments never cross an owner boundary, and each segment folds
+        # left-to-right with the same monoid in the same dtype.
+        if sent_idx:
+            midx = np.concatenate(sent_idx)
+            mvals = np.concatenate(sent_vals)
+            order = stable_argsort_bounded(midx, a.ncols)
+            midx, mvals = midx[order], mvals[order]
+            is_first = np.empty(midx.size, dtype=bool)
+            is_first[0] = True
+            is_first[1:] = midx[1:] != midx[:-1]
+            if not is_first.all():
+                dstarts = np.flatnonzero(is_first)
+                mvals = np.asarray(
+                    semiring.add.reduceat_dense(mvals, dstarts),
+                    dtype=mvals.dtype,
+                )
+                midx = midx[dstarts]
+            cutpos = np.searchsorted(midx, out_dist.bounds)
+        else:
+            midx = np.empty(0, np.int64)
+            mvals = np.empty(0)
+            cutpos = np.zeros(grid.size + 1, dtype=np.int64)
     for k in range(grid.size):
         cap = out_dist.size_of(k)
-        if owner_indices[k]:
+        if global_merge:
+            lo, hi = int(cutpos[k]), int(cutpos[k + 1])
+            if hi > lo:
+                out_blocks.append(
+                    SparseVector(
+                        cap, midx[lo:hi] - out_dist.bounds[k], mvals[lo:hi]
+                    )
+                )
+            else:
+                out_blocks.append(SparseVector.empty(cap))
+        elif owner_indices[k]:
             idx = np.concatenate(owner_indices[k])
             vals = np.concatenate(owner_values[k])
             out_blocks.append(SparseVector.from_pairs(cap, idx, vals, dup=semiring.add))
         else:
             out_blocks.append(SparseVector.empty(cap))
         # each locale compacts its dense SPA slice back to sparse
-        finalize.append(
-            Breakdown(
-                {
-                    SCATTER_STEP: parallel_time(
-                        cfg,
-                        out_blocks[-1].nnz * cfg.element_cost * machine.compute_penalty,
-                        threads,
-                    )
-                }
+        finalize_ts.append(
+            parallel_time(
+                cfg,
+                out_blocks[-1].nnz * cfg.element_cost * machine.compute_penalty,
+                threads,
             )
         )
     y = DistSparseVector(a.ncols, grid, out_blocks)
-    total = (
-        Breakdown({GATHER_STEP: spawn})
-        + Breakdown.parallel(gather_bs)
-        + Breakdown.parallel(multiply_bs)
-        + Breakdown.parallel(scatter_bs)
-        + Breakdown.parallel(finalize)
+    # component-wise: Breakdown.parallel over the per-locale single-step
+    # breakdowns is max() over non-negative seconds, and Breakdown addition
+    # over disjoint keys is plain float addition — this direct assembly is
+    # bit-identical to the fold it replaces
+    total = Breakdown(
+        {
+            GATHER_STEP: spawn + max(gather_ts),
+            MULTIPLY_STEP: max(multiply_ts),
+            SCATTER_STEP: max(scatter_ts) + max(finalize_ts),
+        }
     )
     if faults is not None:
         # robustness overhead is an explicit component (possibly 0.0), so
         # fault-free runs keep byte-identical breakdowns while fault runs
         # surface their retry bill next to the paper's components
-        total = total + Breakdown.parallel(retry_bs)
+        total = total + Breakdown({RETRY_STEP: max(retry_ts)})
     return y, machine.record("spmspv_dist", total)
 
 

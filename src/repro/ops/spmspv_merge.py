@@ -25,6 +25,7 @@ from ..runtime.clock import Breakdown
 from ..runtime.locale import Machine
 from ..runtime.tasks import makespan, parallel_time, sort_time
 from ..sparse.csr import CSRMatrix
+from ..sparse.sort import stable_argsort_bounded
 from ..sparse.vector import SparseVector
 
 __all__ = ["spmspv_shm_merge", "spmspv_merge_cost"]
@@ -96,7 +97,7 @@ def spmspv_shm_merge(
         # stable key sort carrying the product payload; stability keeps
         # per-column products in row order, so non-commutative-looking
         # reductions stay deterministic
-        order = np.argsort(cols, kind="stable")
+        order = stable_argsort_bounded(cols, a.ncols)
         sorted_cols = cols[order]
         sorted_vals = products[order]
     else:

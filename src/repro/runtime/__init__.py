@@ -1,6 +1,10 @@
 """The Chapel-like runtime simulator: machine model, locales, tasks, comm."""
 
+from . import fastpath
 from .aggregation import (
+    BufferPool,
+    PoolStats,
+    default_pool,
     AGG_DEFAULT,
     AggregationConfig,
     ExchangeCost,
@@ -43,9 +47,10 @@ __all__ = [
     "Locale", "LocaleGrid", "Machine", "shared_machine",
     "RETRY_STEP", "FaultEvent", "FaultInjector", "FaultPlan", "LocaleFailure",
     "RetryExhausted", "RetryPolicy",
-    "AGG_DEFAULT", "AggregationConfig", "ExchangeCost", "exchange",
+    "AGG_DEFAULT", "AggregationConfig", "BufferPool", "ExchangeCost",
+    "PoolStats", "default_pool", "exchange",
     "flush_cost", "flush_startup", "gather_agg", "gather_agg_ft",
-    "group_by_owner", "overlap_exposed", "split_exposed",
+    "group_by_owner", "overlap_exposed", "split_exposed", "fastpath",
     "MetricsRegistry", "default_registry", "chrome_trace", "trace_summary",
     "write_chrome_trace", "write_trace_csv", "write_trace_summary",
 ]

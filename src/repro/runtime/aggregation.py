@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from . import fastpath
 from .config import MachineConfig
 from .faults import FaultInjector
 from .locale import LocaleGrid
@@ -52,6 +53,9 @@ from .telemetry import registry as _metrics
 __all__ = [
     "AggregationConfig",
     "AGG_DEFAULT",
+    "BufferPool",
+    "PoolStats",
+    "default_pool",
     "ceil_div",
     "group_by_owner",
     "num_flushes",
@@ -119,12 +123,143 @@ AGG_DEFAULT = AggregationConfig()
 
 
 # ---------------------------------------------------------------------------
+# buffer pool (epoch/arena recycling of exchange scratch arrays)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Wall-clock telemetry of a :class:`BufferPool`.
+
+    ``hits``/``misses`` count :meth:`BufferPool.take` calls served from the
+    free lists vs freshly allocated; ``live`` is the number of arrays handed
+    out this epoch; ``pooled`` the number parked on the free lists.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    live: int = 0
+    pooled: int = 0
+
+
+class BufferPool:
+    """Epoch/arena recycler for the exchange layer's numpy scratch arrays.
+
+    The distributed kernels allocate the same small dense arrays every
+    superstep — the ``(p, p)`` traffic matrices and per-locale cost vectors
+    of :func:`exchange` — which at ~50× interpreter overhead is real wall
+    time.  The pool turns steady-state supersteps into zero-allocation
+    ones:
+
+    * :meth:`take` hands out an array of the requested shape/dtype, reusing
+      a free one when available (zeroed on request);
+    * :meth:`reset` *starts a new epoch*: every array handed out since the
+      previous reset goes back on the free lists.  Callers invoke it at
+      **operation entry** (``spmspv_dist``, ``redistribute``), never
+      mid-operation, so everything taken during one op — including the
+      arrays an :class:`ExchangeCost` still references — stays valid until
+      the next op begins.
+
+    Arrays obtained from the pool are therefore valid until the next epoch
+    only; copy anything that must outlive the operation.  With
+    :mod:`repro.runtime.fastpath` disabled, :meth:`take` degrades to plain
+    allocation and the pool stays empty — reference runs are pool-free by
+    construction.  Free lists are capped per (shape, dtype) so a one-off
+    grid size can never pin memory forever.
+    """
+
+    #: free-list retention cap per (shape, dtype) key
+    MAX_PER_KEY = 16
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._live: list[np.ndarray] = []
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(shape, dtype) -> tuple:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(s) for s in shape)
+        return shape, np.dtype(dtype).str
+
+    def _allocate(self, shape, dtype) -> np.ndarray:
+        """The single allocation seam — the counting-allocator tests patch
+        this to prove steady-state supersteps allocate nothing."""
+        return np.empty(shape, dtype=dtype)
+
+    def take(self, shape, dtype=np.float64, *, zero: bool = True) -> np.ndarray:
+        """Return an array of ``shape``/``dtype``, recycled when possible.
+
+        ``zero=True`` (the default) guarantees the array reads as
+        ``np.zeros`` would; recycled arrays are re-zeroed in one C fill.
+        The array belongs to the current epoch — see :meth:`reset`.
+        """
+        key = self._key(shape, dtype)
+        if not fastpath.enabled():
+            arr = self._allocate(key[0], dtype)
+            if zero:
+                arr.fill(0)
+            return arr
+        bucket = self._free.get(key)
+        if bucket:
+            arr = bucket.pop()
+            self.hits += 1
+        else:
+            arr = self._allocate(key[0], dtype)
+            self.misses += 1
+        if zero:
+            arr.fill(0)
+        self._live.append(arr)
+        return arr
+
+    def reset(self) -> None:
+        """Start a new epoch: recycle every array handed out since the last
+        one.  Called at operation entry only — never between a ``take`` and
+        the last read of that array."""
+        for arr in self._live:
+            bucket = self._free.setdefault(self._key(arr.shape, arr.dtype), [])
+            if len(bucket) < self.MAX_PER_KEY:
+                bucket.append(arr)
+        self._live.clear()
+
+    def clear(self) -> None:
+        """Drop every pooled and live array (test isolation / grid churn)."""
+        self._free.clear()
+        self._live.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> PoolStats:
+        """Snapshot of hit/miss counters and current occupancy."""
+        return PoolStats(
+            hits=self.hits,
+            misses=self.misses,
+            live=len(self._live),
+            pooled=sum(len(b) for b in self._free.values()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        s = self.stats()
+        return (
+            f"BufferPool(hits={s.hits}, misses={s.misses}, "
+            f"live={s.live}, pooled={s.pooled})"
+        )
+
+
+#: The process-wide pool used by the exchange layer and the dist kernels.
+default_pool = BufferPool()
+
+
+# ---------------------------------------------------------------------------
 # vectorised group-by (the wall-clock hot path)
 # ---------------------------------------------------------------------------
 
 
 def group_by_owner(
-    owners: np.ndarray, *payloads: np.ndarray
+    owners: np.ndarray, *payloads: np.ndarray, assume_sorted: bool = False
 ) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, ...]]:
     """Group payload arrays by their owner locale in one vectorised pass.
 
@@ -134,6 +269,11 @@ def group_by_owner(
     stable, so elements keep their original relative order within each
     group — bit-compatible with the per-owner boolean-mask loop it
     replaces, at ``O(n log n)`` instead of ``O(n · p)``.
+
+    ``assume_sorted=True`` promises the caller's ``owners`` are already
+    non-decreasing (e.g. owners of a sorted index array under a contiguous
+    partition); the stable sort is then the identity permutation and the
+    payloads are returned as-is, boundaries found with one scan.
     """
     owners = np.asarray(owners, dtype=np.int64)
     if owners.size == 0:
@@ -142,6 +282,13 @@ def group_by_owner(
             np.zeros(1, np.int64),
             tuple(p[:0] for p in payloads),
         )
+    if assume_sorted:
+        is_first = np.empty(owners.size, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = owners[1:] != owners[:-1]
+        starts = np.flatnonzero(is_first)
+        offsets = np.append(starts, owners.size).astype(np.int64)
+        return owners[starts], offsets, tuple(np.asarray(p) for p in payloads)
     order = np.argsort(owners, kind="stable")
     sorted_owners = owners[order]
     uniq, starts = np.unique(sorted_owners, return_index=True)
@@ -326,20 +473,32 @@ def exchange(
     counts = np.asarray(counts, dtype=np.int64)
     if counts.shape != (p, p):
         raise ValueError(f"counts must be ({p}, {p}), got {counts.shape}")
-    send = np.zeros(p, dtype=np.float64)
-    retry = np.zeros(p, dtype=np.float64)
-    msgs = np.zeros(p, dtype=np.int64)
+    # pooled per-epoch scratch: valid until the calling op's next entry
+    # (the returned ExchangeCost references these arrays — see BufferPool)
+    send = default_pool.take(p, np.float64)
+    retry = default_pool.take(p, np.float64)
+    msgs = default_pool.take(p, np.int64)
+    # metric increments are batched per leg (one inc per counter per leg
+    # instead of three per shipped stream) when the fast path is on —
+    # counter totals and labels are unchanged, only the call count drops
+    batch_metrics = fastpath.enabled()
+    pending: dict[str, list[int]] = {}
 
     def _ship(k: int, n_elems: int, src: int, dst: int, leg: str) -> None:
         if n_elems <= 0 or src == dst:
             return
         batches = num_flushes(n_elems, agg.flush_elems)
         cost = flush_cost(cfg, n_elems, agg=agg, local=local)
-        _metrics.counter("agg.flush.batches").inc(batches, site="exchange", leg=leg)
-        _metrics.counter("agg.bytes").inc(
-            n_elems * agg.itemsize, site="exchange", leg=leg
-        )
-        _metrics.counter("agg.exchange.messages").inc(batches, leg=leg)
+        if batch_metrics:
+            acc = pending.setdefault(leg, [0, 0])
+            acc[0] += batches
+            acc[1] += n_elems * agg.itemsize
+        else:
+            _metrics.counter("agg.flush.batches").inc(batches, site="exchange", leg=leg)
+            _metrics.counter("agg.bytes").inc(
+                n_elems * agg.itemsize, site="exchange", leg=leg
+            )
+            _metrics.counter("agg.exchange.messages").inc(batches, leg=leg)
         if faults is not None:
             base, extra = faults.batched_transfer(
                 f"{site}.{leg}[{src}->{dst}]", batches, cost / batches,
@@ -351,29 +510,43 @@ def exchange(
             send[k] += cost
         msgs[k] += batches
 
+    def _flush_pending() -> None:
+        for leg, (batches, nbytes) in pending.items():
+            _metrics.counter("agg.flush.batches").inc(
+                batches, site="exchange", leg=leg
+            )
+            _metrics.counter("agg.bytes").inc(nbytes, site="exchange", leg=leg)
+            _metrics.counter("agg.exchange.messages").inc(batches, leg=leg)
+
     if agg.routing == "direct":
         for s in range(p):
             for d in range(p):
                 _ship(s, int(counts[s, d]), s, d, "direct")
+        _flush_pending()
         return ExchangeCost(send, retry, msgs)
 
-    # two-hop: row aggregation, then column forwarding
-    mid_counts = np.zeros((p, p), dtype=np.int64)
+    # two-hop: row aggregation, then column forwarding.  Locale ids are
+    # row-major by construction (LocaleGrid: id == i*pc + j), so teams are
+    # index arithmetic instead of per-member grid lookups.
+    pc = grid.cols
+    mid_counts = default_pool.take((p, p), np.int64)
+    col_dest_ids = [np.arange(j2, p, pc) for j2 in range(pc)]
     for loc in grid:
         s = loc.id
-        for j2 in range(grid.cols):
-            col_dests = [grid[(i2, j2)].id for i2 in range(grid.rows)]
+        row_base = loc.row * pc
+        for j2 in range(pc):
+            col_dests = col_dest_ids[j2]
             vol = int(counts[s, col_dests].sum())
             if vol == 0:
                 continue
-            mid = grid[(loc.row, j2)].id
+            mid = row_base + j2
             _ship(s, vol, s, mid, "hop1")  # no-op when mid == s (own column)
             mid_counts[mid, col_dests] += counts[s, col_dests]
     for loc in grid:
         m = loc.id
-        for i2 in range(grid.rows):
-            d = grid[(i2, loc.col)].id
+        for d in range(loc.col, p, pc):
             _ship(m, int(mid_counts[m, d]), m, d, "hop2")  # skips d == m
+    _flush_pending()
     return ExchangeCost(send, retry, msgs)
 
 

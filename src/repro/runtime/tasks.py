@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import math
 from collections.abc import Sequence
+from functools import lru_cache
 
 import numpy as np
 
+from . import fastpath
 from .config import MachineConfig
 from .telemetry import registry as _metrics
 
@@ -90,10 +92,23 @@ def makespan(
         return burden
     if t_eff == 1:
         return burden + float(chunk_seconds.sum())
-    bounds = np.linspace(0, chunk_seconds.size, t_eff + 1).astype(np.int64)
+    if fastpath.enabled():
+        bounds = _worker_bounds(chunk_seconds.size, t_eff)
+    else:
+        bounds = np.linspace(0, chunk_seconds.size, t_eff + 1).astype(np.int64)
     cum = np.concatenate(([0.0], np.cumsum(chunk_seconds)))
     per_worker = cum[bounds[1:]] - cum[bounds[:-1]]
     return burden + float(per_worker.max())
+
+
+@lru_cache(maxsize=4096)
+def _worker_bounds(size: int, t_eff: int) -> np.ndarray:
+    """Memoized block-deal boundaries for :func:`makespan` — the linspace
+    depends only on (chunk count, worker count) and dominates the
+    makespan's own cost on small per-locale inputs."""
+    out = np.linspace(0, size, t_eff + 1).astype(np.int64)
+    out.flags.writeable = False
+    return out
 
 
 def coforall_spawn(cfg: MachineConfig, num_locales: int, locales_per_node: int = 1) -> float:

@@ -36,6 +36,8 @@ from __future__ import annotations
 import bisect
 from contextlib import contextmanager
 
+from .. import fastpath
+
 __all__ = [
     "MetricError",
     "MetricsRegistry",
@@ -81,6 +83,11 @@ class Metric:
         self.help = help
         self._registry = registry
         self._series: dict[LabelKey, object] = {}
+        # memoized (scope, kwargs-items) -> canonical sorted label key.
+        # Pure caching of a deterministic transform: the sorted+stringified
+        # key is identical with or without the cache, it just skips the
+        # per-call sort/str churn on the hot counters.
+        self._key_cache: dict[tuple, LabelKey] = {}
 
     # -- label plumbing ----------------------------------------------------
 
@@ -90,9 +97,23 @@ class Metric:
                 f"label {SCOPE_LABEL!r} is reserved for the scope stack"
             )
         scope = self._registry.scope_label()
+        if fastpath.enabled():
+            try:
+                ck = (scope, tuple(labels.items()))
+                cached = self._key_cache.get(ck)
+            except TypeError:  # unhashable label value — fall through
+                ck = None
+                cached = None
+            if cached is not None:
+                return cached
+        else:
+            ck = None
         if scope is not None:
             labels = dict(labels, **{SCOPE_LABEL: scope})
-        return _label_key(labels)
+        key = _label_key(labels)
+        if ck is not None and len(self._key_cache) < 8192:
+            self._key_cache[ck] = key
+        return key
 
     # -- reads -------------------------------------------------------------
 

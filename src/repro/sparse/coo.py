@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..algebra.monoid import Monoid, PLUS_MONOID
+from ..runtime import fastpath
 
 __all__ = ["COOMatrix", "coalesce"]
 
@@ -40,6 +41,15 @@ def coalesce(
         )
     if rows.size == 0:
         return rows, cols, values
+    if fastpath.enabled() and rows.size > 1:
+        # already strictly (row, col)-sorted with unique coordinates —
+        # e.g. block cuts of an existing CSR — means the stable lexsort is
+        # the identity permutation and no duplicates need merging, so the
+        # result below would be these arrays unchanged; two C comparisons
+        # beat re-sorting
+        up = rows[1:] > rows[:-1]
+        if np.all(up | ((rows[1:] == rows[:-1]) & (cols[1:] > cols[:-1]))):
+            return rows.copy(), cols.copy(), values.copy()
     order = np.lexsort((cols, rows))
     rows, cols, values = rows[order], cols[order], values[order]
     is_first = np.empty(rows.size, dtype=bool)

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..algebra.functional import IndexUnaryOp, UnaryOp
 from ..algebra.monoid import Monoid, PLUS_MONOID
+from ..runtime import fastpath
 from .coo import COOMatrix, coalesce
 
 __all__ = ["CSRMatrix"]
@@ -301,9 +302,19 @@ class CSRMatrix:
 def _ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
     """Concatenate ``[starts[i], starts[i]+lens[i])`` ranges, vectorised.
 
-    The standard trick: offsets into the flat output minus the cumulative
-    start of each segment, added to repeated segment starts.
+    Fast path: ``repeat`` the rebased segment starts (zero-length segments
+    drop out of ``repeat`` natively) and add the flat offset — three passes,
+    no boolean scan.  Reference path keeps the seed's cumsum-of-deltas
+    construction.  Both produce the identical integer array.
     """
+    if fastpath.enabled():
+        seg_ends = np.cumsum(lens)
+        total = int(seg_ends[-1]) if seg_ends.size else 0
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.repeat(starts - (seg_ends - lens), lens) + np.arange(
+            total, dtype=np.int64
+        )
     total = int(lens.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)

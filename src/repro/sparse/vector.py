@@ -20,6 +20,8 @@ import numpy as np
 
 from ..algebra.functional import BinaryOp, UnaryOp
 from ..algebra.monoid import Monoid, PLUS_MONOID
+from ..runtime import fastpath
+from .sort import stable_argsort_bounded
 
 __all__ = ["SparseVector", "DenseVector"]
 
@@ -72,7 +74,7 @@ class SparseVector:
         if indices.size:
             if indices.min() < 0 or indices.max() >= capacity:
                 raise ValueError("index out of bounds for capacity")
-        order = np.argsort(indices, kind="stable")
+        order = stable_argsort_bounded(indices, capacity)
         indices, values = indices[order], values[order]
         if indices.size:
             is_first = np.empty(indices.size, dtype=bool)
@@ -80,7 +82,13 @@ class SparseVector:
             is_first[1:] = indices[1:] != indices[:-1]
             if not is_first.all():
                 starts = np.flatnonzero(is_first)
-                values = np.asarray(dup.reduceat(values, starts), dtype=values.dtype)
+                # starts is strictly increasing and in range by construction,
+                # so the dense segmented reduce is bit-identical to the
+                # general one (which handles empty/trailing segments)
+                reduceat = (
+                    dup.reduceat_dense if fastpath.enabled() else dup.reduceat
+                )
+                values = np.asarray(reduceat(values, starts), dtype=values.dtype)
                 indices = indices[starts]
         return cls(capacity, indices, values)
 

@@ -19,6 +19,7 @@ from repro.bench.regression import (
     GateResult,
     MetricCheck,
     available_benches,
+    check_baselines,
     compare_payloads,
     main,
     run_gate,
@@ -85,7 +86,9 @@ class TestComparePayloads:
         assert not compare_payloads("stub", base, cur, tolerance=0.1).passed
         assert compare_payloads("stub", base, cur, tolerance=0.5).passed
 
-    def test_wall_clock_never_gated(self):
+    def test_wall_clock_not_gated_without_stamp(self):
+        """Baselines that don't opt in via ``gate_wall`` keep the original
+        contract: wall columns are informational only."""
         cur = payload()
         cur["results"]["cfg"][0]["wall_s"] = 1e9
         assert compare_payloads("stub", payload(), cur).passed
@@ -119,6 +122,52 @@ class TestComparePayloads:
         r = compare_payloads("stub", payload(sim=1.0), payload(sim=2.0))
         text = r.render()
         assert "FAIL" in text and "cfg[0]/simulated_s" in text
+
+
+def wall_payload(sim=1.0, wall_after=0.2):
+    p = payload(sim=sim)
+    p["gate_wall"] = True
+    p["results"]["cfg"][0]["wall_after_s"] = wall_after
+    return p
+
+
+class TestWallGating:
+    def test_stamped_baseline_gates_wall(self):
+        r = compare_payloads("stub", wall_payload(), wall_payload())
+        assert r.passed
+        assert {c.metric for c in r.checks} == {
+            "cfg[0]/simulated_s",
+            "cfg[0]/wall_s",
+            "cfg[0]/wall_after_s",
+        }
+
+    def test_wall_regression_beyond_loose_tolerance_fails(self):
+        # 2× > the 1.5× wall tolerance: a fast path silently falling back
+        # to its reference implementation must trip the gate
+        r = compare_payloads("stub", wall_payload(), wall_payload(wall_after=0.4))
+        assert not r.passed
+        assert [c.metric for c in r.regressions] == ["cfg[0]/wall_after_s"]
+
+    def test_wall_drift_within_tolerance_passes(self):
+        r = compare_payloads("stub", wall_payload(), wall_payload(wall_after=0.28))
+        assert r.passed
+
+    def test_simulated_tolerance_stays_tight(self):
+        """The loose wall tolerance must not leak onto simulated metrics."""
+        r = compare_payloads("stub", wall_payload(), wall_payload(sim=1.2))
+        assert not r.passed
+        assert [c.metric for c in r.regressions] == ["cfg[0]/simulated_s"]
+
+    def test_missing_wall_metric_is_a_problem(self):
+        cur = wall_payload()
+        del cur["results"]["cfg"][0]["wall_after_s"]
+        r = compare_payloads("stub", wall_payload(), cur)
+        assert not r.passed
+        assert any("missing from re-run" in p for p in r.problems)
+
+    def test_wall_tolerance_configurable(self):
+        base, cur = wall_payload(), wall_payload(wall_after=0.4)
+        assert compare_payloads("stub", base, cur, wall_tolerance=1.5).passed
 
 
 class TestRunGate:
@@ -172,7 +221,55 @@ class TestRunGate:
         assert "no gateable baselines" in capsys.readouterr().out
 
 
-class TestRealRerunnersRegistered:
+class TestCheckBaselines:
+    """The ``gate --check`` structural smoke: no re-running, sub-second."""
+
+    def test_clean_stub_passes(self, tmp_path, monkeypatch):
+        (tmp_path / "BENCH_stub.json").write_text(json.dumps(payload()))
+        monkeypatch.setitem(ablations.RERUNNERS, "stub", lambda: payload())
+        results = check_baselines(tmp_path)
+        assert [r.bench for r in results] == ["stub"]
+        assert all(r.passed for r in results)
+
+    def test_corrupt_baseline_fails(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (r,) = check_baselines(tmp_path)
+        assert not r.passed
+        assert any("failed to load" in p for p in r.problems)
+
+    def test_unwired_baseline_fails(self, tmp_path):
+        (tmp_path / "BENCH_orphan.json").write_text(json.dumps(payload()))
+        (r,) = check_baselines(tmp_path)
+        assert not r.passed
+        assert any("no re-runner" in p for p in r.problems)
+
+    def test_gate_wall_without_wall_metrics_fails(self, tmp_path, monkeypatch):
+        p = payload()
+        p["gate_wall"] = True
+        del p["results"]["cfg"][0]["wall_s"]
+        (tmp_path / "BENCH_stub.json").write_text(json.dumps(p))
+        monkeypatch.setitem(ablations.RERUNNERS, "stub", lambda: p)
+        (r,) = check_baselines(tmp_path)
+        assert not r.passed
+        assert any("wall gating" in p for p in r.problems)
+
+    def test_unknown_requested_bench_fails(self, tmp_path):
+        (r,) = check_baselines(tmp_path, benches=["nope"])
+        assert not r.passed
+
+    def test_main_check_flag(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "BENCH_stub.json").write_text(json.dumps(payload()))
+        monkeypatch.setitem(ablations.RERUNNERS, "stub", lambda: payload())
+        assert main(["--results-dir", str(tmp_path), "--check"]) == 0
+        assert "bench-check" in capsys.readouterr().out
+        (tmp_path / "BENCH_orphan.json").write_text(json.dumps(payload()))
+        assert main(["--results-dir", str(tmp_path), "--check"]) == 1
+
+
+class TestRealBaselinesStructurallySound:
+    """The checked-in baselines themselves pass the structural smoke —
+    this is the in-suite equivalent of ``python -m repro gate --check``."""
+
     def test_registry_covers_checked_in_baselines(self):
         from repro.bench.regression import default_results_dir
 
@@ -180,3 +277,10 @@ class TestRealRerunnersRegistered:
             assert name in ablations.RERUNNERS, (
                 f"baseline BENCH_{name}.json has no registered re-runner"
             )
+
+    def test_checked_in_baselines_pass_check(self):
+        results = check_baselines()
+        assert results, "no checked-in baselines discovered"
+        for r in results:
+            assert r.passed, f"{r.bench}: {r.problems}"
+        assert {r.bench for r in results} >= {"agg", "frontend", "wall"}

@@ -13,9 +13,11 @@ kernel, the repair time must surface as the ``Retries`` component of that
 kernel's breakdown.
 """
 
+import os
+
 import numpy as np
 import pytest
-from hypothesis import settings, strategies as st
+from hypothesis import seed, settings, strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
@@ -44,7 +46,7 @@ from repro.runtime import (
     shared_machine,
 )
 from tests.strategies import fault_plans, matrix_vector_pairs, sparse_vectors
-from tests.strategies.settings import PROFILE_NAME
+from tests.strategies.settings import DERANDOMIZE, PROFILE_NAME
 
 pytestmark = pytest.mark.chaos
 
@@ -200,11 +202,31 @@ class DistLifecycle(RuleBasedStateMachine):
         assert self.xd.gather(faults=self.machine.faults).nnz == self.x.nnz
 
 
+# -- replay wiring -----------------------------------------------------------
+#
+# Local runs seed the whole machine from entropy and PRINT the seed, so a
+# failing sequence replays exactly with
+#     REPRO_CHAOS_SEED=<printed> pytest tests/chaos/test_state_machine.py
+# CI runs derandomize instead (deterministic example stream, no seed needed);
+# an explicit REPRO_CHAOS_SEED always wins — hypothesis.seed overrides
+# derandomize by design.
+_ENV_SEED = os.environ.get("REPRO_CHAOS_SEED")
+if _ENV_SEED is not None:
+    _SEED = int(_ENV_SEED)
+elif not DERANDOMIZE:
+    _SEED = int.from_bytes(os.urandom(4), "little")
+else:
+    _SEED = None
+if _SEED is not None:
+    seed(_SEED)(DistLifecycle)
+    print(f"[chaos] DistLifecycle seeded — replay with REPRO_CHAOS_SEED={_SEED}")
+
 DistLifecycle.TestCase.settings = settings(
     max_examples=_EXAMPLES,
     stateful_step_count=_STEPS,
     deadline=None,
     print_blob=True,
+    derandomize=DERANDOMIZE and _SEED is None,
 )
 
 TestDistLifecycle = DistLifecycle.TestCase

@@ -1,0 +1,283 @@
+"""Property tests of the exchange layer's buffer pool.
+
+:class:`repro.runtime.aggregation.BufferPool` recycles the dense scratch
+arrays the distributed kernels allocate every superstep.  The contract:
+
+* **transparency** — exchanges through a warm pool are byte-identical to
+  cold-pool (and to pool-free reference-mode) runs: recycled arrays are
+  re-zeroed, never carry stale bytes, and the simulated ledger does not
+  know the pool exists;
+* **steady-state zero allocation** — after the first superstep on a
+  given grid, every ``take`` is served from the free lists: a counting
+  allocator patched over the single allocation seam
+  (``BufferPool._allocate``) observes *zero* fresh arrays in later
+  supersteps;
+* **bounded occupancy** — ``redistribute`` across changing grids (new
+  array shapes every epoch) recycles rather than leaks: pool occupancy
+  reaches a fixed point instead of growing per call, and the per-key free
+  lists respect ``MAX_PER_KEY``;
+* **reference purity** — with the fast path disabled, ``take`` degrades
+  to plain allocation and the pool stays empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.semiring import MIN_PLUS, PLUS_TIMES
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.generators import erdos_renyi, random_sparse_vector
+from repro.ops.ewise_dist import redistribute
+from repro.ops.spmspv import spmspv_dist
+from repro.runtime import CostLedger, LocaleGrid, Machine, fastpath
+from repro.runtime.aggregation import BufferPool, default_pool
+from repro.sparse import SparseVector
+from tests.strategies import PROFILE, PROFILE_FAST
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    """Each test starts and ends with an empty process-wide pool."""
+    default_pool.clear()
+    yield
+    default_pool.clear()
+
+
+def _machine(p: int = 4) -> Machine:
+    return Machine(
+        grid=LocaleGrid.for_count(p), threads_per_locale=2, ledger=CostLedger()
+    )
+
+
+def _workload(n=120, d=4, nnz=30, seed=0):
+    a = erdos_renyi(n, d, seed=seed)
+    x = random_sparse_vector(n, nnz=nnz, seed=seed + 1)
+    return a, x
+
+
+# ---------------------------------------------------------------------------
+# the pool data structure
+# ---------------------------------------------------------------------------
+
+
+class TestPoolUnit:
+    def test_take_zeroes_recycled_arrays(self):
+        pool = BufferPool()
+        with fastpath.force(True):
+            arr = pool.take((3, 3), np.int64)
+            arr[:] = 7  # dirty it
+            pool.reset()
+            again = pool.take((3, 3), np.int64)
+        assert again is arr  # recycled, not reallocated
+        assert np.array_equal(again, np.zeros((3, 3), np.int64))
+
+    def test_distinct_live_arrays_within_an_epoch(self):
+        pool = BufferPool()
+        with fastpath.force(True):
+            a = pool.take(5)
+            b = pool.take(5)
+        assert a is not b
+
+    @given(
+        shapes=st.lists(
+            st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            min_size=1,
+            max_size=12,
+        ),
+        epochs=st.integers(1, 5),
+    )
+    @settings(PROFILE)
+    def test_occupancy_reaches_fixed_point(self, shapes, epochs):
+        """Repeating the same take pattern across epochs neither grows the
+        pool nor allocates: occupancy is a function of the pattern."""
+        pool = BufferPool()
+        with fastpath.force(True):
+            for _ in range(epochs):
+                pool.reset()
+                for shape in shapes:
+                    pool.take(shape, np.float64)
+            first = (pool.stats().live, pool.stats().pooled)
+            for _ in range(3):
+                pool.reset()
+                for shape in shapes:
+                    pool.take(shape, np.float64)
+            assert (pool.stats().live, pool.stats().pooled) == first
+
+    def test_per_key_retention_cap(self):
+        pool = BufferPool()
+        with fastpath.force(True):
+            for _ in range(3 * BufferPool.MAX_PER_KEY):
+                pool.take((2, 2))
+            pool.reset()
+        assert pool.stats().pooled <= BufferPool.MAX_PER_KEY
+
+    def test_reference_mode_keeps_pool_empty(self):
+        pool = BufferPool()
+        with fastpath.force(False):
+            a = pool.take((4,), np.float64)
+            pool.reset()
+            b = pool.take((4,), np.float64)
+        assert a is not b  # plain allocation, no recycling
+        s = pool.stats()
+        assert (s.hits, s.live, s.pooled) == (0, 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# kernel integration
+# ---------------------------------------------------------------------------
+
+
+MODES = [("fine", "fine"), ("agg", "agg"), ("bulk", "agg")]
+
+
+class TestExchangeTransparency:
+    @given(
+        seed=st.integers(0, 5),
+        modes=st.sampled_from(MODES),
+        semiring=st.sampled_from([PLUS_TIMES, MIN_PLUS]),
+    )
+    @settings(PROFILE_FAST)
+    def test_warm_pool_exchanges_byte_identical(self, seed, modes, semiring):
+        """Supersteps 2..k reuse superstep 1's buffers; results and
+        charged breakdowns must not notice."""
+        gather_mode, scatter_mode = modes
+        a, x = _workload(seed=seed)
+        grid = LocaleGrid.for_count(4)
+        m = _machine(4)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def run():
+            y, b = spmspv_dist(
+                ad, xd, m,
+                semiring=semiring,
+                gather_mode=gather_mode,
+                scatter_mode=scatter_mode,
+            )
+            return y.gather(), b
+
+        with fastpath.force(True):
+            y_cold, b_cold = run()  # pool empty: every take allocates
+            y_warm, b_warm = run()  # pool warm: every take recycles
+        assert np.array_equal(y_cold.indices, y_warm.indices)
+        assert np.array_equal(y_cold.values, y_warm.values)
+        assert y_cold.values.dtype == y_warm.values.dtype
+        assert b_cold == b_warm
+
+    @given(seed=st.integers(0, 5), modes=st.sampled_from(MODES))
+    @settings(PROFILE_FAST)
+    def test_pooled_matches_pool_free_reference(self, seed, modes):
+        gather_mode, scatter_mode = modes
+        a, x = _workload(seed=seed)
+        grid = LocaleGrid.for_count(4)
+
+        def run():
+            m = _machine(4)
+            ad = DistSparseMatrix.from_global(a, grid)
+            xd = DistSparseVector.from_global(x, grid)
+            y, _ = spmspv_dist(
+                ad, xd, m, gather_mode=gather_mode, scatter_mode=scatter_mode
+            )
+            return y.gather(), m.ledger.total
+
+        with fastpath.force(False):
+            y_ref, t_ref = run()
+        default_pool.clear()
+        with fastpath.force(True):
+            run()  # warm the pool
+            y_fast, t_fast = run()  # measured run reuses buffers
+        assert np.array_equal(y_ref.indices, y_fast.indices)
+        assert np.array_equal(y_ref.values, y_fast.values)
+        assert t_ref == t_fast
+
+
+class TestSteadyStateAllocations:
+    def test_steady_state_superstep_allocates_nothing(self, monkeypatch):
+        """The counting-allocator shim: patch the single allocation seam
+        and prove supersteps after the first take every buffer from the
+        free lists."""
+        counts = {"n": 0}
+        real = BufferPool._allocate
+
+        def counting(self, shape, dtype):
+            counts["n"] += 1
+            return real(self, shape, dtype)
+
+        monkeypatch.setattr(BufferPool, "_allocate", counting)
+        a, x = _workload()
+        grid = LocaleGrid.for_count(4)
+        m = _machine(4)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        with fastpath.force(True):
+            spmspv_dist(ad, xd, m, gather_mode="agg", scatter_mode="agg")
+            warm = counts["n"]
+            assert warm > 0  # the first superstep did allocate
+            for _ in range(3):
+                spmspv_dist(ad, xd, m, gather_mode="agg", scatter_mode="agg")
+            assert counts["n"] == warm  # steady state: zero fresh arrays
+
+    def test_reference_mode_allocates_every_superstep(self, monkeypatch):
+        """The control: with the fast path off the same program allocates
+        on every call — proving the shim actually observes the seam."""
+        counts = {"n": 0}
+        real = BufferPool._allocate
+
+        def counting(self, shape, dtype):
+            counts["n"] += 1
+            return real(self, shape, dtype)
+
+        monkeypatch.setattr(BufferPool, "_allocate", counting)
+        a, x = _workload()
+        grid = LocaleGrid.for_count(4)
+        m = _machine(4)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        with fastpath.force(False):
+            spmspv_dist(ad, xd, m, gather_mode="agg", scatter_mode="agg")
+            first = counts["n"]
+            spmspv_dist(ad, xd, m, gather_mode="agg", scatter_mode="agg")
+        assert counts["n"] == 2 * first
+
+
+class TestRedistributeGridChurn:
+    @given(seed=st.integers(0, 5), cycles=st.integers(2, 5))
+    @settings(PROFILE_FAST)
+    def test_no_leak_across_grid_changes(self, seed, cycles):
+        """Bouncing a vector between grids creates new buffer shapes every
+        epoch; the pool must reach a fixed occupancy, not grow per cycle,
+        and every round trip must reproduce the vector exactly."""
+        v0 = random_sparse_vector(90, nnz=25, seed=seed)
+        g4, g6 = LocaleGrid.for_count(4), LocaleGrid.for_count(6)
+        m = _machine(4)
+        vd = DistSparseVector.from_global(v0, g4)
+        with fastpath.force(True):
+            sizes = []
+            for _ in range(cycles):
+                there, _ = redistribute(vd, g6, m)
+                back, _ = redistribute(there, g4, m)
+                got = back.gather()
+                assert np.array_equal(got.indices, v0.indices)
+                assert np.array_equal(got.values, v0.values)
+                s = default_pool.stats()
+                sizes.append((s.live, s.pooled))
+            # first cycle may allocate; afterwards occupancy is pinned
+            assert len(set(sizes[1:])) <= 1
+
+    def test_grid_churn_respects_retention_cap(self):
+        v0 = random_sparse_vector(90, nnz=25, seed=1)
+        m = _machine(4)
+        grids = [LocaleGrid.for_count(p) for p in (2, 4, 6, 8)]
+        vd = DistSparseVector.from_global(v0, grids[0])
+        with fastpath.force(True):
+            for _ in range(4):
+                for g in grids[1:] + grids[:1]:
+                    vd, _ = redistribute(vd, g, m)
+        s = default_pool.stats()
+        for bucket in default_pool._free.values():
+            assert len(bucket) <= BufferPool.MAX_PER_KEY
+        assert np.array_equal(vd.gather().indices, v0.indices)
+        assert np.array_equal(vd.gather().values, v0.values)
+        assert s.pooled + s.live < 200  # bounded, not one-per-call

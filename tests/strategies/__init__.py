@@ -22,6 +22,7 @@ from tests.strategies.matrices import (
     values,
 )
 from tests.strategies.settings import (
+    DERANDOMIZE,
     PROFILE,
     PROFILE_FAST,
     PROFILE_SLOW,
@@ -32,6 +33,7 @@ from tests.strategies.settings import (
 from tests.strategies.vectors import dense_masks, matrix_vector_pairs, sparse_vectors
 
 __all__ = [
+    "DERANDOMIZE",
     "EXACT_VALUES",
     "MONOIDS",
     "PROFILE",

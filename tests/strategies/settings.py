@@ -16,6 +16,15 @@ loops stay fast::
 All profiles disable Hypothesis deadlines: the kernels also run a
 simulated cost model, and wall-clock per example is noisy enough to make
 deadline failures pure flakes.
+
+**CI determinism**: when ``CI`` is set in the environment (every common CI
+system exports it) or ``REPRO_DERANDOMIZE=1``, all profiles run with
+``derandomize=True`` — the example stream is a pure function of the test,
+so a red CI run replays locally with the same command, byte for byte.
+Local runs stay randomized (that is where new counterexamples come from)
+and print ``@reproduce_failure`` blobs (``print_blob``) on failure; the
+chaos suite additionally prints a ``REPRO_CHAOS_SEED`` for whole-machine
+replay (see ``tests/chaos/test_state_machine.py``).
 """
 
 from __future__ import annotations
@@ -24,9 +33,16 @@ import os
 
 from hypothesis import HealthCheck, settings
 
+#: derandomized (deterministic example streams) in CI, randomized locally.
+DERANDOMIZE = os.environ.get(
+    "REPRO_DERANDOMIZE", "1" if os.environ.get("CI") else "0"
+) not in ("0", "", "false", "no")
+
 _COMMON = dict(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
+    derandomize=DERANDOMIZE,
+    print_blob=True,
 )
 
 STANDARD_SETTINGS = settings(max_examples=100, **_COMMON)

@@ -122,6 +122,15 @@ class TestGateCommand:
         assert main(["gate", "--results-dir", str(tmp_path)]) == 1
         assert "no gateable baselines" in capsys.readouterr().out
 
+    def test_gate_check_smoke(self, capsys):
+        """``python -m repro gate --check`` against the real checked-in
+        baselines: structural validation only, so it is suite-speed —
+        no ablation re-runs."""
+        assert main(["gate", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "bench-check" in out
+        assert "[PASS] bench wall" in out
+
 
 class TestExtendedCommands:
     def test_kcore(self, capsys):
