@@ -20,15 +20,31 @@ why that is the honest estimator), and pins three claims:
    regression gate's loose (1.5×) wall tolerance via ``gate_wall``, so a
    fast path that silently stops being fast fails ``make bench-gate``.
 
+The SPMD process pool (:mod:`repro.runtime.spmd`) rides the same sweep:
+each row also times the fast path with per-locale blocks shipped to a
+4-worker pool (``wall_spmd_s``) and pins the same identity claim —
+results and simulated totals bit-identical to the serial fast path.  The
+pool's ≥1.5× BFS/PageRank speedup over the serial fast path is asserted
+only where ``os.cpu_count()`` can actually host parallel workers; on a
+single-CPU host the columns are still measured and recorded honestly.
+
 The sweep lives in :mod:`repro.bench.ablations` (``run_wall``) so the
 perf-regression gate re-runs the identical measurement.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.bench.ablations import WALL_BFS_SPEEDUP_FLOOR, WALL_WORKLOADS, run_wall
+from repro.bench.ablations import (
+    WALL_BFS_SPEEDUP_FLOOR,
+    WALL_SPMD_POOL,
+    WALL_SPMD_SPEEDUP_FLOOR,
+    WALL_WORKLOADS,
+    run_wall,
+)
 from repro.bench.schema import dump_bench, simulated_metrics, wall_metrics
 
 from _common import RESULTS_DIR
@@ -57,6 +73,30 @@ def test_bfs_wall_speedup(payload):
     assert row["speedup"] >= WALL_BFS_SPEEDUP_FLOOR, row
 
 
+def test_spmd_pool_changes_wall_time_only(payload):
+    """The SPMD identity claim at bench scale: pooled execution returns
+    the same bits and charges the same simulated seconds as the serial
+    fast path — the pool buys (or on a starved host, fails to buy) wall
+    time only."""
+    for key, row in payload["results"].items():
+        assert row["spmd_simulated_equal"], key
+        assert row["spmd_results_equal"], key
+        assert row["wall_spmd_s"] > 0.0, key
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason=f"pool of {WALL_SPMD_POOL} needs parallel CPUs to beat the "
+    "serial fast path; single-CPU host only records the columns",
+)
+def test_spmd_wall_speedup(payload):
+    """With real cores under the pool, BFS and PageRank must clear the
+    ≥1.5x floor over the serial fast path."""
+    for w in ("bfs", "pagerank"):
+        row = payload["results"][f"{w}/dist"]
+        assert row["spmd_speedup"] >= WALL_SPMD_SPEEDUP_FLOOR, (w, row)
+
+
 def test_every_workload_not_slower(payload):
     """No workload may *lose* wall time to the fast path (beyond noise)."""
     for key, row in payload["results"].items():
@@ -74,6 +114,7 @@ def test_payload_gates_both_metric_kinds(payload):
     for w in WALL_WORKLOADS:
         assert f"{w}/dist/wall_before_s" in wall
         assert f"{w}/dist/wall_after_s" in wall
+        assert f"{w}/dist/wall_spmd_s" in wall
 
 
 def test_write_bench_json(payload):

@@ -24,6 +24,7 @@ from ..runtime.aggregation import (
     group_by_owner,
     num_flushes,
 )
+from ..runtime import spmd
 from ..runtime.clock import Breakdown
 from ..runtime.comm import fine_grained
 from ..runtime.faults import RETRY_STEP
@@ -33,6 +34,14 @@ from ..sparse.vector import SparseVector
 from .ewise import ewiseadd_vv, ewisemult_vv
 
 __all__ = ["ewiseadd_dist_vv", "ewisemult_dist_vv", "redistribute"]
+
+
+def _ewise_block_task(kind: str, xb, yb, op):
+    """One locale's blockwise merge — picklable (kind selects the kernel
+    by name, not by closure) so the SPMD pool can run it; custom ops that
+    cannot pickle fall back to master-side compute inside map_blocks."""
+    kernel = ewiseadd_vv if kind == "add" else ewisemult_vv
+    return kernel(xb, yb, op)
 
 
 def redistribute(
@@ -169,7 +178,8 @@ def _blockwise(
     x: DistSparseVector,
     y: DistSparseVector,
     machine: Machine,
-    kernel,
+    kind: str,
+    op,
     label: str,
     *,
     redistribute_mode: str = "agg",
@@ -189,10 +199,23 @@ def _blockwise(
     faults = machine.faults
     if faults is not None:
         faults.check_grid(x.grid, label)
-    blocks = []
+    # the per-block merges are independent pure functions — the SPMD pool
+    # runs them in parallel; serially they run inline, in the same order
+    if spmd.enabled():
+        blocks = spmd.map_blocks(
+            _ewise_block_task,
+            [
+                (kind, spmd.handle(xb), spmd.handle(yb), op)
+                for xb, yb in zip(x.blocks, y.blocks)
+            ],
+        )
+    else:
+        blocks = [
+            _ewise_block_task(kind, xb, yb, op)
+            for xb, yb in zip(x.blocks, y.blocks)
+        ]
     per_locale = []
     for k, (xb, yb) in enumerate(zip(x.blocks, y.blocks)):
-        blocks.append(kernel(xb, yb))
         work = (xb.nnz + yb.nnz) * cfg.stream_cost * machine.compute_penalty
         seconds = local_time_ft(
             parallel_time(cfg, work, machine.threads_per_locale),
@@ -223,7 +246,8 @@ def ewiseadd_dist_vv(
         x,
         y,
         machine,
-        lambda a, b: ewiseadd_vv(a, b, op),
+        "add",
+        op,
         "ewiseadd_dist",
         redistribute_mode=redistribute_mode,
         agg=agg,
@@ -245,7 +269,8 @@ def ewisemult_dist_vv(
         x,
         y,
         machine,
-        lambda a, b: ewisemult_vv(a, b, op),
+        "mult",
+        op,
         "ewisemult_dist_vv",
         redistribute_mode=redistribute_mode,
         agg=agg,

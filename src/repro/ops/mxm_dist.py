@@ -31,6 +31,7 @@ from ..runtime.aggregation import (
     num_flushes,
     overlap_exposed,
 )
+from ..runtime import spmd
 from ..runtime.clock import Breakdown
 from ..runtime.comm import bulk_ft
 from ..runtime.faults import RETRY_STEP
@@ -41,6 +42,13 @@ from .ewise import ewiseadd_mm
 from .mxm import flops, mxm
 
 __all__ = ["mxm_dist"]
+
+
+def _mxm_stage_task(a_blk, b_blk, semiring):
+    """One locale's stage-local ESC multiply — the pure compute shipped to
+    SPMD workers; the semiring accumulate into ``acc`` stays on the master
+    (it is a sequential fold over stages)."""
+    return mxm(a_blk, b_blk, semiring=semiring)
 
 
 def mxm_dist(
@@ -104,6 +112,23 @@ def mxm_dist(
         stage_cast: list[Breakdown] = []
         stage_mult: list[Breakdown] = []
         next_compute = [0.0] * grid.size
+        # opt-in SPMD pool: the stage's local multiplies are independent
+        # pure functions of (A(i,s), B(s,j)) — ship all of them before the
+        # locale loop; blocks travel as handles (once per worker for the
+        # whole SUMMA, since A/B blocks recur across stages).
+        spmd_blocks = None
+        if spmd.enabled():
+            spmd_blocks = spmd.map_blocks(
+                _mxm_stage_task,
+                [
+                    (
+                        spmd.handle(a.block(loc.row, s)),
+                        spmd.handle(b.block(s, loc.col)),
+                        semiring,
+                    )
+                    for loc in grid
+                ],
+            )
         for loc in grid:
             i, j = loc.row, loc.col
             a_blk = a.block(i, s)
@@ -166,7 +191,10 @@ def mxm_dist(
                 cast_b = cast_b + Breakdown({RETRY_STEP: retry})
             stage_cast.append(cast_b)
             # local multiply + merge into the accumulator
-            c_blk = mxm(a_blk, b_blk, semiring=semiring)
+            if spmd_blocks is not None:
+                c_blk = spmd_blocks[loc.id]
+            else:
+                c_blk = mxm(a_blk, b_blk, semiring=semiring)
             work = flops(a_blk, b_blk) * cfg.element_cost * pen
             slow = local_time_ft(1.0, faults=faults, locale=loc.id, site="mxm_dist")
             mult_t = parallel_time(cfg, work, threads) * slow

@@ -28,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..distributed.block import GridBlock1D
-from ..runtime import fastpath
+from ..runtime import fastpath, spmd
 from ..distributed.dist_matrix import DistSparseMatrix, DistSparseMatrix1D
 from ..distributed.dist_vector import DistSparseVector
 from ..runtime.aggregation import (
@@ -40,6 +40,7 @@ from ..runtime.aggregation import (
     flush_startup,
     gather_agg_ft,
     group_by_owner,
+    merge_superstep_batches,
     overlap_exposed,
 )
 from ..runtime.atomics import scattered_rmw
@@ -255,6 +256,60 @@ def _local_spmspv(
     return SparseVector(a.ncols, sorted_inds, spa.values[sorted_inds]), row_nnzs
 
 
+def _spmspv_block_task(a_blk, lx, semiring, sort, mask_slice, complement):
+    """The per-locale pure compute shipped to SPMD workers — exactly the
+    local multiply the serial loop runs, so pooled and serial execution
+    are bit-identical by construction."""
+    return _local_spmspv(
+        a_blk, lx, semiring, sort, mask=mask_slice, complement=complement
+    )
+
+
+def _spmd_local_multiplies(a, x, grid, layout, semiring, sort, mask, complement):
+    """Ship every locale's Step-2 multiply to the worker pool up front.
+
+    Matrix blocks and the per-processor-row ``lx`` slices go out as
+    :func:`repro.runtime.spmd.handle` tokens (payload once per worker,
+    token afterwards — a BFS iteration re-ships only its frontier slices).
+    Returns per-locale ``(ly, row_nnzs)`` in grid order; the serial loop
+    then consumes them in its unchanged order, keeping every simulated
+    cost, fault, and ledger decision on the master.
+    """
+    xb_bounds = x.dist.bounds
+    lx_rows: dict[int, SparseVector] = {}
+    tasks = []
+    for loc in grid:
+        i, j = loc.row, loc.col
+        rlo, rhi, clo, chi = layout.extent(i, j)
+        lx = lx_rows.get(i)
+        if lx is None:
+            idx_parts, val_parts = [], []
+            for t in grid.row_team(i):
+                blk = x.blocks[t.id]
+                idx_parts.append(blk.indices + (xb_bounds[t.id] - rlo))
+                val_parts.append(blk.values)
+            lx = SparseVector(
+                rhi - rlo,
+                np.concatenate(idx_parts) if idx_parts else np.empty(0, np.int64),
+                np.concatenate(val_parts) if val_parts else np.empty(0),
+            )
+            lx_rows[i] = lx
+        mask_slice = (
+            np.asarray(mask, dtype=bool)[clo:chi] if mask is not None else None
+        )
+        tasks.append(
+            (
+                spmd.handle(a.block(i, j)),
+                spmd.handle(lx),
+                semiring,
+                sort,
+                mask_slice,
+                complement,
+            )
+        )
+    return spmd.map_blocks(_spmspv_block_task, tasks), lx_rows
+
+
 def spmspv_dist(
     a: DistSparseMatrix,
     x: DistSparseVector,
@@ -346,11 +401,23 @@ def spmspv_dist(
     default_pool.reset()
     scatter_counts = default_pool.take((grid.size, grid.size), np.int64)
 
-    # the gathered slice lx is a pure function of the processor ROW (every
-    # locale of row i assembles the same parts shifted by the same rlo), so
-    # on the fast path it is built once per row and shared read-only —
-    # identical arrays, pc× fewer concatenations
-    lx_by_row: dict[int, SparseVector] = {}
+    # opt-in SPMD pool: every Step-2 multiply is a pure function of its
+    # block operands, so all of them ship to the workers up front (in grid
+    # order) and the loop below consumes them by locale id — results are
+    # positionally identical to serial execution, while every simulated
+    # cost, fault draw, and ledger charge stays on the master in the
+    # unchanged loop order.
+    spmd_ly = None
+    if spmd.enabled():
+        spmd_ly, lx_by_row = _spmd_local_multiplies(
+            a, x, grid, layout, semiring, sort, mask, complement
+        )
+    else:
+        # the gathered slice lx is a pure function of the processor ROW
+        # (every locale of row i assembles the same parts shifted by the
+        # same rlo), so on the fast path it is built once per row and
+        # shared read-only — identical arrays, pc× fewer concatenations
+        lx_by_row = {}
     # loop invariants: the put cost is a pure function of machine constants,
     # the x partition bounds never change mid-op, and the row team (with its
     # part sizes) depends only on the processor row
@@ -371,7 +438,11 @@ def spmspv_dist(
             teams_by_row[i] = (row_team, part_sizes)
         else:
             row_team, part_sizes = team
-        lx = lx_by_row.get(i) if fastpath.enabled() else None
+        lx = (
+            lx_by_row.get(i)
+            if spmd_ly is not None or fastpath.enabled()
+            else None
+        )
         if lx is None:
             idx_parts, val_parts = [], []
             for t in row_team:
@@ -440,13 +511,16 @@ def spmspv_dist(
         gather_ts.append(gt)
 
         # ---- Step 2: local multiply (with this column block's mask slice)
-        mask_slice = (
-            np.asarray(mask, dtype=bool)[clo:chi] if mask is not None else None
-        )
-        ly, row_nnzs = _local_spmspv(
-            a.block(i, j), lx, semiring, sort,
-            mask=mask_slice, complement=complement,
-        )
+        if spmd_ly is not None:
+            ly, row_nnzs = spmd_ly[loc.id]
+        else:
+            mask_slice = (
+                np.asarray(mask, dtype=bool)[clo:chi] if mask is not None else None
+            )
+            ly, row_nnzs = _local_spmspv(
+                a.block(i, j), lx, semiring, sort,
+                mask=mask_slice, complement=complement,
+            )
         mb = spmspv_shm_cost(
             machine,
             row_nnzs=row_nnzs,
@@ -549,33 +623,20 @@ def spmspv_dist(
     out_blocks: list[SparseVector] = []
     finalize_ts: list[float] = []
     if global_merge:
-        # One global stable sort replaces the per-owner from_pairs merges.
-        # Bit-identical: the owner is a function of the index (contiguous
-        # partition), so sorting ALL batches by global index groups each
-        # owner's entries contiguously; entries with equal index keep the
-        # batch (= locale) order the per-owner concatenation used, dedup
-        # segments never cross an owner boundary, and each segment folds
-        # left-to-right with the same monoid in the same dtype.
-        if sent_idx:
-            midx = np.concatenate(sent_idx)
-            mvals = np.concatenate(sent_vals)
-            order = stable_argsort_bounded(midx, a.ncols)
-            midx, mvals = midx[order], mvals[order]
-            is_first = np.empty(midx.size, dtype=bool)
-            is_first[0] = True
-            is_first[1:] = midx[1:] != midx[:-1]
-            if not is_first.all():
-                dstarts = np.flatnonzero(is_first)
-                mvals = np.asarray(
-                    semiring.add.reduceat_dense(mvals, dstarts),
-                    dtype=mvals.dtype,
-                )
-                midx = midx[dstarts]
-            cutpos = np.searchsorted(midx, out_dist.bounds)
-        else:
-            midx = np.empty(0, np.int64)
-            mvals = np.empty(0)
-            cutpos = np.zeros(grid.size + 1, dtype=np.int64)
+        # One global stable sort replaces the per-owner from_pairs merges
+        # (see merge_superstep_batches for the bit-identity argument: the
+        # owner is a function of the index, equal-index entries keep the
+        # source-locale batch order, dedup segments never cross an owner
+        # boundary, and each segment folds left-to-right with the same
+        # monoid in the same dtype).
+        midx, mvals, cutpos = merge_superstep_batches(
+            a.ncols,
+            out_dist.bounds,
+            sent_idx,
+            sent_vals,
+            combine=semiring.add.reduceat_dense,
+            argsort=stable_argsort_bounded,
+        )
     for k in range(grid.size):
         cap = out_dist.size_of(k)
         if global_merge:

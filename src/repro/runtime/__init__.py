@@ -1,6 +1,7 @@
 """The Chapel-like runtime simulator: machine model, locales, tasks, comm."""
 
 from . import fastpath
+from . import spmd
 from .aggregation import (
     BufferPool,
     PoolStats,
@@ -14,6 +15,7 @@ from .aggregation import (
     gather_agg,
     gather_agg_ft,
     group_by_owner,
+    merge_superstep_batches,
     overlap_exposed,
     split_exposed,
 )
@@ -50,7 +52,8 @@ __all__ = [
     "AGG_DEFAULT", "AggregationConfig", "BufferPool", "ExchangeCost",
     "PoolStats", "default_pool", "exchange",
     "flush_cost", "flush_startup", "gather_agg", "gather_agg_ft",
-    "group_by_owner", "overlap_exposed", "split_exposed", "fastpath",
+    "group_by_owner", "merge_superstep_batches", "overlap_exposed",
+    "split_exposed", "fastpath", "spmd",
     "MetricsRegistry", "default_registry", "chrome_trace", "trace_summary",
     "write_chrome_trace", "write_trace_csv", "write_trace_summary",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "default_pool",
     "ceil_div",
     "group_by_owner",
+    "merge_superstep_batches",
     "num_flushes",
     "flush_cost",
     "flush_startup",
@@ -294,6 +295,59 @@ def group_by_owner(
     uniq, starts = np.unique(sorted_owners, return_index=True)
     offsets = np.append(starts, owners.size).astype(np.int64)
     return uniq, offsets, tuple(np.asarray(p)[order] for p in payloads)
+
+
+def merge_superstep_batches(
+    capacity: int,
+    bounds: np.ndarray,
+    idx_batches: list[np.ndarray],
+    val_batches: list[np.ndarray],
+    *,
+    combine,
+    argsort=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The per-superstep scatter/gather seam: merge per-source batches of
+    globally-indexed ``(index, value)`` pairs into owner blocks with one
+    global stable sort.
+
+    ``idx_batches``/``val_batches`` are the supersteps' outbound batches in
+    **source-locale order** — the order is part of the contract: entries
+    with equal global index keep batch order (the stable sort preserves
+    it), which makes the merge bit-identical to a per-owner concatenation
+    regardless of which worker *computed* each batch first.  This is what
+    lets the SPMD pool (:mod:`repro.runtime.spmd`) return per-locale
+    partials in any completion order: the kernel re-assembles batches by
+    task index and this seam's output is a pure function of that sequence.
+
+    ``combine(values, starts)`` folds duplicate-index segments (the
+    monoid's ``reduceat``); ``argsort(keys, bound)`` supplies the stable
+    permutation (the kernels pass ``sparse.sort.stable_argsort_bounded``,
+    which this layer must not import — the sparse layer sits above the
+    runtime).  Returns ``(merged_idx, merged_vals, cutpos)`` where
+    ``cutpos = searchsorted(merged_idx, bounds)`` marks each owner's slice.
+    """
+    bounds = np.asarray(bounds, dtype=np.int64)
+    if not idx_batches:
+        return (
+            np.empty(0, np.int64),
+            np.empty(0),
+            np.zeros(bounds.size, dtype=np.int64),
+        )
+    midx = np.concatenate(idx_batches)
+    mvals = np.concatenate(val_batches)
+    if argsort is None:
+        order = np.argsort(midx, kind="stable")
+    else:
+        order = argsort(midx, capacity)
+    midx, mvals = midx[order], mvals[order]
+    is_first = np.empty(midx.size, dtype=bool)
+    is_first[0] = True
+    is_first[1:] = midx[1:] != midx[:-1]
+    if not is_first.all():
+        dstarts = np.flatnonzero(is_first)
+        mvals = np.asarray(combine(mvals, dstarts), dtype=mvals.dtype)
+        midx = midx[dstarts]
+    return midx, mvals, np.searchsorted(midx, bounds)
 
 
 # ---------------------------------------------------------------------------

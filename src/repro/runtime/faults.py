@@ -27,9 +27,14 @@ simulated cost changes, and the repair overhead is charged to the
 burst longer than the retry budget — is *uncovered*: kernels raise a typed
 :class:`LocaleFailure` instead of silently corrupting the result.
 
-Determinism: every fault draw comes from a per-site stream seeded by
-``(plan.seed, site)``, and the simulator executes sites in a fixed order,
-so two runs of the same (plan, policy, workload) observe identical faults.
+Determinism: every fault draw comes from a stream seeded by ``(plan.seed,
+site, superstep, locale)`` — the superstep counter advances once per SPMD
+op entry (:meth:`FaultInjector.check_grid`) and the locale is the
+receiving endpoint.  Keying on the *position* of the draw rather than on
+call order makes the sequences order-independent: two runs of the same
+(plan, policy, workload) observe identical faults even if the per-locale
+work is executed in a different interleaving (the SPMD process pool of
+:mod:`repro.runtime.spmd` relies on this).
 """
 
 from __future__ import annotations
@@ -205,7 +210,8 @@ class FaultInjector:
         self.plan = plan
         self.policy = policy if policy is not None else RetryPolicy()
         self.events: list[FaultEvent] = []
-        self._streams: dict[str, random.Random] = {}
+        self._superstep = 0
+        self._streams: dict[tuple[str, int, int], random.Random] = {}
 
     def _note(self, event: FaultEvent) -> None:
         """Log one injected fault and count it (``faults.events{kind}``)."""
@@ -214,14 +220,39 @@ class FaultInjector:
 
     # -- determinism -------------------------------------------------------
 
-    def _stream(self, site: str) -> random.Random:
-        rs = self._streams.get(site)
+    @property
+    def superstep(self) -> int:
+        """The current SPMD-op counter (bumped by :meth:`check_grid`)."""
+        return self._superstep
+
+    def _stream(self, site: str, locale: int) -> random.Random:
+        """The PRNG for draws at ``(site, current superstep, locale)``.
+
+        Each triple owns an independent stream derived from the plan seed,
+        so the draws one endpoint consumes are a pure function of *where*
+        it is in the computation, never of how many draws other locales
+        made first — serial and pooled execution read identical sequences.
+        """
+        key = (site, self._superstep, locale)
+        rs = self._streams.get(key)
         if rs is None:
             digest = hashlib.blake2b(
-                f"{self.plan.seed}:{site}".encode(), digest_size=8
+                f"{self.plan.seed}:{site}:{self._superstep}:{locale}".encode(),
+                digest_size=8,
             ).digest()
-            rs = self._streams[site] = random.Random(int.from_bytes(digest, "big"))
+            rs = self._streams[key] = random.Random(int.from_bytes(digest, "big"))
         return rs
+
+    def begin_superstep(self) -> int:
+        """Advance to the next SPMD superstep and drop the old streams.
+
+        Called once per distributed-op entry (via :meth:`check_grid`).
+        Streams of earlier supersteps can never be drawn from again — the
+        counter only grows — so they are freed rather than cached.
+        """
+        self._superstep += 1
+        self._streams.clear()
+        return self._superstep
 
     def reset(self) -> None:
         """Rewind every fault stream and clear the event log.
@@ -230,6 +261,7 @@ class FaultInjector:
         same sequence of calls — the determinism the chaos suite pins.
         """
         self.events.clear()
+        self._superstep = 0
         self._streams.clear()
 
     # -- queries -----------------------------------------------------------
@@ -245,7 +277,13 @@ class FaultInjector:
             raise LocaleFailure(locale, site, "locale is down")
 
     def check_grid(self, grid, site: str = "") -> None:
-        """Check every locale of a grid before an SPMD region starts."""
+        """Check every locale of a grid before an SPMD region starts.
+
+        Doubles as the superstep boundary: every distributed kernel calls
+        this exactly once at op entry, which is where the per-(site,
+        superstep, locale) fault streams re-key.
+        """
+        self.begin_superstep()
         for loc in grid:
             self.check_locale(loc.id, site)
 
@@ -270,7 +308,7 @@ class FaultInjector:
         self.check_locale(src, site)
         self.check_locale(dst, site)
         slow = max(self.slowdown(src), self.slowdown(dst))
-        rs = self._stream(site)
+        rs = self._stream(site, dst)
         burst = 0
         while burst < self.plan.max_burst and rs.random() < self.plan.transient_rate:
             burst += 1
@@ -323,7 +361,7 @@ class FaultInjector:
             return 0.0, 0.0
         slow = max(self.slowdown(src), self.slowdown(dst))
         per_batch = batch_seconds * slow
-        rs = self._stream(site)
+        rs = self._stream(site, dst)
         overhead = 0.0
         for _ in range(n_batches):
             burst = 0
@@ -386,7 +424,7 @@ class FaultInjector:
         n = int(len(indices))
         if n == 0 or (self.plan.drop_rate == 0.0 and self.plan.dup_rate == 0.0):
             return indices, values, 0.0
-        rs = self._stream(site)
+        rs = self._stream(site, dst)
         rng = np.random.default_rng(rs.getrandbits(64))
         dropped = rng.random(n) < self.plan.drop_rate
         doubled = (rng.random(n) < self.plan.dup_rate) & ~dropped

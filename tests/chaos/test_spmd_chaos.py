@@ -1,0 +1,197 @@
+"""Stateful chaos for the SPMD pool: toggle execution modes mid-lifecycle.
+
+A Hypothesis :class:`RuleBasedStateMachine` drives a distributed vector and
+matrix through dispatcher kernels while *switching the process-pool
+execution mode between rules* — serial, degenerate pool (1 worker), and a
+real pool (4 workers), plus explicit :func:`repro.runtime.spmd.disabled`
+scopes — on a machine running a covered fault plan.  A fault-free local
+mirror executes the same program serially.  The meta-invariant after every
+rule:
+
+    distributed-under-faults-under-any-pool-mode  ≡  local-fault-free
+
+bit-identical, no matter how the pool mode interleaves with the kernel
+sequence.  This is the chaos-tier statement of the SPMD determinism
+contract: pool mode is *invisible* to everything but wall clock.
+
+Replay a failing sequence with ``REPRO_CHAOS_SEED=<printed seed>``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import seed, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.algebra.monoid import PLUS_MONOID
+from repro.algebra.semiring import MIN_PLUS, PLUS_TIMES
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.ops import spmspv_shm
+from repro.ops.dispatch import Dispatcher
+from repro.ops.ewise import ewiseadd_vv, ewisemult_vv
+from repro.ops.ewise_dist import ewiseadd_dist_vv, ewisemult_dist_vv
+from repro.ops.spmspv import spmspv_dist
+from repro.runtime import (
+    CostLedger,
+    FaultInjector,
+    LocaleGrid,
+    Machine,
+    RetryPolicy,
+    shared_machine,
+    spmd,
+)
+from tests.strategies import fault_plans, matrix_vector_pairs, sparse_vectors
+from tests.strategies.settings import DERANDOMIZE, PROFILE_NAME
+
+pytestmark = pytest.mark.chaos
+
+_STEPS = {"quick": 5, "standard": 8, "slow": 12}[PROFILE_NAME]
+_EXAMPLES = {"quick": 8, "standard": 20, "slow": 50}[PROFILE_NAME]
+
+#: modes a rule may switch into mid-lifecycle
+POOL_MODES = (0, 1, 4)
+
+
+def teardown_module(module):
+    spmd.shutdown()
+
+
+class SpmdLifecycle(RuleBasedStateMachine):
+    """Distributed state under faults, with the pool mode as chaos state."""
+
+    @initialize(
+        wl=matrix_vector_pairs(square=True, min_side=2, max_side=12, max_nnz=40),
+        p=st.sampled_from([1, 4, 9]),
+        plan=fault_plans(allow_failures=False),
+        sr=st.sampled_from([PLUS_TIMES, MIN_PLUS]),
+        pool=st.sampled_from(POOL_MODES),
+    )
+    def setup(self, wl, p, plan, sr, pool):
+        a, x = wl
+        self.a, self.x = a, x
+        self.sr = sr
+        self.pool = pool
+        self.grid = LocaleGrid.for_count(p)
+        policy = RetryPolicy(max_attempts=plan.max_burst + 2)
+        assert plan.covered_by(policy)
+        self.machine = Machine(
+            grid=self.grid,
+            threads_per_locale=2,
+            ledger=CostLedger(),
+            faults=FaultInjector(plan, policy),
+        )
+        self.ref = shared_machine(1)
+        self.ad = DistSparseMatrix.from_global(a, self.grid)
+        self.xd = DistSparseVector.from_global(x, self.grid)
+
+    # -- chaos: the pool mode itself is lifecycle state --------------------
+
+    @rule(pool=st.sampled_from(POOL_MODES))
+    def switch_pool(self, pool):
+        """Future kernels run at a different pool size."""
+        self.pool = pool
+
+    # -- kernels, each under the *current* pool mode -----------------------
+
+    @rule()
+    def vxm_auto(self):
+        with spmd.force(self.pool):
+            yd, _ = Dispatcher(self.machine).vxm_dist(
+                self.ad, self.xd, semiring=self.sr
+            )
+        y_ref, _ = spmspv_shm(self.a, self.x, self.ref, semiring=self.sr)
+        self.xd, self.x = yd, y_ref
+
+    @rule(scatter=st.sampled_from(["fine", "bulk", "agg"]))
+    def vxm_forced(self, scatter):
+        with spmd.force(self.pool):
+            yd, _ = spmspv_dist(
+                self.ad,
+                self.xd,
+                self.machine,
+                semiring=self.sr,
+                scatter_mode=scatter,
+            )
+        y_ref, _ = spmspv_shm(self.a, self.x, self.ref, semiring=self.sr)
+        self.xd, self.x = yd, y_ref
+
+    @rule()
+    def vxm_pool_disabled(self):
+        """An explicit disabled() scope nested inside whatever mode is on —
+        the escape hatch callers use around unpicklable custom ops."""
+        with spmd.force(self.pool):
+            with spmd.disabled():
+                yd, _ = spmspv_dist(self.ad, self.xd, self.machine, semiring=self.sr)
+        y_ref, _ = spmspv_shm(self.a, self.x, self.ref, semiring=self.sr)
+        self.xd, self.x = yd, y_ref
+
+    @rule(data=st.data())
+    def ewise_add(self, data):
+        other = data.draw(
+            sparse_vectors(capacity=self.x.capacity), label="add operand"
+        )
+        od = DistSparseVector.from_global(other, self.grid)
+        with spmd.force(self.pool):
+            zd, _ = ewiseadd_dist_vv(self.xd, od, self.machine, PLUS_MONOID)
+        self.xd, self.x = zd, ewiseadd_vv(self.x, other, PLUS_MONOID)
+
+    @rule(data=st.data())
+    def ewise_mult(self, data):
+        other = data.draw(
+            sparse_vectors(capacity=self.x.capacity), label="mult operand"
+        )
+        od = DistSparseVector.from_global(other, self.grid)
+        with spmd.force(self.pool):
+            zd, _ = ewisemult_dist_vv(self.xd, od, self.machine)
+        self.xd, self.x = zd, ewisemult_vv(self.x, other)
+
+    # -- the meta-invariant ------------------------------------------------
+
+    @invariant()
+    def distributed_equals_local(self):
+        got = self.xd.gather(faults=self.machine.faults)
+        assert got.capacity == self.x.capacity
+        assert np.array_equal(got.indices, self.x.indices)
+        assert np.array_equal(got.values, self.x.values)
+
+    @invariant()
+    def pool_mode_is_what_we_set(self):
+        """No rule leaks a force()/disabled() scope."""
+        assert spmd.pool_size() == int(os.environ.get("REPRO_SPMD", "0") or 0)
+
+    def teardown(self):
+        assert self.xd.gather(faults=self.machine.faults).nnz == self.x.nnz
+
+
+# -- replay wiring -----------------------------------------------------------
+#
+# Same contract as tests/chaos/test_state_machine.py: local runs print a
+# seed for exact replay via
+#     REPRO_CHAOS_SEED=<printed> pytest tests/chaos/test_spmd_chaos.py
+# CI derandomizes; an explicit REPRO_CHAOS_SEED always wins.
+_ENV_SEED = os.environ.get("REPRO_CHAOS_SEED")
+if _ENV_SEED is not None:
+    _SEED = int(_ENV_SEED)
+elif not DERANDOMIZE:
+    _SEED = int.from_bytes(os.urandom(4), "little")
+else:
+    _SEED = None
+if _SEED is not None:
+    seed(_SEED)(SpmdLifecycle)
+    print(f"[chaos] SpmdLifecycle seeded — replay with REPRO_CHAOS_SEED={_SEED}")
+
+SpmdLifecycle.TestCase.settings = settings(
+    max_examples=_EXAMPLES,
+    stateful_step_count=_STEPS,
+    deadline=None,
+    print_blob=True,
+    derandomize=DERANDOMIZE and _SEED is None,
+)
+
+TestSpmdLifecycle = SpmdLifecycle.TestCase

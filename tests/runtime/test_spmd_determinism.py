@@ -1,0 +1,401 @@
+"""The SPMD determinism tier: pool sizes {0, 1, 4} are indistinguishable.
+
+The process-pool execution mode (:mod:`repro.runtime.spmd`) promises that
+``REPRO_SPMD=0`` (serial), ``1``, and ``N`` differ only in wall clock.
+This suite pins every observable:
+
+* **results** — bit-identical blocks (values, dtypes, ordering) for each
+  distributed kernel, across Hypothesis workloads and grid shapes;
+* **simulated ledgers** — byte-identical `CostLedger` entries (labels,
+  components, float values) regardless of worker completion order;
+* **dispatcher decisions** — the cost model picks the same kernel with
+  the same estimates at every pool size;
+* **metric totals** — the telemetry registry reduces to identical
+  snapshots (the pool deliberately records nothing there);
+* **fault plans** — covered plans inject the *same event sequence* and
+  charge the same retry bill, serial or pooled (the per-(site, superstep,
+  locale) PRNG re-keying of :mod:`repro.runtime.faults`);
+* **whole algorithms** — all 14+ algorithm modules on `DistBackend`
+  produce bit-identical outputs at pool sizes 0/1/2/4, fault-free and
+  under a covered plan.
+
+Run tier: ``make test-spmd``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import DistSparseMatrix, DistSparseVector
+from repro.exec import DistBackend
+from repro.generators import erdos_renyi
+from repro.ops.dispatch import Dispatcher
+from repro.ops.ewise_dist import ewiseadd_dist_vv, ewisemult_dist_vv
+from repro.ops.mxm_dist import mxm_dist
+from repro.ops.spmspv import spmspv_dist
+from repro.runtime import (
+    CostLedger,
+    FaultInjector,
+    FaultPlan,
+    LocaleGrid,
+    Machine,
+    RetryPolicy,
+    spmd,
+)
+from repro.runtime.telemetry import registry as metrics_registry
+from repro.sparse import SparseVector
+from tests.algorithms.test_backend_equiv import ALGORITHMS
+from tests.strategies import (
+    PROFILE_FAST,
+    covered_setups,
+    matrix_vector_pairs,
+    sparse_vectors,
+)
+
+#: the tier's canonical pool sizes: serial, degenerate pool, real pool
+POOL_SIZES = (0, 1, 4)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    spmd.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# canonical fingerprints: byte-level, so "bit-identical" means what it says
+# ---------------------------------------------------------------------------
+
+
+def vec_bytes(dv: DistSparseVector) -> tuple:
+    return tuple(
+        (b.indices.tobytes(), b.values.tobytes(), str(b.values.dtype))
+        for b in dv.blocks
+    )
+
+
+def mat_bytes(dm: DistSparseMatrix) -> tuple:
+    return tuple(
+        (
+            b.rowptr.tobytes(),
+            b.colidx.tobytes(),
+            b.values.tobytes(),
+            str(b.values.dtype),
+        )
+        for b in dm.blocks
+    )
+
+
+def ledger_bytes(ledger: CostLedger) -> tuple:
+    """Every entry, label and exact float pattern included."""
+    return tuple(
+        (label, tuple((k, np.float64(v).tobytes()) for k, v in sorted(b.items())))
+        for label, b in ledger.entries
+    )
+
+
+def at_each_pool_size(run, sizes=POOL_SIZES) -> list:
+    """``run()`` under each pool size; returns the collected outputs."""
+    outs = []
+    for n in sizes:
+        with spmd.force(n):
+            outs.append(run())
+    return outs
+
+
+def assert_all_equal(outs, context: str) -> None:
+    for i, out in enumerate(outs[1:], start=1):
+        assert out == outs[0], (
+            f"{context}: pool size {POOL_SIZES[i]} diverged from serial"
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-kernel bit-identity
+# ---------------------------------------------------------------------------
+
+
+class TestKernelDeterminism:
+    @settings(PROFILE_FAST, deadline=None)
+    @given(
+        matrix_vector_pairs(max_side=20, max_nnz=80),
+        st.integers(1, 9),
+        st.sampled_from(["fine", "bulk", "agg"]),
+    )
+    def test_spmspv_dist(self, wl, p, scatter):
+        a, x = wl
+        grid = LocaleGrid.for_count(p)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def run():
+            ledger = CostLedger()
+            m = Machine(grid=grid, threads_per_locale=2, ledger=ledger)
+            y, b = spmspv_dist(ad, xd, m, scatter_mode=scatter)
+            return vec_bytes(y), dict(b), ledger_bytes(ledger)
+
+        assert_all_equal(at_each_pool_size(run), "spmspv_dist")
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(
+        matrix_vector_pairs(square=True, min_side=2, max_side=14, max_nnz=40),
+        st.sampled_from([1, 4, 9]),
+    )
+    def test_mxm_dist(self, wl, p):
+        a, _ = wl
+        grid = LocaleGrid.for_count(p)
+        ad = DistSparseMatrix.from_global(a, grid)
+
+        def run():
+            ledger = CostLedger()
+            m = Machine(grid=grid, threads_per_locale=2, ledger=ledger)
+            c, b = mxm_dist(ad, ad, m)
+            return mat_bytes(c), dict(b), ledger_bytes(ledger)
+
+        assert_all_equal(at_each_pool_size(run), "mxm_dist")
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(st.data(), st.integers(1, 9))
+    def test_ewise_dist(self, data, p):
+        x = data.draw(sparse_vectors(max_capacity=40), label="x")
+        y = data.draw(sparse_vectors(capacity=x.capacity), label="y")
+        grid = LocaleGrid.for_count(p)
+        xd = DistSparseVector.from_global(x, grid)
+        yd = DistSparseVector.from_global(y, grid)
+
+        def run():
+            ledger = CostLedger()
+            m = Machine(grid=grid, threads_per_locale=2, ledger=ledger)
+            s, bs = ewiseadd_dist_vv(xd, yd, m)
+            t, bt = ewisemult_dist_vv(xd, yd, m)
+            return vec_bytes(s), vec_bytes(t), dict(bs), dict(bt), ledger_bytes(ledger)
+
+        assert_all_equal(at_each_pool_size(run), "ewise_dist")
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(max_side=16, max_nnz=60), st.integers(2, 9), covered_setups())
+    def test_covered_fault_plans(self, wl, p, setup):
+        """A covered plan injects the same events, charges the same retry
+        bill, and perturbs nothing else — at every pool size."""
+        a, x = wl
+        plan, policy = setup
+        grid = LocaleGrid.for_count(p)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def run():
+            ledger = CostLedger()
+            inj = FaultInjector(plan, policy)
+            m = Machine(grid=grid, threads_per_locale=2, ledger=ledger, faults=inj)
+            y, b = spmspv_dist(ad, xd, m)
+            return vec_bytes(y), dict(b), ledger_bytes(ledger), tuple(inj.events)
+
+        assert_all_equal(at_each_pool_size(run), "spmspv_dist under faults")
+
+
+# ---------------------------------------------------------------------------
+# dispatcher decisions and metric totals
+# ---------------------------------------------------------------------------
+
+
+class TestDecisionAndMetricDeterminism:
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(max_side=20, max_nnz=80), st.integers(1, 9))
+    def test_dispatcher_decisions(self, wl, p):
+        a, x = wl
+        grid = LocaleGrid.for_count(p)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def run():
+            d = Dispatcher(Machine(grid=grid, threads_per_locale=2))
+            y, _ = d.vxm_dist(ad, xd)
+            decisions = tuple(
+                (dec.op, dec.chosen, dec.forced, tuple(sorted(dec.estimates.items())))
+                for dec in d.decisions
+            )
+            return vec_bytes(y), decisions
+
+        assert_all_equal(at_each_pool_size(run), "dispatcher decisions")
+
+    def test_metric_totals(self):
+        """The telemetry registry reduces to an identical snapshot at every
+        pool size — the pool records its stats elsewhere, by design."""
+        a = erdos_renyi(60, 4, seed=9)
+        grid = LocaleGrid.for_count(4)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xv = SparseVector.from_pairs(
+            60, np.arange(0, 60, 7, dtype=np.int64), np.ones(9)
+        )
+        xd = DistSparseVector.from_global(xv, grid)
+
+        def run():
+            metrics_registry.reset()
+            m = Machine(grid=grid, threads_per_locale=2)
+            Dispatcher(m).vxm_dist(ad, xd)
+            mxm_dist(ad, ad, m)
+            snap = metrics_registry.snapshot()
+            assert snap, "workload recorded no metrics at all"
+            return snap
+
+        outs = at_each_pool_size(run)
+        for i, out in enumerate(outs[1:], start=1):
+            assert out == outs[0], (
+                f"metrics diverged at pool size {POOL_SIZES[i]}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# fault-stream order independence (the PRNG re-keying regression test)
+# ---------------------------------------------------------------------------
+
+
+class _FakeGrid:
+    """Minimal grid stand-in for driving the injector directly."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def __iter__(self):
+        class _Loc:
+            def __init__(self, i):
+                self.id = i
+
+        return iter([_Loc(i) for i in range(self._n)])
+
+
+class TestFaultStreamOrderIndependence:
+    """Regression: streams used to advance in kernel *call order*, so the
+    draws one locale saw depended on how many draws other locales made
+    first.  The (site, superstep, locale) keying makes each endpoint's
+    sequence a pure function of its position in the computation."""
+
+    PLAN = FaultPlan(
+        seed=42, transient_rate=0.35, max_burst=2, drop_rate=0.25, dup_rate=0.25
+    )
+    POLICY = RetryPolicy(max_attempts=5)
+
+    def _consume(self, order):
+        """Draws for four locales at one superstep, visited in ``order``."""
+        inj = FaultInjector(self.PLAN, self.POLICY)
+        inj.check_grid(_FakeGrid(4), "op")
+        out = {}
+        for loc in order:
+            _, retry = inj.transfer("op.gather", 1e-3, src=0, dst=loc)
+            idx, vals, extra = inj.deliver_puts(
+                "op.scatter",
+                np.arange(24),
+                np.arange(24.0),
+                src=0,
+                dst=loc,
+                per_element_seconds=1e-6,
+            )
+            _, bextra = inj.batched_transfer(
+                "op.agg", 3, 1e-4, src=0, dst=loc
+            )
+            out[loc] = (retry, idx.tobytes(), vals.tobytes(), extra, bextra)
+        return out, tuple(sorted((e.kind, e.site, e.locale) for e in inj.events))
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(st.permutations(list(range(4))))
+    def test_draws_do_not_depend_on_call_order(self, order):
+        assert self._consume(order) == self._consume(list(range(4)))
+
+    def test_superstep_advances_streams(self):
+        """Same site+locale at successive supersteps gets fresh streams
+        (otherwise every op would replay the first op's faults)."""
+        inj = FaultInjector(self.PLAN, self.POLICY)
+        seqs = []
+        for _ in range(2):
+            inj.check_grid(_FakeGrid(2), "op")
+            seqs.append(
+                [inj.transfer("s", 1e-3, src=0, dst=d)[1] for d in range(2)]
+            )
+        assert inj.superstep == 2
+        # replay from reset reproduces both supersteps exactly
+        inj.reset()
+        assert inj.superstep == 0
+        for step in range(2):
+            inj.check_grid(_FakeGrid(2), "op")
+            got = [inj.transfer("s", 1e-3, src=0, dst=d)[1] for d in range(2)]
+            assert got == seqs[step]
+
+    @settings(PROFILE_FAST, deadline=None)
+    @given(matrix_vector_pairs(max_side=16, max_nnz=60), st.integers(2, 6), covered_setups())
+    def test_serial_and_pooled_consume_identical_sequences(self, wl, p, setup):
+        """The whole-kernel version: the injector's full event log (kind,
+        site, locale, attempt, count — in order) matches between serial and
+        pooled execution."""
+        a, x = wl
+        plan, policy = setup
+        grid = LocaleGrid.for_count(p)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+
+        def run():
+            inj = FaultInjector(plan, policy)
+            m = Machine(grid=grid, threads_per_locale=2, faults=inj)
+            y, b = spmspv_dist(ad, xd, m)
+            return tuple(inj.events), vec_bytes(y), dict(b)
+
+        assert_all_equal(at_each_pool_size(run), "fault event sequence")
+
+
+# ---------------------------------------------------------------------------
+# all algorithms, end to end (the acceptance-criterion tier)
+# ---------------------------------------------------------------------------
+
+#: acceptance matrix: serial vs every mandated pool size
+ALGO_POOL_SIZES = (0, 1, 2, 4)
+
+_ALGO_PLAN = FaultPlan(seed=17, transient_rate=0.2, max_burst=2, drop_rate=0.1, dup_rate=0.1)
+_ALGO_POLICY = RetryPolicy(max_attempts=4)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS), ids=str)
+class TestAllAlgorithmsBitIdentical:
+    """Every algorithm module, run end-to-end on DistBackend at pool sizes
+    0/1/2/4: bit-identical outputs (APPROX tolerances do NOT apply here —
+    the summation order is the same, so even PageRank must match exactly),
+    byte-identical ledgers, identical covered-fault outcomes."""
+
+    GRAPH = erdos_renyi(26, 4, seed=13)
+    GRID = LocaleGrid.for_count(4)
+
+    def _run(self, name, faults_factory=None):
+        prepare, run = ALGORITHMS[name]
+        a = prepare(self.GRAPH)
+
+        def once():
+            ledger = CostLedger()
+            m = Machine(
+                grid=self.GRID,
+                threads_per_locale=2,
+                ledger=ledger,
+                faults=faults_factory() if faults_factory else None,
+            )
+            result = run(a, DistBackend(m))
+            return np.asarray(result).tobytes(), str(
+                np.asarray(result).dtype
+            ), ledger_bytes(ledger)
+
+        return at_each_pool_size(once, sizes=ALGO_POOL_SIZES)
+
+    def test_fault_free(self, name):
+        outs = self._run(name)
+        for i, out in enumerate(outs[1:], start=1):
+            assert out == outs[0], (
+                f"{name}: pool size {ALGO_POOL_SIZES[i]} diverged"
+            )
+
+    def test_covered_fault_plan(self, name):
+        assert _ALGO_PLAN.covered_by(_ALGO_POLICY)
+        outs = self._run(
+            name, faults_factory=lambda: FaultInjector(_ALGO_PLAN, _ALGO_POLICY)
+        )
+        for i, out in enumerate(outs[1:], start=1):
+            assert out == outs[0], (
+                f"{name}: pool size {ALGO_POOL_SIZES[i]} diverged under faults"
+            )
