@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-props test-chaos test-algos test-spmd test-telemetry bench bench-agg bench-frontend bench-wall bench-gate bench-full figures report examples clean
+.PHONY: install test test-fast test-props test-chaos test-algos test-spmd test-telemetry bench bench-agg bench-frontend bench-wall bench-spgemm bench-gate bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -51,6 +51,9 @@ bench-frontend:      ## frontend-vs-direct-kernel overhead; writes results/BENCH
 
 bench-wall:          ## fast-path wall-clock before/after; writes results/BENCH_wall.json
 	$(PYTHON) -m pytest benchmarks/test_abl_wall.py
+
+bench-spgemm:        ## distributed SpGEMM schedule ablation; writes results/BENCH_spgemm.json
+	$(PYTHON) -m pytest benchmarks/test_abl_spgemm.py
 
 bench-gate:          ## perf-regression gate vs results/BENCH_*.json golden baselines
 	$(PYTHON) -m repro gate

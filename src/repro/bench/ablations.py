@@ -27,11 +27,12 @@ from ..algebra.semiring import MIN_FIRST, PLUS_PAIR
 from ..algorithms import bfs_levels, count_triangles, pagerank_dist
 from ..distributed import DistSparseMatrix, DistSparseVector
 from ..exec import DistBackend, ShmBackend
-from ..generators import erdos_renyi, random_sparse_vector
+from ..generators import erdos_renyi, random_sparse_vector, rmat
 from ..ops.dispatch import Dispatcher
 from ..ops.ewise import ewiseadd_mm
 from ..ops.matrix_dist import select_dist_matrix, transpose_any
 from ..ops.mxm import mxm
+from ..ops.mxm_dist import replication_factors
 from ..ops.reduce import reduce_matrix_scalar
 from ..ops.spmspv import SCATTER_STEP, spmspv_dist
 from ..runtime import CostLedger, LocaleGrid, Machine, shared_machine
@@ -50,6 +51,13 @@ __all__ = [
     "WALL_SPMD_POOL",
     "WALL_SPMD_SPEEDUP_FLOOR",
     "run_wall",
+    "SPGEMM_NODE_SWEEP",
+    "SPGEMM_AUTO_BOUND",
+    "spgemm_graphs",
+    "spgemm_variants",
+    "spgemm_sweep",
+    "spgemm_mask_sweep",
+    "run_spgemm",
     "RERUNNERS",
 ]
 
@@ -442,10 +450,213 @@ def run_wall() -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# distributed SpGEMM schedule ablation (BENCH_spgemm.json)
+# ---------------------------------------------------------------------------
+
+#: square grids on the variant sweep (q=2 offers c=4; q=4 offers c∈{4,16})
+SPGEMM_NODE_SWEEP = [4, 16]
+#: one non-square grid — the gathered fallback is the only legal schedule
+SPGEMM_NONSQUARE = (2, 4)
+#: auto dispatch must land within this factor of the best fixed schedule
+SPGEMM_AUTO_BOUND = 1.1
+#: workload sizes (n, degree-ish) — small enough that the ~50 simulated
+#: products stay quick, large enough that the schedules separate
+SPGEMM_ER_N, SPGEMM_ER_SPARSE_DEG, SPGEMM_ER_DENSE_DEG = 1_500, 4, 16
+SPGEMM_RMAT_SCALE, SPGEMM_RMAT_EF = 11, 8
+SPGEMM_TRI_N, SPGEMM_TRI_DEG = 1_200, 12
+
+
+def spgemm_graphs() -> dict[str, CSRMatrix]:
+    """The schedule sweep's inputs (seeds fixed forever).
+
+    Two Erdős–Rényi densities plus one R-MAT matrix — the skewed-degree
+    row exercises the load imbalance that uniform inputs never hit
+    (heavy rows concentrate flops in a few SUMMA stage products).
+    """
+    return {
+        "er_sparse": erdos_renyi(SPGEMM_ER_N, SPGEMM_ER_SPARSE_DEG, seed=21),
+        "er_dense": erdos_renyi(SPGEMM_ER_N, SPGEMM_ER_DENSE_DEG, seed=22),
+        "rmat_skew": rmat(SPGEMM_RMAT_SCALE, SPGEMM_RMAT_EF, seed=23),
+    }
+
+
+def spgemm_variants(q: int) -> dict[str, dict]:
+    """Fixed-schedule dispatcher kwargs per candidate label on a q×q grid."""
+    out = {
+        "2d[bulk]": {"variant": "2d", "comm_mode": "bulk"},
+        "2d[agg]": {"variant": "2d", "comm_mode": "agg"},
+    }
+    for c in replication_factors(q):
+        out[f"3d[c={c}][bulk]"] = {"variant": "3d", "layers": c, "comm_mode": "bulk"}
+        out[f"3d[c={c}][agg]"] = {"variant": "3d", "layers": c, "comm_mode": "agg"}
+    out["gathered"] = {"variant": "gathered"}
+    return out
+
+
+def _spgemm_machine(grid: LocaleGrid) -> Machine:
+    return Machine(grid=grid, threads_per_locale=24, ledger=CostLedger())
+
+
+def spgemm_sweep(graphs=None, node_sweep=None) -> dict[str, dict]:
+    """Simulated A·A time per (workload, grid, schedule) row.
+
+    Each row also re-runs its cheapest SUMMA schedule on DCSR blocks and
+    records that the format flip is invisible to the cost plane
+    (``dcsr_simulated_equal`` — formats change memory and wall clock,
+    never the billed schedule) alongside the blockwise memory footprints.
+    """
+    graphs = spgemm_graphs() if graphs is None else graphs
+    node_sweep = SPGEMM_NODE_SWEEP if node_sweep is None else node_sweep
+    out = {}
+    for name, a in graphs.items():
+        for p in node_sweep:
+            grid = LocaleGrid.for_count(p)
+            ad = DistSparseMatrix.from_global(a, grid)
+            row: dict[str, dict] = {}
+            for label, kw in spgemm_variants(grid.rows).items():
+                m = _spgemm_machine(grid)
+                _, wall = _timed(lambda: Dispatcher(m).mxm_dist(ad, ad, **kw))
+                row[label] = {"simulated_s": m.ledger.total, "wall_s": wall}
+            m = _spgemm_machine(grid)
+            d = Dispatcher(m)
+            _, wall = _timed(lambda: d.mxm_dist(ad, ad))
+            row["auto"] = {
+                "simulated_s": m.ledger.total,
+                "wall_s": wall,
+                "chosen": d.decisions[-1].chosen,
+            }
+            summa = {k: v for k, v in row.items() if k[0] in "23"}
+            best_label = min(summa, key=lambda k: summa[k]["simulated_s"])
+            md = _spgemm_machine(grid)
+            add = DistSparseMatrix.from_global(a, grid, block_format="dcsr")
+            Dispatcher(md).mxm_dist(add, add, **spgemm_variants(grid.rows)[best_label])
+            mb = _spgemm_machine(grid)
+            Dispatcher(mb).mxm_dist(ad, ad, **spgemm_variants(grid.rows)[best_label])
+            row["formats"] = {
+                "best_fixed": best_label,
+                "dcsr_simulated_equal": bool(md.ledger.total == mb.ledger.total),
+                "csr_memory_bytes": ad.memory_bytes(),
+                "dcsr_memory_bytes": add.memory_bytes(),
+            }
+            out[f"{name}/p{p}"] = row
+    # the non-square grid: gathered is the sole candidate and auto takes it
+    rows_, cols_ = SPGEMM_NONSQUARE
+    grid = LocaleGrid(rows_, cols_)
+    a = graphs["er_sparse"]
+    ad = DistSparseMatrix.from_global(a, grid)
+    m = _spgemm_machine(grid)
+    d = Dispatcher(m)
+    _, wall = _timed(lambda: d.mxm_dist(ad, ad))
+    out[f"er_sparse/grid{rows_}x{cols_}"] = {
+        "auto": {
+            "simulated_s": m.ledger.total,
+            "wall_s": wall,
+            "chosen": d.decisions[-1].chosen,
+        }
+    }
+    return out
+
+
+def spgemm_auto_ratios(sweep) -> dict[str, float]:
+    """Auto simulated time over the best fixed schedule *in auto's pool*.
+
+    The pool is the SUMMA family (2-D and 3-D×c) — ``gathered`` is priced
+    for inspection but excluded from auto's argmin because its global ESC
+    reduction is not bit-identical to the stage-fold schedules
+    (``docs/spgemm.md``), so it is excluded from the denominator too.
+    """
+    ratios = {}
+    for where, row in sweep.items():
+        if "auto" not in row or len(row) == 1:
+            continue
+        best = min(v["simulated_s"] for k, v in row.items() if k[0] in "23")
+        ratios[where] = row["auto"]["simulated_s"] / best
+    return ratios
+
+
+def spgemm_3d_wins(sweep) -> list[str]:
+    """The (workload, grid) rows where some 3-D×c schedule beats every 2-D."""
+    wins = []
+    for where, row in sweep.items():
+        three = [v["simulated_s"] for k, v in row.items() if k.startswith("3d")]
+        two = [v["simulated_s"] for k, v in row.items() if k.startswith("2d")]
+        if three and two and min(three) < min(two):
+            wins.append(where)
+    return wins
+
+
+def spgemm_mask_sweep(graphs=None) -> dict[str, dict]:
+    """Masked L·Lᵀ (triangle counting's product) fused vs post, per schedule.
+
+    The mask is the lower-triangular pattern itself — the canonical
+    masked-SpGEMM shape (triangle / k-truss counting).  ``fused`` prunes
+    each stage product against the local mask block before the merge;
+    ``post`` runs the unmasked product and filters once at the end.  The
+    results are bit-identical (structural pruning commutes with the stage
+    fold); only the bill moves.
+    """
+    graphs = spgemm_graphs() if graphs is None else graphs
+    tri = _sym_simple(erdos_renyi(SPGEMM_TRI_N, SPGEMM_TRI_DEG, seed=24, values="one"))
+    inputs = {"triangle": tri, "rmat_skew": graphs["rmat_skew"]}
+    out = {}
+    for name, a in inputs.items():
+        low = a.tril(-1)
+        grid = LocaleGrid.for_count(16)
+        ld = DistSparseMatrix.from_global(low, grid)
+        lt = DistSparseMatrix.from_global(low.transposed(), grid)
+        row = {}
+        for label, kw in spgemm_variants(grid.rows).items():
+            if label == "gathered":
+                continue  # the gathered path masks inside the local product
+            times = {}
+            for mode in ("fused", "post"):
+                m = _spgemm_machine(grid)
+                Dispatcher(m).mxm_dist(
+                    ld, lt, semiring=PLUS_PAIR, mask=ld, mask_mode=mode, **kw
+                )
+                times[mode] = m.ledger.total
+            row[label] = {
+                "fused_simulated_s": times["fused"],
+                "post_simulated_s": times["post"],
+                "fused_over_post": times["fused"] / times["post"],
+            }
+        out[name] = row
+    return out
+
+
+def run_spgemm() -> dict:
+    """The distributed SpGEMM schedule ablation as a BENCH payload."""
+    graphs = spgemm_graphs()
+    sweep = spgemm_sweep(graphs)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "spgemm",
+        "description": "distributed SpGEMM schedules: 2-D vs 3-D×c SUMMA vs "
+        "gathered, CSR vs DCSR blocks, and mask fusion (fused vs post)",
+        "node_sweep": SPGEMM_NODE_SWEEP,
+        "configs": {
+            "er_sparse": {"n": SPGEMM_ER_N, "deg": SPGEMM_ER_SPARSE_DEG},
+            "er_dense": {"n": SPGEMM_ER_N, "deg": SPGEMM_ER_DENSE_DEG},
+            "rmat_skew": {"scale": SPGEMM_RMAT_SCALE, "edge_factor": SPGEMM_RMAT_EF},
+            "triangle": {"n": SPGEMM_TRI_N, "deg": SPGEMM_TRI_DEG},
+            "nonsquare_grid": list(SPGEMM_NONSQUARE),
+        },
+        "auto_bound": SPGEMM_AUTO_BOUND,
+        "results": {
+            "schedules": sweep,
+            "masked": spgemm_mask_sweep(graphs),
+        },
+        "auto_vs_best_ratio": spgemm_auto_ratios(sweep),
+        "threed_wins": spgemm_3d_wins(sweep),
+    }
+
+
 #: bench name (the BENCH_<name>.json stem) → payload re-runner, used by the
 #: regression gate to regenerate current numbers for a golden baseline.
 RERUNNERS = {
     "agg": run_agg,
     "frontend": run_frontend,
     "wall": run_wall,
+    "spgemm": run_spgemm,
 }

@@ -35,7 +35,6 @@ from .ops.matrix_dist import (
     select_dist_matrix,
     transpose_any,
 )
-from .ops.mxm_dist import mxm_dist
 from .ops.reduce import reduce_dist_vector
 from .ops.spmspv import spmspv_dist
 from .runtime.locale import Machine
@@ -339,56 +338,38 @@ class DistMatrix:
         out: "DistMatrix | None" = None,
         desc=None,
         comm_mode: str = "auto",
+        mask_mode: str = "fused",
+        variant: str = "auto",
+        layers: int | None = None,
     ) -> "DistMatrix":
-        """Distributed SpGEMM ``out⟨mask⟩ ⊕= A ⊗ B`` (sparse SUMMA;
-        square grids).
+        """Distributed SpGEMM ``out⟨mask⟩ ⊕= A ⊗ B`` on any grid.
 
-        ``comm_mode``: ``"bulk"`` (one bulk transfer per stage operand),
-        ``"agg"`` (flush-batched broadcasts software-pipelined behind the
-        previous stage's multiply), or ``"auto"`` — the cost model picks
-        and records a ``dispatch[mxm_dist]`` span in the ledger.
-
-        ``mask`` is an aligned :class:`DistMatrix` applied structurally
-        inside the kernel's merge step; ``accum``/``out``/``desc`` run
-        the uniform GraphBLAS output step blockwise afterwards.
+        Every call routes through the dispatcher's schedule × transport
+        axis (``docs/spgemm.md``): square grids pick among 2-D and
+        3-D×``c`` sparse SUMMA, non-square grids take the gathered
+        fallback — uniformly, so ``mask``/``accum``/``desc`` run the same
+        :func:`~repro.exec.descriptor.merge_dist_matrix` output step
+        bit-for-bit on every path.  ``comm_mode`` (``"bulk"``/``"agg"``),
+        ``variant`` (``"2d"``/``"3d"``/``"gathered"``), and ``layers``
+        force axes instead of costing them; ``mask_mode="post"`` disables
+        the fused per-stage mask prune (bit-identical, dearer).
         """
-        m = None if mask is None else mask._data
-        if comm_mode == "auto":
-            from .ops.dispatch import Dispatcher
+        from .ops.dispatch import Dispatcher
 
-            c, _ = Dispatcher(self.machine).mxm_dist(
-                self._data,
-                other._data,
-                semiring=semiring,
-                mask=m,
-                complement=complement,
-                accum=accum,
-                out=None if out is None else out._data,
-                desc=desc,
-            )
-        else:
-            replace = bool(getattr(desc, "replace", False))
-            complement = complement or bool(getattr(desc, "complement", False))
-            c, _ = mxm_dist(
-                self._data,
-                other._data,
-                self.machine,
-                semiring=semiring,
-                comm_mode=comm_mode,
-                mask=m,
-                complement=complement,
-            )
-            if accum is not None or out is not None or replace:
-                from .exec.descriptor import merge_dist_matrix
-
-                c = merge_dist_matrix(
-                    c,
-                    None if out is None else out._data,
-                    mask=m,
-                    complement=complement,
-                    accum=accum,
-                    replace=replace,
-                )
+        c, _ = Dispatcher(self.machine).mxm_dist(
+            self._data,
+            other._data,
+            semiring=semiring,
+            mask=None if mask is None else mask._data,
+            complement=complement,
+            mask_mode=mask_mode,
+            variant=variant,
+            layers=layers,
+            comm_mode=comm_mode,
+            accum=accum,
+            out=None if out is None else out._data,
+            desc=desc,
+        )
         return DistMatrix(c, self.machine)
 
     def __matmul__(self, other: "DistMatrix") -> "DistMatrix":

@@ -26,7 +26,6 @@ from ..distributed.dist_matrix import DistSparseMatrix
 from ..distributed.dist_vector import DistDenseVector, DistSparseVector
 from ..ops.dispatch import Dispatcher
 from ..ops.ewise import ewiseadd_vv, ewisemult_vv
-from ..ops.matrix_dist import mxm_gathered
 from ..ops.spmv import spmv_dist
 from ..runtime.locale import Machine
 from ..sparse.csr import CSRMatrix
@@ -227,45 +226,25 @@ class DistBackend(BackendBase):
     ) -> DistMatrix:
         """``out⟨mask, replace⟩ ⊕= A ⊗ B``.
 
-        Square grids run sparse SUMMA through the dispatcher (transport
-        chosen by cost); other grids use the gather-based fallback, which
-        charges its full round trip.
+        Every grid shape routes through the dispatcher's schedule axis:
+        square grids pick among the 2-D / 3-D×``c`` sparse SUMMA
+        schedules, non-square grids take the gathered fallback (which
+        charges its full round trip) — with the identical descriptor
+        output step on either path.
         """
         d = desc or Descriptor()
         ma = self.transpose(a) if d.transpose_a else a
         mb = self.transpose(b) if d.transpose_b else b
-        grid = ma.data.grid
-        if grid.rows == grid.cols:
-            return ma.mxm(
-                mb,
-                semiring=semiring,
-                mask=mask,
-                complement=d.complement,
-                accum=accum,
-                out=out,
-                desc=Descriptor(replace=d.replace),
-                comm_mode=self.comm_mode,
-            )
-        c, _ = mxm_gathered(
-            ma.data,
-            mb.data,
-            self.machine,
+        return ma.mxm(
+            mb,
             semiring=semiring,
-            mask=None if mask is None else mask.data,
+            mask=mask,
             complement=d.complement,
+            accum=accum,
+            out=out,
+            desc=Descriptor(replace=d.replace),
+            comm_mode=self.comm_mode,
         )
-        if accum is not None or out is not None or d.replace:
-            from .descriptor import merge_dist_matrix
-
-            c = merge_dist_matrix(
-                c,
-                None if out is None else out.data,
-                mask=None if mask is None else mask.data,
-                complement=d.complement,
-                accum=accum,
-                replace=d.replace,
-            )
-        return DistMatrix(c, self.machine)
 
     # -- reductions -------------------------------------------------------------
 

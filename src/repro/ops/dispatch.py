@@ -25,13 +25,18 @@ Candidates per operation:
 ``vxm_dist``   ``fine`` / ``bulk`` / ``agg`` gather and scatter ×
                ``merge`` / ``radix`` sort (Listing 8; ``agg`` is the
                destination-buffered exchange of ``docs/aggregation.md``)
-``mxm_dist``   ``bulk`` vs ``agg`` (pipelined) SUMMA broadcasts
+``mxm_dist``   schedule × transport: ``2d[bulk]`` / ``2d[agg]`` SUMMA,
+               ``3d[c=N][bulk]`` / ``3d[c=N][agg]`` for every valid
+               replication factor ``N`` of the grid, and ``gathered``
+               (the allgather fallback — the only candidate on
+               non-square grids; see ``docs/spgemm.md``)
 ``ewisemult``  ``atomic`` counter vs ``prefix``-sum merge (Listing 6)
 =============  ==========================================================
 """
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -62,6 +67,7 @@ from ..sparse.vector import SparseVector
 from .ewise import ewisemult_dist as _ewisemult_dist
 from .ewise import ewisemult_sd_cost, ewisemult_sparse_dense
 from .mxm_dist import mxm_dist as _mxm_dist
+from .mxm_dist import replication_factors
 from .spmspv import bulk_scatter_cost, spmspv_dist, spmspv_shm, spmspv_shm_cost
 from .spmspv_merge import spmspv_merge_cost, spmspv_shm_merge
 from .spmv import vxm_pull, vxm_pull_cost
@@ -145,6 +151,11 @@ class PlanCache:
     estimates on every call.  Entries are evicted FIFO past
     ``max_entries``.  With :mod:`repro.runtime.fastpath` disabled the cache
     is bypassed entirely.
+
+    Every hit/miss/eviction also increments the labelled
+    ``dispatch.plan_cache`` counter in the telemetry registry (visible in
+    ``repro telemetry``) — observability only, outside the determinism
+    contract like the buffer pool's ``pool_stats()``.
     """
 
     def __init__(self, max_entries: int = 512) -> None:
@@ -156,9 +167,15 @@ class PlanCache:
         )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @staticmethod
+    def _count(outcome: str, key: tuple) -> None:
+        op = str(key[0]) if key else "?"
+        _metrics.counter("dispatch.plan_cache").inc(1, outcome=outcome, op=op)
 
     def lookup(self, key: tuple, anchors: tuple = ()) -> dict[str, float] | None:
         """Return the cached plan for ``key`` (or ``None``).
@@ -170,6 +187,7 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._count("miss", key)
             return None
         stored_anchors, estimates = entry
         if len(stored_anchors) != len(anchors) or any(
@@ -177,8 +195,10 @@ class PlanCache:
         ):
             del self._entries[key]
             self.misses += 1
+            self._count("miss", key)
             return None
         self.hits += 1
+        self._count("hit", key)
         return estimates
 
     def store(
@@ -186,7 +206,9 @@ class PlanCache:
     ) -> dict[str, float]:
         """Insert a freshly priced plan; returns it unchanged."""
         while len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count("eviction", evicted_key)
         self._entries[key] = (anchors, estimates)
         return estimates
 
@@ -195,13 +217,18 @@ class PlanCache:
         self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss counters and current size."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        """Hit/miss/eviction counters and current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"PlanCache(entries={len(self)}, hits={self.hits}, "
-            f"misses={self.misses})"
+            f"misses={self.misses}, evictions={self.evictions})"
         )
 
 
@@ -271,9 +298,7 @@ class Dispatcher:
             return pricer()
         est = self.plan_cache.lookup(key, anchors)
         if est is not None:
-            _metrics.counter("dispatch.plan_cache").inc(1, outcome="hit", op=key[0])
             return est
-        _metrics.counter("dispatch.plan_cache").inc(1, outcome="miss", op=key[0])
         return self.plan_cache.store(key, pricer(), anchors)
 
     # -- transpose cache ----------------------------------------------------
@@ -693,53 +718,189 @@ class Dispatcher:
         a: DistSparseMatrix,
         b: DistSparseMatrix,
         *,
+        mask: DistSparseMatrix | None = None,
+        fused: bool = True,
         agg: AggregationConfig = AGG_DEFAULT,
     ) -> dict[str, float]:
-        """Estimated per-candidate *communication* seconds of the SUMMA
-        broadcasts (compute is identical across candidates, so it cancels).
+        """Estimated end-to-end seconds for every distributed-SpGEMM
+        schedule the machine can run (see ``docs/spgemm.md``):
 
-        Uses mean block populations: each of the ``q`` stages delivers one
-        A-block and one B-block to every locale — as plain bulk transfers,
-        or flush-batched and software-pipelined behind the previous stage's
-        multiply (stage 0 cannot hide).
+        * ``2d[bulk]`` / ``2d[agg]`` — the ``q``-stage sparse SUMMA with
+          plain or flush-pipelined broadcasts;
+        * ``3d[c=N][bulk]`` / ``3d[c=N][agg]`` — the communication-avoiding
+          replicated schedule for every valid factor ``N = k²``, ``k | q``:
+          replicate → ``⌈(q/k)/N⌉`` coarse slots → layer reduce-scatter;
+        * ``gathered`` — allgather both operands, one shared-memory
+          multiply (compute **not** divided by ``p``), redistribute.  On a
+          non-square grid it is the *only* candidate.
+
+        Unlike the SpMSpV estimates these include the compute terms —
+        ``gathered`` trades all communication structure for serial flops,
+        so comparing communication alone would be meaningless.  Mean-field
+        statistics throughout: average block populations, the collision
+        model for product sizes, and (with a fused mask) the mask's
+        position density scaling every merge/reduce volume.
         """
         machine = self.machine
         cfg = machine.config
         grid = a.grid
-        q = grid.rows
         p = max(grid.size, 1)
         local = machine.oversubscribed
+        threads = machine.threads_per_locale
+        pen = machine.compute_penalty
         itemsize = 16
+        ec = cfg.element_cost
+
+        flops_total = a.nnz * (b.nnz / max(b.nrows, 1))
+        # fused structural mask: a stage product entry survives the prune
+        # with probability ≈ the mask's position density
+        mask_frac = 1.0
+        if mask is not None and fused:
+            mask_frac = min(mask.nnz / max(a.nrows * b.ncols, 1), 1.0)
+
+        # gathered: collect A and B, multiply once (serial in p — the
+        # whole point of pricing compute), scatter the product
+        rows = max(a.nrows, 1)
+        out_frac = mask_frac if mask is not None else 1.0
+        out_total = rows * _expected_out_nnz(
+            max(b.ncols, 1), flops_total / rows
+        ) * out_frac
+
+        def gather_cost(nnz: float) -> float:
+            return p * bulk(cfg, (nnz / p) * itemsize, local=local)
+
+        est: dict[str, float] = {
+            "gathered": gather_cost(a.nnz + b.nnz)
+            + gather_cost(out_total)
+            + parallel_time(cfg, flops_total * ec * pen, threads)
+        }
+        if grid.rows != grid.cols:
+            return est
+
+        # shared per-fine-stage statistics of the square-grid schedules
+        q = grid.rows
         avg_a = a.nnz / p
         avg_b = b.nnz / p
-        est_bulk = q * (
-            bulk(cfg, avg_a * itemsize, local=local)
-            + bulk(cfg, avg_b * itemsize, local=local)
+        m_block = max((a.nrows / q) * (b.ncols / q), 1.0)
+
+        # skew-aware compute: the *exact* per-fine-stage flops tensor
+        # (q³ ≤ 512 block pairs, each an O(block-nnz) histogram lookup —
+        # far cheaper than a stage).  A stage's billed multiply is the
+        # *max* over its concurrent locales, which on skewed (R-MAT-like)
+        # inputs is a multiple of the mean; worse, heavy columns of A hit
+        # heavy rows of B (degree correlation), so even max-of-averages is
+        # several-fold low.  The 3-D schedules concentrate a whole coarse
+        # cell's flops on one locale, so mean-field statistics
+        # systematically underprice them exactly where replication looks
+        # most attractive.
+        from .mxm import flops as _flops
+
+        fine_flops = np.array(
+            [
+                [[_flops(a.block(i, s), b.block(s, j)) for j in range(q)]
+                 for s in range(q)]
+                for i in range(q)
+            ],
+            dtype=float,
+        )  # [i, s, j]
+        flops_total = float(fine_flops.sum())
+        flops_fine = flops_total / (q * p)
+        prod_fine = _expected_out_nnz(int(m_block), flops_fine) * mask_frac
+
+        def stage_mult(s: int) -> float:
+            return parallel_time(
+                cfg, float(fine_flops[:, s, :].max()) * ec * pen, threads
+            )
+
+        def stage_merge(s: int) -> float:
+            prod = _expected_out_nnz(
+                int(m_block), float(fine_flops[:, s, :].max())
+            ) * mask_frac
+            return parallel_time(cfg, prod * ec * pen, threads)
+
+        mult_2d = sum(stage_mult(s) for s in range(q))
+        merge_2d = sum(stage_merge(s) for s in range(q))
+        compute_fine = (mult_2d + merge_2d) / q  # mean stage, for overlap
+
+        def agg_pipeline(per_stage_comm, stages, stage_compute, elems):
+            """Flush-batched broadcasts: stage 0 exposed, the rest overlap
+            behind the previous stage's multiply when enabled."""
+            if stages <= 0:
+                return 0.0
+            exposed = per_stage_comm
+            if agg.overlap:
+                exposed = overlap_exposed(
+                    per_stage_comm,
+                    stage_compute,
+                    flush_startup(cfg, int(elems), agg=agg, local=local),
+                )
+            return per_stage_comm + (stages - 1) * exposed
+
+        est["2d[bulk]"] = (
+            q
+            * (
+                bulk(cfg, avg_a * itemsize, local=local)
+                + bulk(cfg, avg_b * itemsize, local=local)
+            )
+            + mult_2d
+            + merge_2d
         )
         stage_comm = flush_cost(cfg, int(avg_a), agg=agg, local=local) + flush_cost(
             cfg, int(avg_b), agg=agg, local=local
         )
-        # expected per-stage-per-locale multiply: total flops spread over
-        # the q·p block products of the whole SUMMA
-        flops_total = a.nnz * (b.nnz / max(b.nrows, 1))
-        stage_compute = parallel_time(
-            cfg,
-            (flops_total / (q * p)) * cfg.element_cost * machine.compute_penalty,
-            machine.threads_per_locale,
+        est["2d[agg]"] = (
+            agg_pipeline(stage_comm, q, compute_fine, avg_a + avg_b)
+            + mult_2d
+            + merge_2d
         )
-        est_agg = stage_comm  # stage 0: nothing to hide behind
-        if q > 1:
-            exposed = stage_comm
-            if agg.overlap:
-                exposed = overlap_exposed(
-                    stage_comm,
-                    stage_compute,
-                    flush_startup(
-                        cfg, int(avg_a + avg_b), agg=agg, local=local
-                    ),
+
+        for c in replication_factors(q):
+            k = math.isqrt(c)
+            q2 = q // k
+            slots = max(-(-q2 // c), 1)
+            # assemble the layer's coarse-cell copy: everything in the k×k
+            # region but the locale's own fine block, for both operands
+            repl = bulk(
+                cfg, (c - 1) * (avg_a + avg_b) * itemsize, local=local
+            )
+            coarse_a, coarse_b = c * avg_a, c * avg_b
+            # a coarse stage covers k fine stages on k² fine cells, all on
+            # one locale — billed at the heaviest coarse-cell stage work
+            cell_flops = fine_flops.reshape(q2, k, q2, k, q2, k).sum(
+                axis=(1, 3, 5)
+            )  # [I, R, J]
+            w_max = float(cell_flops.max())
+            mult_slot = parallel_time(cfg, w_max * ec * pen, threads)
+            prod_slot = _expected_out_nnz(int(k * k * m_block), w_max) * mask_frac
+            merge_slot = parallel_time(cfg, prod_slot * ec * pen, threads)
+            compute = slots * (mult_slot + merge_slot)
+            red_elems = (c - 1) * slots * (k ** 3) * prod_fine
+            fold = parallel_time(cfg, red_elems * ec * pen, threads)
+            comm_bulk = slots * (
+                bulk(cfg, coarse_a * itemsize, local=local)
+                + bulk(cfg, coarse_b * itemsize, local=local)
+            ) + bulk(cfg, red_elems * itemsize, local=local)
+            est[f"3d[c={c}][bulk]"] = repl + comm_bulk + compute + fold
+            slot_comm = flush_cost(
+                cfg, int(coarse_a), agg=agg, local=local
+            ) + flush_cost(cfg, int(coarse_b), agg=agg, local=local)
+            red_comm = flush_cost(cfg, int(red_elems), agg=agg, local=local)
+            if agg.overlap and red_comm > 0.0:
+                red_comm = overlap_exposed(
+                    red_comm,
+                    mult_slot + merge_slot,
+                    flush_startup(cfg, int(red_elems), agg=agg, local=local),
                 )
-            est_agg += (q - 1) * exposed
-        return {"bulk": est_bulk, "agg": est_agg}
+            est[f"3d[c={c}][agg]"] = (
+                repl
+                + agg_pipeline(
+                    slot_comm, slots, mult_slot + merge_slot, coarse_a + coarse_b
+                )
+                + compute
+                + red_comm
+                + fold
+            )
+        return est
 
     def mxm_dist(
         self,
@@ -750,24 +911,54 @@ class Dispatcher:
         comm_mode: str = "auto",
         mask: DistSparseMatrix | None = None,
         complement: bool = False,
+        mask_mode: str = "fused",
+        variant: str = "auto",
+        layers: int | None = None,
         accum=None,
         out: DistSparseMatrix | None = None,
         desc=None,
         agg: AggregationConfig = AGG_DEFAULT,
     ) -> tuple[DistSparseMatrix, Breakdown]:
-        """Sparse SUMMA with the broadcast transport chosen by cost:
-        ``"bulk"`` vs ``"agg"`` (pipelined flush streams), recorded as a
+        """Distributed SpGEMM through the cheapest schedule, recorded as a
         ``dispatch[mxm_dist]`` span.
 
+        The candidate axis is schedule × transport — ``2d[bulk]`` /
+        ``2d[agg]``, ``3d[c=N][bulk]`` / ``3d[c=N][agg]`` for every valid
+        replication factor of the grid, and ``gathered``.  ``variant``
+        (``"auto"``/``"2d"``/``"3d"``/``"gathered"``) and ``comm_mode``
+        (``"auto"``/``"bulk"``/``"agg"``) force axes independently;
+        ``layers`` pins the 3-D replication factor.  Forcing ``comm_mode``
+        alone keeps the classic 2-D SUMMA (the pre-3D behaviour).
+
+        On square grids the SUMMA family is bit-identical by construction
+        (shared value plane), so auto is free to switch among 2-D and 3-D;
+        ``gathered`` reduces partial products in a different order (last-
+        bit float drift), so auto only selects it on non-square grids where
+        it is the sole candidate — forcing ``variant="gathered"`` opts in
+        explicitly.  Its estimate is still priced everywhere for
+        inspection.
+
         ``mask`` (aligned distributed matrix) restricts the product
-        structurally inside the kernel's merge step;
-        ``accum``/``out``/``desc`` run the GraphBLAS output step
-        blockwise afterwards.
+        structurally; ``mask_mode="fused"`` prunes inside every stage
+        merge, ``"post"`` filters after the last stage (bit-identical,
+        dearer — kept for ledger comparison).  ``accum``/``out``/``desc``
+        run the GraphBLAS output step blockwise afterwards.
         """
         replace = False
         if desc is not None:
             complement = complement or bool(getattr(desc, "complement", False))
             replace = bool(getattr(desc, "replace", False))
+        if comm_mode not in ("auto", "bulk", "agg"):
+            raise ValueError(f"unknown comm_mode {comm_mode!r}")
+        if variant not in ("auto", "2d", "3d", "gathered"):
+            raise ValueError(f"unknown variant {variant!r}")
+        if mask_mode not in ("fused", "post"):
+            raise ValueError(f"unknown mask_mode {mask_mode!r}")
+        square = a.grid.rows == a.grid.cols
+        if not square and variant in ("2d", "3d"):
+            raise ValueError("sparse SUMMA requires a square locale grid")
+        fused = mask is not None and mask_mode == "fused"
+        mask_key = None if mask is None else (nnz_bucket(mask.nnz), fused)
         key = (
             "mxm_dist",
             a.nrows,
@@ -778,25 +969,68 @@ class Dispatcher:
             nnz_bucket(b.nnz),
             a.grid.rows,
             a.grid.cols,
+            mask_key,
             agg,
         )
+        anchors = (a, b) if mask is None else (a, b, mask)
         est = self._priced(
-            key, (a, b), lambda: self.estimate_mxm_dist(a, b, agg=agg)
+            key,
+            anchors,
+            lambda: self.estimate_mxm_dist(a, b, mask=mask, fused=fused, agg=agg),
         )
-        forced = comm_mode != "auto"
-        if comm_mode == "auto":
-            comm_mode = min(est, key=est.__getitem__)
-        self._decide("mxm_dist", comm_mode, est, forced=forced)
-        c, bd = _mxm_dist(
-            a,
-            b,
-            self.machine,
-            semiring=semiring,
-            comm_mode=comm_mode,
-            mask=mask,
-            complement=complement,
-            agg=agg,
-        )
+        forced = comm_mode != "auto" or variant != "auto"
+        if not square or variant == "gathered":
+            chosen = "gathered"
+        elif variant == "auto" and comm_mode != "auto":
+            # pre-3D compatibility: forcing the transport alone forces the
+            # classic 2-D SUMMA it used to select between
+            chosen = f"2d[{comm_mode}]"
+        else:
+            pool = [name for name in est if name != "gathered"]
+            if variant != "auto":
+                pool = [name for name in pool if name.startswith(variant)]
+            if variant == "3d" and layers is not None:
+                pool = [name for name in pool if f"[c={int(layers)}]" in name]
+                if not pool:
+                    raise ValueError(
+                        f"no 3d candidate with layers={layers}; valid factors: "
+                        f"{replication_factors(a.grid.rows)}"
+                    )
+            if comm_mode != "auto":
+                pool = [name for name in pool if name.endswith(f"[{comm_mode}]")]
+            chosen = min(pool, key=est.__getitem__)
+        self._decide("mxm_dist", chosen, est, forced=forced)
+        if chosen == "gathered":
+            from .matrix_dist import mxm_gathered
+
+            c, bd = mxm_gathered(
+                a,
+                b,
+                self.machine,
+                semiring=semiring,
+                mask=mask,
+                complement=complement,
+            )
+        else:
+            if chosen.startswith("3d["):
+                c_part, mode = chosen[3:-1].split("][")
+                run_variant, run_layers = "3d", int(c_part[2:])
+            else:
+                mode = chosen[3:-1]
+                run_variant, run_layers = "2d", 1
+            c, bd = _mxm_dist(
+                a,
+                b,
+                self.machine,
+                semiring=semiring,
+                comm_mode=mode,
+                mask=mask,
+                complement=complement,
+                mask_mode=mask_mode,
+                variant=run_variant,
+                layers=run_layers,
+                agg=agg,
+            )
         if accum is None and out is None and not replace:
             return c, bd
         from ..exec.descriptor import merge_dist_matrix

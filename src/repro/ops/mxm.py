@@ -22,24 +22,34 @@ import numpy as np
 
 from ..runtime import fastpath
 from ..sparse.csr import CSRMatrix
+from ..sparse.dcsr import DCSRMatrix
 from ..sparse.spa import SPA
 from .mask import mask_matrix
 from ..algebra.semiring import PLUS_TIMES, Semiring
 
 __all__ = ["mxm", "mxm_gustavson", "mxm_gustavson_reference", "flops"]
 
+#: Either local storage format; the SpGEMM kernels are polymorphic over
+#: the shared (row, row_indices, extract_rows) surface and always produce
+#: CSR output, so hypersparse DCSR blocks flow through the distributed
+#: SUMMA without conversion.
+LocalMatrix = CSRMatrix | DCSRMatrix
 
-def flops(a: CSRMatrix, b: CSRMatrix) -> int:
+
+def flops(a: LocalMatrix, b: LocalMatrix) -> int:
     """Number of semiring multiplications ``A·B`` performs (size of the
-    expanded product)."""
+    expanded product).  A pure function of the stored patterns — CSR and
+    DCSR operands yield the identical count."""
     if a.ncols != b.nrows:
         raise ValueError(f"inner dimensions disagree: {a.ncols} vs {b.nrows}")
+    if isinstance(b, DCSRMatrix):
+        return int(b.row_lengths(a.colidx).sum())
     return int(np.diff(b.rowptr)[a.colidx].sum())
 
 
 def mxm(
-    a: CSRMatrix,
-    b: CSRMatrix,
+    a: LocalMatrix,
+    b: LocalMatrix,
     *,
     semiring: Semiring = PLUS_TIMES,
     mask: CSRMatrix | None = None,
@@ -50,6 +60,11 @@ def mxm(
     Expansion: for every stored ``A[i,k]``, row ``k`` of B contributes
     triples ``(i, j, A[i,k] ⊗ B[k,j])``; :meth:`CSRMatrix.from_triples`
     performs the sort+compress with the semiring's additive monoid.
+
+    Operands may be CSR or hypersparse DCSR in any mix (the expansion
+    only needs per-nonzero rows and a row gather, which both formats
+    serve — DCSR via its vectorised binary-search lookup); the output is
+    always CSR and bit-identical across operand formats.
     """
     if a.ncols != b.nrows:
         raise ValueError(f"inner dimensions disagree: {a.ncols} vs {b.nrows}")
@@ -67,8 +82,8 @@ def mxm(
 
 
 def mxm_gustavson(
-    a: CSRMatrix,
-    b: CSRMatrix,
+    a: LocalMatrix,
+    b: LocalMatrix,
     *,
     semiring: Semiring = PLUS_TIMES,
     mask: CSRMatrix | None = None,
@@ -129,8 +144,8 @@ def mxm_gustavson(
 
 
 def mxm_gustavson_reference(
-    a: CSRMatrix,
-    b: CSRMatrix,
+    a: LocalMatrix,
+    b: LocalMatrix,
     *,
     semiring: Semiring = PLUS_TIMES,
     mask: CSRMatrix | None = None,

@@ -4,6 +4,10 @@ from .coo import COOMatrix, coalesce
 from .csc import CSCMatrix
 from .csr import CSRMatrix
 from .dcsr import DCSRMatrix
+from .formats import (
+    HYPERSPARSE_RATIO, block_memory_bytes, choose_format, ensure_csr,
+    ensure_dcsr, format_name, is_hypersparse,
+)
 from .sort import merge_sort, merge_two, radix_sort
 from .spa import SPA
 from .validate import (
@@ -17,4 +21,6 @@ __all__ = [
     "DenseVector", "coalesce", "merge_sort", "merge_two", "radix_sort",
     "ValidationError", "validate_csr", "validate_vector", "validate_coo",
     "same_pattern",
+    "HYPERSPARSE_RATIO", "block_memory_bytes", "choose_format",
+    "ensure_csr", "ensure_dcsr", "format_name", "is_hypersparse",
 ]

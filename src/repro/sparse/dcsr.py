@@ -18,7 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .csr import CSRMatrix
+from ..runtime import fastpath
+from .coo import COOMatrix
+from .csr import CSRMatrix, _ranges
 
 __all__ = ["DCSRMatrix"]
 
@@ -122,6 +124,61 @@ class DCSRMatrix:
         stops = self.rowptr[pos_c[hp] + 1]
         return hp, starts, stops
 
+    def row_indices(self) -> np.ndarray:
+        """Per-nonzero *global* row index array (COO rows) — the DCSR
+        analogue of :meth:`CSRMatrix.row_indices`."""
+        return np.repeat(self.rowids, np.diff(self.rowptr))
+
+    def row_lengths(self, rows: np.ndarray) -> np.ndarray:
+        """Stored-entry count of each queried row (0 for absent rows)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        lens = np.zeros(rows.size, dtype=np.int64)
+        hp, starts, stops = self.rows_of(rows)
+        lens[hp] = stops - starts
+        return lens
+
+    def extract_rows(self, rows: np.ndarray) -> CSRMatrix:
+        """Submatrix of the given rows (in the given order), as CSR — the
+        row-gather SpGEMM's expansion step performs per A-nonzero.
+
+        Fast path: one vectorised binary search (:meth:`rows_of`) plus a
+        ranges gather, mirroring :meth:`CSRMatrix.extract_rows`; the
+        reference path walks rows one :meth:`row` lookup at a time.  Both
+        return bit-identical CSR output.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if not fastpath.enabled():
+            out_ptr = np.zeros(rows.size + 1, dtype=np.int64)
+            cols: list[np.ndarray] = []
+            vals: list[np.ndarray] = []
+            for k in range(rows.size):
+                rcols, rvals = self.row(int(rows[k]))
+                out_ptr[k + 1] = out_ptr[k] + rcols.size
+                cols.append(rcols)
+                vals.append(rvals)
+            return CSRMatrix(
+                rows.size,
+                self.ncols,
+                out_ptr,
+                np.concatenate(cols) if cols else np.empty(0, np.int64),
+                (
+                    np.concatenate(vals)
+                    if vals
+                    else np.empty(0, self.values.dtype)
+                ),
+            )
+        hp, starts, stops = self.rows_of(rows)
+        lens = np.zeros(rows.size, dtype=np.int64)
+        lens[hp] = stops - starts
+        out_ptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=out_ptr[1:])
+        all_starts = np.zeros(rows.size, dtype=np.int64)
+        all_starts[hp] = starts
+        gather = _ranges(all_starts, lens)
+        return CSRMatrix(
+            rows.size, self.ncols, out_ptr, self.colidx[gather], self.values[gather]
+        )
+
     def memory_bytes(self) -> int:
         """Bytes of index+value storage (the hypersparse saving vs CSR)."""
         return int(
@@ -129,6 +186,16 @@ class DCSRMatrix:
         )
 
     # -- conversions -----------------------------------------------------------------
+
+    def to_coo(self) -> COOMatrix:
+        """Convert to COO triples (global row ids)."""
+        return COOMatrix(
+            self.nrows,
+            self.ncols,
+            self.row_indices(),
+            self.colidx.copy(),
+            self.values.copy(),
+        )
 
     def to_csr(self) -> CSRMatrix:
         """Expand back to CSR (restores the O(nrows) pointer)."""

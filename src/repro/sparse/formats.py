@@ -1,0 +1,76 @@
+"""Local-block storage-format policy: CSR vs DCSR (hypersparse).
+
+Buluç & Gilbert's scaling analysis (arXiv 1109.3739): under a 2-D block
+distribution each locale's block holds ``nnz/p`` entries over ``n/√p``
+rows, so the blocks go *hypersparse* (``nnz < nrows``) long before the
+global matrix does — and CSR's O(nrows) row pointer then dominates both
+memory and traversal.  DCSR stores only the non-empty rows and wins
+exactly in that regime.
+
+This module is the single place the threshold lives.  A block is stored
+as DCSR when ``nnz < HYPERSPARSE_RATIO * nrows`` — i.e. when the dense
+row pointer would outweigh the entries it indexes.  The choice is pure
+storage: every kernel cost formula in the simulator is a function of
+``nnz``/flops only, so CSR- and DCSR-blocked runs produce bit-identical
+results *and* ledgers (pinned by ``tests/sparse/test_dcsr_dist.py``);
+the saving shows up in :func:`block_memory_bytes` and wall clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .dcsr import DCSRMatrix
+
+__all__ = [
+    "HYPERSPARSE_RATIO",
+    "is_hypersparse",
+    "choose_format",
+    "ensure_csr",
+    "ensure_dcsr",
+    "format_name",
+    "block_memory_bytes",
+]
+
+#: Blocks with ``nnz < ratio * nrows`` compress to DCSR; at 1.0 the
+#: crossover is where the CSR row pointer has more slots than entries.
+HYPERSPARSE_RATIO = 1.0
+
+
+def is_hypersparse(
+    nnz: int, nrows: int, *, ratio: float = HYPERSPARSE_RATIO
+) -> bool:
+    """True when a block of this population should be doubly compressed."""
+    return nnz < ratio * nrows
+
+
+def format_name(blk: CSRMatrix | DCSRMatrix) -> str:
+    """``"csr"`` or ``"dcsr"``."""
+    return "dcsr" if isinstance(blk, DCSRMatrix) else "csr"
+
+
+def ensure_csr(blk: CSRMatrix | DCSRMatrix) -> CSRMatrix:
+    """The block as CSR (no copy when it already is one)."""
+    return blk.to_csr() if isinstance(blk, DCSRMatrix) else blk
+
+
+def ensure_dcsr(blk: CSRMatrix | DCSRMatrix) -> DCSRMatrix:
+    """The block as DCSR (no copy when it already is one)."""
+    return blk if isinstance(blk, DCSRMatrix) else DCSRMatrix.from_csr(blk)
+
+
+def choose_format(
+    blk: CSRMatrix | DCSRMatrix, *, ratio: float = HYPERSPARSE_RATIO
+) -> CSRMatrix | DCSRMatrix:
+    """Re-store ``blk`` in the format the hypersparsity threshold picks."""
+    if is_hypersparse(blk.nnz, blk.shape[0], ratio=ratio):
+        return ensure_dcsr(blk)
+    return ensure_csr(blk)
+
+
+def block_memory_bytes(blk: CSRMatrix | DCSRMatrix) -> int:
+    """Index + value bytes of a block in its current format."""
+    if isinstance(blk, DCSRMatrix):
+        return blk.memory_bytes()
+    return int(blk.rowptr.nbytes + blk.colidx.nbytes + blk.values.nbytes)

@@ -196,7 +196,9 @@ class TestDispatcherCaching:
             d.vxm(a, x)
             d.vxm(a, x)
         assert len(d.plan_cache) == 0
-        assert d.plan_cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert d.plan_cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+        }
 
     @given(pair=matrix_vector_pairs(min_side=4, max_side=20, square=True))
     @settings(PROFILE_FAST)
