@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-props test-chaos test-algos test-spmd test-telemetry bench bench-agg bench-frontend bench-wall bench-spgemm bench-gate bench-full figures report examples clean
+.PHONY: install test test-fast test-props test-chaos test-algos test-spmd test-telemetry test-streaming bench bench-agg bench-frontend bench-wall bench-spgemm bench-streaming bench-gate bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -40,6 +40,10 @@ test-telemetry:      ## observability suites: registry, timeline, profiling hook
 	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-quick} \
 	    $(PYTHON) -m pytest -m telemetry tests/
 
+test-streaming:      ## streaming tier: delta batches, incremental algorithms, ingest telemetry
+	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-quick} \
+	    $(PYTHON) -m pytest -m streaming tests/
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -54,6 +58,9 @@ bench-wall:          ## fast-path wall-clock before/after; writes results/BENCH_
 
 bench-spgemm:        ## distributed SpGEMM schedule ablation; writes results/BENCH_spgemm.json
 	$(PYTHON) -m pytest benchmarks/test_abl_spgemm.py
+
+bench-streaming:     ## incremental-vs-full streaming ablation; writes results/BENCH_streaming.json
+	$(PYTHON) -m pytest benchmarks/test_abl_streaming.py
 
 bench-gate:          ## perf-regression gate vs results/BENCH_*.json golden baselines
 	$(PYTHON) -m repro gate

@@ -6,11 +6,17 @@ from .bfs import (
     bfs_levels_batch,
     bfs_levels_dispatch,
     bfs_levels_dist,
+    bfs_levels_incremental,
     bfs_parents,
     bfs_parents_dist,
 )
 from .bfs_do import bfs_levels_do
-from .cc import connected_components, connected_components_dist, num_components
+from .cc import (
+    connected_components,
+    connected_components_dist,
+    connected_components_incremental,
+    num_components,
+)
 from .coloring import greedy_coloring, is_valid_coloring
 from .delta_stepping import delta_stepping
 from .kcore import kcore_decomposition, kcore_subgraph
@@ -18,7 +24,7 @@ from .ktruss import edge_support, ktruss
 from .lcc import average_clustering, local_clustering, triangles_per_vertex
 from .matching import is_valid_matching, maximal_matching
 from .mis import maximal_independent_set
-from .pagerank import pagerank, pagerank_dist
+from .pagerank import pagerank, pagerank_dist, pagerank_incremental
 from .sssp import NegativeCycleError, sssp
 from .triangle import count_triangles
 
@@ -27,12 +33,14 @@ __all__ = [
     "bfs_levels",
     "bfs_levels_batch",
     "bfs_levels_dispatch",
+    "bfs_levels_incremental",
     "bfs_parents_dist",
     "bfs_levels_do",
     "bfs_parents",
     "bfs_levels_dist",
     "connected_components",
     "connected_components_dist",
+    "connected_components_incremental",
     "greedy_coloring",
     "is_valid_coloring",
     "delta_stepping",
@@ -49,6 +57,7 @@ __all__ = [
     "num_components",
     "pagerank",
     "pagerank_dist",
+    "pagerank_incremental",
     "sssp",
     "NegativeCycleError",
     "count_triangles",

@@ -58,6 +58,12 @@ __all__ = [
     "spgemm_sweep",
     "spgemm_mask_sweep",
     "run_spgemm",
+    "STREAM_BATCH_SIZES",
+    "STREAM_N_BATCHES",
+    "streaming_workloads",
+    "streaming_batches",
+    "streaming_sweep",
+    "run_streaming",
     "RERUNNERS",
 ]
 
@@ -652,6 +658,138 @@ def run_spgemm() -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# streaming-ingest ablation (BENCH_streaming.json; incremental vs full)
+# ---------------------------------------------------------------------------
+
+STREAM_BATCH_SIZES = [8, 64, 256]
+STREAM_N_BATCHES = 4
+STREAM_ER_N, STREAM_ER_DEG = 4096, 8
+STREAM_RMAT_SCALE, STREAM_RMAT_EF = 12, 8
+
+
+def streaming_workloads() -> dict[str, CSRMatrix]:
+    """Deterministic base graphs for the ingest sweep (seeds fixed forever)."""
+    return {
+        "er": erdos_renyi(STREAM_ER_N, STREAM_ER_DEG, seed=41),
+        "rmat": rmat(STREAM_RMAT_SCALE, STREAM_RMAT_EF, seed=42, values="uniform"),
+    }
+
+
+def streaming_batches(n: int, batch_edges: int, nbatches: int, seed: int) -> list:
+    """Insert-only delta batches of ``batch_edges`` random weighted edges.
+
+    Insert-only keeps the incremental BFS on its repair path (no deleted
+    tree edges), which is exactly the regime the speedup claim is about;
+    the delete fallbacks are covered by the differential test suite.
+    """
+    from ..streaming import UpdateBatch
+
+    rng = np.random.default_rng(seed)
+    return [
+        UpdateBatch.from_edges(
+            n,
+            n,
+            inserts=(
+                rng.integers(0, n, batch_edges),
+                rng.integers(0, n, batch_edges),
+                rng.uniform(0.5, 2.0, batch_edges),
+            ),
+        )
+        for _ in range(nbatches)
+    ]
+
+
+def _stream_machine(threads: int = 8) -> Machine:
+    m = shared_machine(threads)
+    return Machine(
+        config=m.config,
+        grid=m.grid,
+        threads_per_locale=threads,
+        ledger=CostLedger(),
+    )
+
+
+def streaming_sweep(workloads=None) -> dict:
+    """Per (workload, batch size): simulated ingest cost plus the
+    incremental-repair vs full-recompute BFS comparison.
+
+    Every row replays ``STREAM_N_BATCHES`` batches through a
+    :class:`~repro.streaming.stream.GraphStream` and, after each, repairs
+    a BFS result incrementally *and* recomputes it from scratch on the
+    same live handle — same backend, same ledger — so the two costs are
+    directly comparable slices of one simulated run.  ``exact`` records
+    that the repaired levels matched the recomputation bit-for-bit.
+    """
+    from ..algorithms import bfs_levels_incremental
+    from ..runtime.telemetry.registry import MetricsRegistry
+    from ..streaming import GraphStream
+
+    workloads = streaming_workloads() if workloads is None else workloads
+    out: dict[str, dict] = {}
+    for name, a in workloads.items():
+        for batch_edges in STREAM_BATCH_SIZES:
+            batches = streaming_batches(
+                a.nrows, batch_edges, STREAM_N_BATCHES, seed=43
+            )
+            backend = ShmBackend(_stream_machine())
+            ledger = backend.machine.ledger
+            stream = GraphStream(backend, a.copy(), registry=MetricsRegistry())
+            levels = bfs_levels(stream.handle, 0, backend=backend)
+            apply_s = inc_s = full_s = 0.0
+            wall_inc = wall_full = 0.0
+            exact = True
+            for batch in batches:
+                t0 = ledger.total
+                stream.apply(batch)
+                apply_s += ledger.total - t0
+                t0 = ledger.total
+                levels, w = _timed(
+                    lambda: bfs_levels_incremental(
+                        stream.handle, 0, levels, batch, backend=backend
+                    )
+                )
+                inc_s += ledger.total - t0
+                wall_inc += w
+                t0 = ledger.total
+                cold, w = _timed(
+                    lambda: bfs_levels(stream.handle, 0, backend=backend)
+                )
+                full_s += ledger.total - t0
+                wall_full += w
+                exact = exact and bool(np.array_equal(levels, cold))
+            out[f"{name}/b{batch_edges}"] = {
+                "batch_edges": batch_edges,
+                "nnz": int(stream.nnz),
+                "apply_s": apply_s,
+                "incremental_s": inc_s,
+                "full_s": full_s,
+                # dimensionless, so outside the 10% simulated-seconds gate
+                "speedup": (full_s / inc_s) if inc_s > 0.0 else None,
+                "exact": exact,
+                "wall_incremental_s": wall_inc,
+                "wall_full_s": wall_full,
+            }
+    return out
+
+
+def run_streaming() -> dict:
+    """The streaming-ingest ablation as a schema-valid BENCH payload."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "streaming",
+        "description": "incremental BFS repair vs full recomputation over "
+        "streamed delta batches, across batch sizes on ER and R-MAT",
+        "batch_sizes": STREAM_BATCH_SIZES,
+        "configs": {
+            "er": {"n": STREAM_ER_N, "deg": STREAM_ER_DEG},
+            "rmat": {"scale": STREAM_RMAT_SCALE, "edge_factor": STREAM_RMAT_EF},
+            "nbatches": STREAM_N_BATCHES,
+        },
+        "results": {"ingest": streaming_sweep()},
+    }
+
+
 #: bench name (the BENCH_<name>.json stem) → payload re-runner, used by the
 #: regression gate to regenerate current numbers for a golden baseline.
 RERUNNERS = {
@@ -659,4 +797,5 @@ RERUNNERS = {
     "frontend": run_frontend,
     "wall": run_wall,
     "spgemm": run_spgemm,
+    "streaming": run_streaming,
 }

@@ -208,6 +208,7 @@ PROFILED_OPS = frozenset(
         "to_csr", "to_sparse",
         "row_degrees", "transpose", "tril", "extract", "select_matrix",
         "apply_vector", "apply_matrix", "pattern", "assign",
+        "apply_updates",
         "ewise_mult", "ewise_add",
         "vxm", "vxm_dense", "mxv_dense", "mxm",
         "reduce_vector", "reduce_matrix", "reduce_rows_dense",
@@ -280,6 +281,12 @@ class Backend(Protocol):
     def assign(self, dst, src) -> Any: ...
     def ewise_mult(self, u, v, op: BinaryOp) -> Any: ...
     def ewise_add(self, u, v, op) -> Any: ...
+
+    # streaming updates (see repro.streaming): mutate ``a`` IN PLACE by one
+    # hypersparse delta batch (deletes first, then upserts merged with
+    # ``accum``; default overwrite) and bump its storage mutation epoch so
+    # every identity-anchored cache (plans, transposes) misses afterwards.
+    def apply_updates(self, a, batch, *, accum: BinaryOp | None = None) -> Any: ...
 
     # products
     def vxm(

@@ -27,8 +27,11 @@ from ..distributed.dist_vector import DistDenseVector, DistSparseVector
 from ..ops.dispatch import Dispatcher
 from ..ops.ewise import ewiseadd_vv, ewisemult_vv
 from ..ops.spmv import spmv_dist
+from ..runtime.clock import Breakdown
+from ..runtime.epoch import bump_epoch, epoch_of
 from ..runtime.locale import Machine
 from ..sparse.csr import CSRMatrix
+from ..sparse.formats import ensure_csr
 from ..sparse.vector import SparseVector
 from .backend import BackendBase
 from .descriptor import Descriptor
@@ -57,7 +60,7 @@ class DistBackend(BackendBase):
         self.scatter_mode = scatter_mode
         self.sort = sort
         self.comm_mode = comm_mode
-        self._transposes: dict[int, tuple[DistMatrix, DistMatrix]] = {}
+        self._transposes: dict[int, tuple[DistMatrix, DistMatrix, int]] = {}
 
     # -- constructors / bridges -------------------------------------------------
 
@@ -108,12 +111,13 @@ class DistBackend(BackendBase):
     def transpose(self, a: DistMatrix) -> DistMatrix:
         """``Aᵀ``, cached per handle for reuse across iterations."""
         # keyed by id with the handle kept alive in the value, so a
-        # recycled id can never alias a dead handle's transpose
+        # recycled id can never alias a dead handle's transpose; the
+        # storage epoch guards against in-place mutation (apply_updates)
         hit = self._transposes.get(id(a))
-        if hit is not None and hit[0] is a:
+        if hit is not None and hit[0] is a and hit[2] == epoch_of(a.data):
             return hit[1]
         cached = a.T
-        self._transposes[id(a)] = (a, cached)
+        self._transposes[id(a)] = (a, cached, epoch_of(a.data))
         return cached
 
     def tril(self, a: DistMatrix, k: int = 0) -> DistMatrix:
@@ -161,6 +165,56 @@ class DistBackend(BackendBase):
         return DistVector(
             DistSparseVector(ud.capacity, ud.grid, blocks), self.machine
         )
+
+    # -- streaming updates ------------------------------------------------------
+
+    def apply_updates(self, a: DistMatrix, batch, *, accum=None) -> DistMatrix:
+        """Mutate ``a`` in place by one delta batch, SPMD-style.
+
+        The batch's deltas are cut into the same 2-D block partition as
+        ``a``, each locale merges its own block (cost = the slowest
+        locale, coforall semantics), and the merged blocks are written
+        back through :func:`~repro.ops.assign.assign_agg` — so the
+        write-back bills the aggregated get/put streams and retries
+        whole batches under fault injection, exactly like every other
+        distributed assign.  Block storage formats are preserved, and
+        the storage mutation epoch is bumped so identity-anchored plan
+        and transpose caches miss from the next op on.
+        """
+        from ..ops.assign import assign_agg
+        from ..streaming.delta import UpdateBatch, apply_batch_csr, apply_cost
+
+        dist = a.data
+        if batch.shape != dist.shape:
+            raise ValueError(
+                f"batch shape {batch.shape} != matrix shape {dist.shape}"
+            )
+        grid = dist.grid
+        ups = batch.upserts_csr()
+        dels = batch.deletes_csr()
+        ups_d = None if ups is None else DistSparseMatrix.from_global(ups, grid)
+        dels_d = None if dels is None else DistSparseMatrix.from_global(dels, grid)
+        merged: list[CSRMatrix] = []
+        slowest = 0.0
+        for k, blk in enumerate(dist.blocks):
+            blk_csr = ensure_csr(blk)
+            local = UpdateBatch(
+                blk_csr.nrows,
+                blk_csr.ncols,
+                upserts=None if ups_d is None else ups_d.blocks[k],
+                deletes=None if dels_d is None else dels_d.blocks[k],
+            )
+            slowest = max(
+                slowest, apply_cost(self.machine, blk_csr.nnz, local).total
+            )
+            merged.append(apply_batch_csr(blk_csr, local, accum=accum))
+        self.machine.record("apply_updates", Breakdown({"apply": slowest}))
+        src = DistSparseMatrix(dist.nrows, dist.ncols, grid, merged)
+        assign_agg(dist, src, self.machine)
+        for blk in dist.blocks:
+            bump_epoch(blk)
+        bump_epoch(dist)
+        return a
 
     # -- products ---------------------------------------------------------------
 

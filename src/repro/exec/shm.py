@@ -18,6 +18,7 @@ from ..matrix_api import Matrix
 from ..ops.dispatch import Dispatcher
 from ..ops.mxm import mxm
 from ..ops.spmv import spmv, vxm_dense
+from ..runtime.epoch import bump_epoch, epoch_of
 from ..runtime.locale import Machine, shared_machine
 from ..sparse.csr import CSRMatrix
 from ..sparse.vector import DenseVector, SparseVector
@@ -50,7 +51,7 @@ class ShmBackend(BackendBase):
             pull_threshold=pull_threshold,
             assume_transpose_amortized=assume_transpose_amortized,
         )
-        self._transposes: dict[int, tuple[Matrix, Matrix]] = {}
+        self._transposes: dict[int, tuple[Matrix, Matrix, int]] = {}
 
     # -- constructors / bridges -------------------------------------------------
 
@@ -91,12 +92,13 @@ class ShmBackend(BackendBase):
     def transpose(self, a: Matrix) -> Matrix:
         """``Aᵀ``, cached per handle for reuse across iterations."""
         # keyed by id with the handle kept alive in the value, so a
-        # recycled id can never alias a dead handle's transpose
+        # recycled id can never alias a dead handle's transpose; the
+        # storage epoch guards against in-place mutation (apply_updates)
         hit = self._transposes.get(id(a))
-        if hit is not None and hit[0] is a:
+        if hit is not None and hit[0] is a and hit[2] == epoch_of(a.data):
             return hit[1]
         cached = a.T
-        self._transposes[id(a)] = (a, cached)
+        self._transposes[id(a)] = (a, cached, epoch_of(a.data))
         self.dispatcher.seed_transpose(cached.data, a.data)
         self.dispatcher.seed_transpose(a.data, cached.data)
         return cached
@@ -134,6 +136,30 @@ class ShmBackend(BackendBase):
     def ewise_add(self, u: Vector, v: Vector, op=PLUS_MONOID) -> Vector:
         """Union merge."""
         return u.ewise_add(v, op)
+
+    # -- streaming updates ------------------------------------------------------
+
+    def apply_updates(self, a: Matrix, batch, *, accum: BinaryOp | None = None) -> Matrix:
+        """Mutate ``a`` in place by one delta batch (deletes, then upserts).
+
+        The merged CSR's arrays are written back into ``a``'s existing
+        storage object and its mutation epoch bumped, so every
+        identity-anchored cache (dispatch plans, transposes) misses on
+        the next use instead of serving pre-mutation results.
+        """
+        from ..streaming.delta import apply_batch_csr, apply_cost
+
+        csr = a.data
+        cost = apply_cost(self.machine, csr.nnz, batch)
+        merged = apply_batch_csr(csr, batch, accum=accum)
+        csr.rowptr, csr.colidx, csr.values = (
+            merged.rowptr,
+            merged.colidx,
+            merged.values,
+        )
+        bump_epoch(csr)
+        self.machine.record("apply_updates", cost)
+        return a
 
     # -- products ---------------------------------------------------------------
 

@@ -1,7 +1,7 @@
 """I/O: Matrix Market reading and writing."""
 
 from .binary import load_npz, load_vector_npz, save_npz, save_vector_npz
-from .edgelist import read_edgelist, write_edgelist
+from .edgelist import iter_edgelist_chunks, read_edgelist, write_edgelist
 from .mmio import read_matrix_market, read_vector, write_matrix_market, write_vector
 
 __all__ = [
@@ -9,6 +9,7 @@ __all__ = [
     "write_matrix_market",
     "read_vector",
     "write_vector",
+    "iter_edgelist_chunks",
     "read_edgelist",
     "write_edgelist",
     "save_npz",

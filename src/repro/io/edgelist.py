@@ -14,7 +14,63 @@ import numpy as np
 
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["read_edgelist", "write_edgelist"]
+__all__ = ["iter_edgelist_chunks", "read_edgelist", "write_edgelist"]
+
+
+def _parse_line(lineno: int, line: str):
+    line = line.strip()
+    if not line or line.startswith(("#", "%")):
+        return None
+    parts = line.split()
+    if len(parts) < 2:
+        raise ValueError(f"line {lineno}: expected 'u v [w]', got {line!r}")
+    return int(parts[0]), int(parts[1]), float(parts[2]) if len(parts) > 2 else 1.0
+
+
+def iter_edgelist_chunks(path_or_file, chunk_edges: int):
+    """Yield ``(u, v, w)`` array triples of at most ``chunk_edges`` edges.
+
+    The streaming counterpart of :func:`read_edgelist`: the file is read
+    line by line (never materialised whole), so arbitrarily large SNAP
+    downloads can feed a :class:`~repro.streaming.stream.GraphStream` —
+    wrap each chunk in an
+    :class:`~repro.streaming.delta.UpdateBatch` (or use
+    :func:`~repro.streaming.stream.batches_from_edgelist`, which does
+    exactly that).  Vertex ids are passed through as-is; relabelling is
+    a whole-file operation and belongs to ``read_edgelist(compact=True)``.
+    """
+    if chunk_edges <= 0:
+        raise ValueError("chunk_edges must be positive")
+    own = isinstance(path_or_file, (str, Path))
+    f = open(path_or_file) if own else path_or_file
+    us, vs, ws = [], [], []
+    try:
+        for lineno, line in enumerate(f, 1):
+            parsed = _parse_line(lineno, line)
+            if parsed is None:
+                continue
+            u, v, w = parsed
+            if u < 0 or v < 0:
+                raise ValueError(f"line {lineno}: negative vertex id")
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
+            if len(us) == chunk_edges:
+                yield (
+                    np.asarray(us, dtype=np.int64),
+                    np.asarray(vs, dtype=np.int64),
+                    np.asarray(ws),
+                )
+                us, vs, ws = [], [], []
+        if us:
+            yield (
+                np.asarray(us, dtype=np.int64),
+                np.asarray(vs, dtype=np.int64),
+                np.asarray(ws),
+            )
+    finally:
+        if own:
+            f.close()
 
 
 def read_edgelist(

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..runtime import fastpath
+from ..runtime.epoch import epoch_of
 
 from ..algebra.functional import BinaryOp
 from ..algebra.semiring import PLUS_TIMES, Semiring
@@ -143,7 +144,14 @@ class PlanCache:
       different key — stale plans are unreachable, not patched;
     * a different matrix object that happens to reuse a key (e.g. after
       garbage collection) misses via the anchor check instead of replaying
-      the wrong plan.
+      the wrong plan;
+    * **in-place mutation** — identity anchors cannot see it, so every
+      matrix-keyed plan also carries the operands' mutation epochs
+      (:func:`~repro.runtime.epoch.epoch_of`) in its structural key.  The
+      streaming engine bumps the epoch on every applied delta batch,
+      making all plans priced against the pre-update data unreachable
+      (the regression suite in ``tests/ops/test_plan_cache.py`` pins
+      this).
 
     Simulated time is unaffected by construction: the decision span charged
     by ``Dispatcher._decide`` depends only on the candidate count and the
@@ -287,7 +295,7 @@ class Dispatcher:
         self.pull_threshold = pull_threshold
         self.assume_transpose_amortized = assume_transpose_amortized
         self.decisions: list[Decision] = []
-        self._transposes: dict[int, tuple[CSRMatrix, CSRMatrix]] = {}
+        self._transposes: dict[int, tuple[CSRMatrix, CSRMatrix, int]] = {}
         #: memoised candidate pricing (see :class:`PlanCache`); bypassed
         #: when the fast path is disabled
         self.plan_cache = PlanCache()
@@ -314,16 +322,19 @@ class Dispatcher:
         )
 
     def transpose_of(self, a: CSRMatrix) -> CSRMatrix:
-        """``Aᵀ``, materialised once per matrix and cached.
+        """``Aᵀ``, materialised once per matrix *epoch* and cached.
 
         The build is charged to the ledger as a ``dispatch[transpose]``
-        span the first time, then reused for every later pull.
+        span the first time, then reused for every later pull.  An
+        in-place mutation of ``a`` (a streaming delta batch bumping its
+        epoch) invalidates the entry, so the next pull rebuilds — and
+        re-bills — the transpose instead of reading stale data.
         """
         cached = self._transposes.get(id(a))
-        if cached is not None and cached[0] is a:
+        if cached is not None and cached[0] is a and cached[2] == epoch_of(a):
             return cached[1]
         at = a.transposed()
-        self._transposes[id(a)] = (a, at)
+        self._transposes[id(a)] = (a, at, epoch_of(a))
         self.machine.record(
             "dispatch[transpose]", Breakdown({"build": self._transpose_build_cost(a)})
         )
@@ -338,12 +349,14 @@ class Dispatcher:
         """Register an already-materialised ``at = Aᵀ`` without charging a
         build — for callers (e.g. ``Matrix.mxv``) that hold both
         orientations anyway; returns self."""
-        self._transposes[id(a)] = (a, at)
+        self._transposes[id(a)] = (a, at, epoch_of(a))
         return self
 
     def _has_transpose(self, a: CSRMatrix) -> bool:
         cached = self._transposes.get(id(a))
-        return cached is not None and cached[0] is a
+        return (
+            cached is not None and cached[0] is a and cached[2] == epoch_of(a)
+        )
 
     # -- decision bookkeeping -----------------------------------------------
 
@@ -473,9 +486,9 @@ class Dispatcher:
         push_pool = PUSH_KERNELS if mask is None else (PUSH_MERGE, PUSH_RADIX)
         if mode == PUSH_SORTBASED and mask is not None:
             raise ValueError("push[sortbased] does not support masks")
-        # plan-cache key: matrix identity (anchored) + shape, the frontier's
-        # and mask's nnz buckets, and the transpose-availability state the
-        # pull estimate depends on
+        # plan-cache key: matrix identity (anchored) + mutation epoch +
+        # shape, the frontier's and mask's nnz buckets, and the
+        # transpose-availability state the pull estimate depends on
         mask_key = (
             None
             if mask is None
@@ -486,6 +499,7 @@ class Dispatcher:
             a.nrows,
             a.ncols,
             nnz_bucket(a.nnz),
+            epoch_of(a),
             nnz_bucket(x.nnz),
             mask_key,
             self._has_transpose(a),
@@ -663,6 +677,7 @@ class Dispatcher:
             a.nrows,
             a.ncols,
             nnz_bucket(a.nnz),
+            epoch_of(a),
             a.grid.rows,
             a.grid.cols,
             tuple(nnz_bucket(blk.nnz) for blk in x.blocks),
@@ -958,7 +973,9 @@ class Dispatcher:
         if not square and variant in ("2d", "3d"):
             raise ValueError("sparse SUMMA requires a square locale grid")
         fused = mask is not None and mask_mode == "fused"
-        mask_key = None if mask is None else (nnz_bucket(mask.nnz), fused)
+        mask_key = (
+            None if mask is None else (nnz_bucket(mask.nnz), epoch_of(mask), fused)
+        )
         key = (
             "mxm_dist",
             a.nrows,
@@ -967,6 +984,8 @@ class Dispatcher:
             b.ncols,
             nnz_bucket(a.nnz),
             nnz_bucket(b.nnz),
+            epoch_of(a),
+            epoch_of(b),
             a.grid.rows,
             a.grid.cols,
             mask_key,

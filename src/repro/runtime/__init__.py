@@ -21,6 +21,7 @@ from .aggregation import (
 )
 from .clock import Breakdown, CostLedger
 from .config import EDISON, LAPTOP, MachineConfig
+from .epoch import bump_epoch, epoch_of
 from .faults import (
     RETRY_STEP,
     FaultEvent,
@@ -47,6 +48,7 @@ __all__ = [
     "Breakdown", "CostLedger", "MachineConfig", "EDISON", "LAPTOP", "FAT_NODE", "FAST_NETWORK", "ETHERNET_CLUSTER",
     "PRESETS", "preset",
     "Locale", "LocaleGrid", "Machine", "shared_machine",
+    "bump_epoch", "epoch_of",
     "RETRY_STEP", "FaultEvent", "FaultInjector", "FaultPlan", "LocaleFailure",
     "RetryExhausted", "RetryPolicy",
     "AGG_DEFAULT", "AggregationConfig", "BufferPool", "ExchangeCost",

@@ -1,0 +1,32 @@
+"""Streaming graph engine — hypersparse delta batches over a mutable graph.
+
+The paper's stack (and PRs 1–8) is batch-static: build a matrix once, run
+algorithms against it.  Jananthan et al.'s matrix-based graph-streaming
+program (PAPERS.md: arXiv 2509.18984) maps edge-update streams directly
+onto the GraphBLAS machinery this repo already has: an update batch *is*
+a hypersparse matrix, applying it *is* a masked merge through
+``accum``/``assign`` — so streaming needs no new kernel, only a delta
+representation (:class:`UpdateBatch`), an application seam on the backend
+protocol (``Backend.apply_updates``), and an epoch discipline so every
+identity-anchored cache notices the mutation
+(:mod:`repro.runtime.epoch`).
+
+:class:`GraphStream` ties it together: it owns a backend matrix handle,
+applies batches under ``stream[epoch=k]:`` ledger prefixes, exports
+ingest-rate / batch-latency / staleness telemetry, and drives attached
+:class:`IncrementalView` states (delta-BFS, dynamic CC, warm-restart
+PageRank — see :mod:`repro.algorithms`) that repair their cached results
+instead of recomputing from scratch.  See ``docs/streaming.md``.
+"""
+
+from .delta import UpdateBatch, apply_batch_csr, apply_cost
+from .stream import GraphStream, IncrementalView, batches_from_edgelist
+
+__all__ = [
+    "UpdateBatch",
+    "apply_batch_csr",
+    "apply_cost",
+    "GraphStream",
+    "IncrementalView",
+    "batches_from_edgelist",
+]

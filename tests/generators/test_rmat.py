@@ -21,6 +21,29 @@ class TestRmat:
         b = rmat(6, 4, seed=3)
         assert np.array_equal(a.colidx, b.colidx)
 
+    @pytest.mark.parametrize("values", ["one", "uniform"])
+    def test_int_seed_equals_generator_seed(self, values):
+        """``seed=k`` is shorthand for ``seed=np.random.default_rng(k)`` —
+        the two spellings draw the identical stream, so checked-in
+        workloads (benchmarks, streaming fixtures) are reproducible no
+        matter which form the caller used."""
+        for k in (0, 3, 1234):
+            a = rmat(6, 4, seed=k, values=values)
+            b = rmat(6, 4, seed=np.random.default_rng(k), values=values)
+            assert np.array_equal(a.rowptr, b.rowptr)
+            assert np.array_equal(a.colidx, b.colidx)
+            assert np.array_equal(a.values, b.values)
+
+    def test_generator_seed_advances_state(self):
+        """A passed-in Generator is consumed, not re-seeded: two draws from
+        the same Generator give two different graphs."""
+        rng = np.random.default_rng(8)
+        a = rmat(6, 4, seed=rng)
+        b = rmat(6, 4, seed=rng)
+        assert not (
+            a.nnz == b.nnz and np.array_equal(a.colidx, b.colidx)
+        )
+
     def test_skewed_degrees(self):
         # R-MAT with Graph500 params is much more skewed than Erdős–Rényi
         a = rmat(10, 16, seed=4)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.generators import erdos_renyi
-from repro.io import read_edgelist, write_edgelist
+from repro.io import iter_edgelist_chunks, read_edgelist, write_edgelist
 
 
 class TestRead:
@@ -71,3 +71,85 @@ class TestRoundtrip:
         write_edgelist(p, erdos_renyi(5, 1, seed=3), comment="hello\nworld")
         text = p.read_text()
         assert text.startswith("# hello\n# world\n")
+
+    def test_weighted_roundtrip_preserves_values(self, tmp_path):
+        """Non-unit weights survive write → read exactly (within the %g
+        formatting used by write_edgelist)."""
+        a = erdos_renyi(25, 3, seed=4, values="uniform")
+        p = tmp_path / "w.el"
+        write_edgelist(p, a)
+        b = read_edgelist(p, n=25)
+        assert np.allclose(a.to_dense(), b.to_dense(), rtol=1e-5)
+        assert b.nnz == a.nnz
+
+    def test_compact_roundtrip_with_weights(self, tmp_path):
+        """Sparse original ids + weights: compact relabelling preserves
+        both the structure (under the returned mapping) and the values."""
+        text = "1000 5 2.5\n5 70000 0.25\n70000 1000 4\n"
+        p = tmp_path / "sparse_ids.el"
+        p.write_text(text)
+        a, ids = read_edgelist(p, compact=True)
+        assert np.array_equal(ids, [5, 1000, 70000])
+        assert a.shape == (3, 3)
+        # edges under the dense relabelling id -> index in `ids`
+        assert a[1, 0] == 2.5 and a[0, 2] == 0.25 and a[2, 1] == 4.0
+        # writing the compact graph and re-reading it round-trips again
+        q = tmp_path / "compacted.el"
+        write_edgelist(q, a)
+        b = read_edgelist(q, n=3)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_compact_of_dense_ids_is_identity(self):
+        a = erdos_renyi(12, 2, seed=5)
+        buf = io.StringIO()
+        write_edgelist(buf, a)
+        buf.seek(0)
+        b, ids = read_edgelist(buf, compact=True)
+        # every vertex 0..11 with an edge keeps its id; the mapping is the
+        # sorted set of touched vertices
+        touched = np.unique(np.concatenate([a.row_indices(), a.colidx]))
+        assert np.array_equal(ids, touched)
+
+
+class TestIterChunks:
+    def test_chunks_concatenate_to_whole_file(self, tmp_path):
+        a = erdos_renyi(40, 3, seed=6, values="uniform")
+        p = tmp_path / "g.el"
+        write_edgelist(p, a, comment="chunked")
+        chunks = list(iter_edgelist_chunks(p, chunk_edges=7))
+        assert all(len(u) <= 7 for u, _, _ in chunks)
+        assert sum(len(u) for u, _, _ in chunks) == a.nnz
+        u = np.concatenate([c[0] for c in chunks])
+        v = np.concatenate([c[1] for c in chunks])
+        w = np.concatenate([c[2] for c in chunks])
+        ref = read_edgelist(p, n=40)
+        from repro.sparse.csr import CSRMatrix
+
+        got = CSRMatrix.from_triples(40, 40, u, v, w)
+        assert np.allclose(got.to_dense(), ref.to_dense())
+
+    def test_comments_and_blanks_skipped(self):
+        f = io.StringIO("# header\n\n0 1 2.0\n% other\n1 2\n")
+        (chunk,) = list(iter_edgelist_chunks(f, chunk_edges=10))
+        u, v, w = chunk
+        assert np.array_equal(u, [0, 1])
+        assert np.array_equal(v, [1, 2])
+        assert np.array_equal(w, [2.0, 1.0])  # missing weight defaults to 1
+
+    def test_exact_multiple_has_no_empty_tail(self):
+        f = io.StringIO("0 1\n1 2\n2 3\n3 0\n")
+        chunks = list(iter_edgelist_chunks(f, chunk_edges=2))
+        assert [len(c[0]) for c in chunks] == [2, 2]
+
+    def test_empty_file_yields_nothing(self):
+        assert list(iter_edgelist_chunks(io.StringIO(""), chunk_edges=4)) == []
+
+    def test_invalid_chunk_size_raises(self):
+        with pytest.raises(ValueError):
+            list(iter_edgelist_chunks(io.StringIO("0 1\n"), chunk_edges=0))
+
+    def test_malformed_and_negative_lines_raise(self):
+        with pytest.raises(ValueError, match="line 1"):
+            list(iter_edgelist_chunks(io.StringIO("7\n"), chunk_edges=4))
+        with pytest.raises(ValueError, match="negative"):
+            list(iter_edgelist_chunks(io.StringIO("0 -1\n"), chunk_edges=4))

@@ -39,6 +39,7 @@ from repro.runtime import (
     fastpath,
     shared_machine,
 )
+from repro.runtime.epoch import bump_epoch
 from repro.runtime.aggregation import AGG_DEFAULT
 from repro.sparse import SparseVector
 from tests.strategies import PROFILE, PROFILE_FAST, covered_setups, matrix_vector_pairs
@@ -255,3 +256,123 @@ class TestDispatcherCaching:
         assert np.array_equal(y_ref.indices, y_fast.indices)
         assert np.array_equal(y_ref.values, y_fast.values)
         assert t_ref == t_fast
+
+
+# ---------------------------------------------------------------------------
+# epoch invalidation: cached plans never survive an in-place mutation
+# ---------------------------------------------------------------------------
+
+
+class TestEpochInvalidation:
+    """The streaming hazard (PR 9): identity anchors compare ``is``, so an
+    *in-place* mutation (a delta batch applied by ``apply_updates``) would
+    replay a plan priced for the pre-update matrix.  The mutation epoch in
+    every matrix-keyed structural key closes the hole."""
+
+    def test_epoch_bump_misses_on_the_same_object(self):
+        a, x = _workload()
+        d = Dispatcher(shared_machine(4))
+        with fastpath.force(True):
+            d.vxm(a, x)
+            d.vxm(a, x)
+            s0 = d.plan_cache.stats()
+            assert s0["hits"] == 1  # warm before the mutation
+            bump_epoch(a)
+            d.vxm(a, x)  # same object, new epoch → new key
+            s1 = d.plan_cache.stats()
+        assert s1["misses"] == s0["misses"] + 1
+        assert s1["hits"] == s0["hits"]
+
+    def test_reweight_batch_invalidates_without_nnz_change(self):
+        """A reweight-only delta keeps nnz (same bucket, same shape, same
+        anchor object) — only the epoch separates stale from fresh."""
+        from repro.streaming import UpdateBatch, apply_batch_csr
+
+        a, x = _workload()
+        d = Dispatcher(shared_machine(4))
+        with fastpath.force(True):
+            y0, _ = d.vxm(a, x)
+            m0 = d.plan_cache.stats()["misses"]
+            # reweight one existing edge in place, the apply_updates way
+            r = int(np.flatnonzero(np.diff(a.rowptr))[0])
+            c = int(a.colidx[a.rowptr[r]])
+            batch = UpdateBatch.from_edges(
+                a.nrows, a.ncols, inserts=([r], [c], [99.0])
+            )
+            merged = apply_batch_csr(a, batch)
+            assert merged.nnz == a.nnz  # pure reweight: bucket unchanged
+            a.rowptr, a.colidx, a.values = (
+                merged.rowptr, merged.colidx, merged.values,
+            )
+            bump_epoch(a)
+            y1, _ = d.vxm(a, x)
+            assert d.plan_cache.stats()["misses"] == m0 + 1
+            # and the re-priced run computes on the new values: a cold
+            # dispatcher over the post-update matrix agrees exactly
+            y2, _ = Dispatcher(shared_machine(4)).vxm(a, x)
+        assert np.array_equal(y1.indices, y2.indices)
+        assert np.array_equal(y1.values, y2.values)
+
+    def test_dist_epoch_bump_invalidates(self):
+        a, x = _workload(n=64)
+        grid = LocaleGrid.for_count(4)
+        m = Machine(grid=grid, threads_per_locale=2, ledger=CostLedger())
+        d = Dispatcher(m)
+        ad = DistSparseMatrix.from_global(a, grid)
+        xd = DistSparseVector.from_global(x, grid)
+        with fastpath.force(True):
+            d.vxm_dist(ad, xd)
+            d.vxm_dist(ad, xd)
+            s0 = d.plan_cache.stats()
+            assert s0["hits"] == 1
+            bump_epoch(ad)
+            d.vxm_dist(ad, xd)
+            s1 = d.plan_cache.stats()
+        assert s1["misses"] == s0["misses"] + 1
+        assert s1["hits"] == s0["hits"]
+
+    def test_mxm_mask_epoch_is_part_of_the_key(self):
+        """The fused-mask plan depends on the mask's contents too: bumping
+        only the mask's epoch re-prices."""
+        a = erdos_renyi(32, 3, seed=1)
+        grid = LocaleGrid.for_count(4)
+        m = Machine(grid=grid, threads_per_locale=2, ledger=CostLedger())
+        d = Dispatcher(m)
+        ad = DistSparseMatrix.from_global(a, grid)
+        mask = DistSparseMatrix.from_global(erdos_renyi(32, 2, seed=2), grid)
+        with fastpath.force(True):
+            d.mxm_dist(ad, ad, mask=mask)
+            m0 = d.plan_cache.stats()["misses"]
+            d.mxm_dist(ad, ad, mask=mask)  # hit
+            assert d.plan_cache.stats()["misses"] == m0
+            bump_epoch(mask)
+            d.mxm_dist(ad, ad, mask=mask)
+            assert d.plan_cache.stats()["misses"] == m0 + 1
+
+    def test_transpose_cache_respects_epoch(self):
+        a, _ = _workload()
+        d = Dispatcher(shared_machine(4))
+        at0 = d.transpose_of(a)
+        assert d.transpose_of(a) is at0  # warm
+        bump_epoch(a)
+        assert d.transpose_of(a) is not at0  # rebuilt, re-billed
+
+    @given(bumps=st.lists(st.booleans(), min_size=1, max_size=8))
+    @settings(PROFILE)
+    def test_no_plan_survives_any_mutation_sequence(self, bumps):
+        """Property form: along any interleaving of calls and mutations, a
+        hit can only ever follow a call at the *same* epoch."""
+        a, x = _workload()
+        d = Dispatcher(shared_machine(4))
+        with fastpath.force(True):
+            d.vxm(a, x)
+            for do_bump in bumps:
+                if do_bump:
+                    bump_epoch(a)
+                before = d.plan_cache.stats()
+                d.vxm(a, x)
+                after = d.plan_cache.stats()
+                if do_bump:
+                    assert after["misses"] == before["misses"] + 1
+                else:
+                    assert after["hits"] == before["hits"] + 1

@@ -1,0 +1,256 @@
+"""Differential suite: every incremental variant equals full recomputation.
+
+The streaming engine's acceptance bar: over random update streams, on
+both backends, every locale-grid shape (including non-square) and under
+covered fault plans, the incremental algorithms produce the *same
+answer* as running the batch algorithm from scratch on the post-update
+graph — BFS levels and CC labels bit-identically, PageRank to 1e-9 (two
+fixed-point approximations at tol=1e-12).  Determinism is pinned too:
+replaying an identical stream reproduces results *and* simulated ledger
+totals bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    bfs_levels,
+    bfs_levels_incremental,
+    connected_components,
+    connected_components_incremental,
+    pagerank,
+    pagerank_incremental,
+)
+from repro.exec import DistBackend, ShmBackend
+from repro.generators import erdos_renyi
+from repro.runtime import CostLedger, FaultInjector, LocaleGrid, Machine
+from repro.runtime.telemetry.registry import MetricsRegistry
+from repro.sparse.csr import CSRMatrix
+from repro.streaming import GraphStream, UpdateBatch, apply_batch_csr
+from tests.algorithms.test_backend_equiv import sym_simple
+from tests.strategies import PROFILE_SLOW, covered_setups
+
+pytestmark = pytest.mark.streaming
+
+PR_TOL = 1.0e-12  # fixed-point tolerance; 1e-9 equality follows
+
+
+@st.composite
+def update_streams(draw):
+    """(graph, grid, batches): a base ER graph plus 1-3 random batches.
+
+    Deletes are drawn from the same vertex space as inserts, so they hit
+    existing edges often enough to exercise both the safe-merge path and
+    the full-recompute fallbacks.
+    """
+    n = draw(st.integers(6, 24))
+    deg = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**20))
+    p = draw(st.integers(1, 9))
+    nb = draw(st.integers(1, 3))
+    batches = []
+    for _ in range(nb):
+        ni = draw(st.integers(0, 6))
+        nd = draw(st.integers(0, 3))
+        ir = draw(st.lists(st.integers(0, n - 1), min_size=ni, max_size=ni))
+        ic = draw(st.lists(st.integers(0, n - 1), min_size=ni, max_size=ni))
+        dr = draw(st.lists(st.integers(0, n - 1), min_size=nd, max_size=nd))
+        dc = draw(st.lists(st.integers(0, n - 1), min_size=nd, max_size=nd))
+        batches.append(
+            UpdateBatch.from_edges(n, n, inserts=(ir, ic), deletes=(dr, dc))
+        )
+    return erdos_renyi(n, deg, seed=seed), LocaleGrid.for_count(p), batches
+
+
+def dist_backend(grid, faults=None) -> DistBackend:
+    return DistBackend(
+        Machine(
+            grid=grid, threads_per_locale=2, ledger=CostLedger(), faults=faults
+        )
+    )
+
+
+def drive(backend, a0, batches, prev_of, incremental, full):
+    """Apply the stream batch by batch; after each, check the incremental
+    repair against a from-scratch run on the live handle and carry the
+    repaired state forward.  Returns the final state."""
+    stream = GraphStream(backend, a0.copy(), registry=MetricsRegistry())
+    state = prev_of(stream)
+    for batch in batches:
+        stream.apply(batch)
+        state = incremental(stream, state, batch)
+        np.testing.assert_array_equal(state, full(stream))
+    return state
+
+
+class TestShmDifferential:
+    @settings(PROFILE_SLOW, deadline=None)
+    @given(update_streams())
+    def test_bfs_incremental_equals_full(self, wl):
+        a0, _, batches = wl
+        b = ShmBackend()
+        drive(
+            b, a0, batches,
+            prev_of=lambda s: bfs_levels(s.handle, 0, backend=b),
+            incremental=lambda s, prev, batch: bfs_levels_incremental(
+                s.handle, 0, prev, batch, backend=b
+            ),
+            full=lambda s: bfs_levels(s.handle, 0, backend=b),
+        )
+
+    @settings(PROFILE_SLOW, deadline=None)
+    @given(update_streams())
+    def test_cc_incremental_equals_full(self, wl):
+        a0, _, batches = wl
+        b = ShmBackend()
+        drive(
+            b, sym_simple(a0), [bt.symmetrized() for bt in batches],
+            prev_of=lambda s: connected_components(s.handle, backend=b),
+            incremental=lambda s, prev, batch: connected_components_incremental(
+                s.handle, prev, batch, backend=b
+            ),
+            full=lambda s: connected_components(s.handle, backend=b),
+        )
+
+    @settings(PROFILE_SLOW, deadline=None)
+    @given(update_streams())
+    def test_pagerank_warm_restart_equals_full(self, wl):
+        a0, _, batches = wl
+        b = ShmBackend()
+        stream = GraphStream(b, a0.copy(), registry=MetricsRegistry())
+        rank = pagerank(stream.handle, tol=PR_TOL, max_iter=2000, backend=b)
+        for batch in batches:
+            stream.apply(batch)
+            rank = pagerank_incremental(
+                stream.handle, rank, batch, tol=PR_TOL, max_iter=2000, backend=b
+            )
+            cold = pagerank(stream.handle, tol=PR_TOL, max_iter=2000, backend=b)
+            np.testing.assert_allclose(rank, cold, atol=1e-9)
+
+
+class TestDistDifferential:
+    @settings(PROFILE_SLOW, deadline=None)
+    @given(update_streams())
+    def test_dist_incremental_matches_shm(self, wl):
+        """BFS repair over a streamed DistBackend graph — any grid shape —
+        lands bit-identically on the shm answer."""
+        a0, grid, batches = wl
+        shm = ShmBackend()
+        ref = drive(
+            shm, a0, batches,
+            prev_of=lambda s: bfs_levels(s.handle, 0, backend=shm),
+            incremental=lambda s, prev, batch: bfs_levels_incremental(
+                s.handle, 0, prev, batch, backend=shm
+            ),
+            full=lambda s: bfs_levels(s.handle, 0, backend=shm),
+        )
+        b = dist_backend(grid)
+        stream = GraphStream(b, a0.copy(), registry=MetricsRegistry())
+        levels = bfs_levels(stream.handle, 0, backend=b)
+        for batch in batches:
+            stream.apply(batch)
+            levels = bfs_levels_incremental(
+                stream.handle, 0, levels, batch, backend=b
+            )
+        np.testing.assert_array_equal(levels, ref)
+
+    @settings(PROFILE_SLOW, deadline=None)
+    @given(update_streams(), covered_setups())
+    def test_covered_faults_change_nothing_but_cost(self, wl, setup):
+        """A fully covered fault plan may add retry cost to the streamed
+        applies and repairs, never alter a level."""
+        a0, grid, batches = wl
+        plan, policy = setup
+        shm = ShmBackend()
+        stream_ref = GraphStream(shm, a0.copy(), registry=MetricsRegistry())
+        ref = bfs_levels(stream_ref.handle, 0, backend=shm)
+        b = dist_backend(grid, FaultInjector(plan, policy))
+        stream = GraphStream(b, a0.copy(), registry=MetricsRegistry())
+        levels = bfs_levels(stream.handle, 0, backend=b)
+        np.testing.assert_array_equal(levels, ref)
+        for batch in batches:
+            stream_ref.apply(batch)
+            ref = bfs_levels_incremental(
+                stream_ref.handle, 0, ref, batch, backend=shm
+            )
+            stream.apply(batch)
+            levels = bfs_levels_incremental(
+                stream.handle, 0, levels, batch, backend=b
+            )
+            np.testing.assert_array_equal(levels, ref)
+
+
+class TestDeterminism:
+    def _run_once(self, a0, batches, grid):
+        b = dist_backend(grid)
+        stream = GraphStream(b, a0.copy(), registry=MetricsRegistry())
+        levels = bfs_levels(stream.handle, 0, backend=b)
+        for batch in batches:
+            stream.apply(batch)
+            levels = bfs_levels_incremental(
+                stream.handle, 0, levels, batch, backend=b
+            )
+        return levels, b.machine.ledger.total
+
+    def test_identical_stream_identical_results_and_ledger(self):
+        """Replaying the same stream is bit-identical — levels AND the
+        simulated ledger total."""
+        a0 = erdos_renyi(20, 3, seed=5)
+        batches = [
+            UpdateBatch.from_edges(20, 20, inserts=([1, 2], [7, 9])),
+            UpdateBatch.from_edges(20, 20, deletes=([1], [7])),
+        ]
+        grid = LocaleGrid.for_count(6)  # non-square
+        l1, t1 = self._run_once(a0, batches, grid)
+        l2, t2 = self._run_once(a0, batches, grid)
+        np.testing.assert_array_equal(l1, l2)
+        assert t1 == t2
+
+
+class TestFallbackPaths:
+    def test_bfs_falls_back_on_deleted_tree_edge(self):
+        """Deleting a level-carrying edge lengthens paths; the repair must
+        recompute — and still be exact."""
+        a = CSRMatrix.from_triples(
+            4, 4, [0, 1, 0], [1, 2, 3], np.ones(3)
+        )  # 0→1→2, 0→3
+        prev = bfs_levels(a, 0)
+        batch = UpdateBatch.from_edges(4, 4, deletes=([1], [2]))
+        post = apply_batch_csr(a, batch)
+        got = bfs_levels_incremental(post, 0, prev, batch)
+        np.testing.assert_array_equal(got, bfs_levels(post, 0))
+        assert got[2] == -1  # 2 genuinely unreachable now
+
+    def test_cc_falls_back_on_intra_component_delete(self):
+        a = sym_simple(
+            CSRMatrix.from_triples(5, 5, [0, 1], [1, 2], np.ones(2))
+        )  # path 0-1-2, isolated 3, 4
+        prev = connected_components(a)
+        batch = UpdateBatch.from_edges(
+            5, 5, deletes=([1], [2])
+        ).symmetrized()
+        post = apply_batch_csr(a, batch)
+        got = connected_components_incremental(post, prev, batch)
+        np.testing.assert_array_equal(got, connected_components(post))
+        assert got[2] == 2  # split off into its own component
+
+    def test_cc_insert_only_merge_uses_no_matrix_ops(self):
+        """The union-merge path is host-side: zero ledger entries."""
+        from repro.runtime.locale import shared_machine
+
+        m = shared_machine(2)
+        machine = Machine(
+            config=m.config, grid=m.grid, threads_per_locale=2, ledger=CostLedger()
+        )
+        b = ShmBackend(machine)
+        a = sym_simple(erdos_renyi(12, 2, seed=9))
+        prev = connected_components(a, backend=b)
+        n_entries = len(machine.ledger.entries)
+        batch = UpdateBatch.from_edges(12, 12, inserts=([0], [11])).symmetrized()
+        post = apply_batch_csr(a, batch)
+        got = connected_components_incremental(post, prev, batch, backend=b)
+        assert len(machine.ledger.entries) == n_entries
+        np.testing.assert_array_equal(got, connected_components(post))

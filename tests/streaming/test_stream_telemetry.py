@@ -1,0 +1,147 @@
+"""Ingest telemetry: first-class series, reconciled exactly with the ledger."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.exec import DistBackend, ShmBackend
+from repro.generators import erdos_renyi
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.runtime.telemetry.registry import MetricsRegistry, set_default_registry
+from repro.streaming import GraphStream, UpdateBatch
+
+pytestmark = [pytest.mark.streaming, pytest.mark.telemetry]
+
+
+def make_dist(p=4):
+    return DistBackend(
+        Machine(grid=LocaleGrid.for_count(p), threads_per_locale=2, ledger=CostLedger())
+    )
+
+
+def make_shm():
+    from repro.runtime.locale import shared_machine
+
+    m = shared_machine(2)
+    return ShmBackend(
+        Machine(config=m.config, grid=m.grid, threads_per_locale=2, ledger=CostLedger())
+    )
+
+
+@contextmanager
+def as_default(reg):
+    """Install ``reg`` as the process default so the backend's own op
+    instrumentation (``backend.ops`` / ``backend.op.seconds``) lands in
+    it — scoped, since GraphStream pushes its prefix on this registry."""
+    prev = set_default_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_default_registry(prev)
+
+
+def batch_for(n, k, deletes=False):
+    ins = ([k % n, (k + 1) % n], [(k + 3) % n, (k + 5) % n])
+    dels = ([(k + 2) % n], [(k + 4) % n]) if deletes else None
+    return UpdateBatch.from_edges(n, n, inserts=ins, deletes=dels)
+
+
+@pytest.mark.parametrize("make", [make_shm, make_dist], ids=["shm", "dist"])
+class TestStreamSeries:
+    def run_stream(self, make, nbatches=3):
+        reg = MetricsRegistry()
+        with as_default(reg):
+            b = make()
+            s = GraphStream(b, erdos_renyi(16, 3, seed=2), registry=reg)
+            for k in range(nbatches):
+                s.apply(batch_for(16, k, deletes=(k % 2 == 0)))
+        return reg, b, s
+
+    def test_batch_and_edge_counters(self, make):
+        reg, b, s = self.run_stream(make)
+        name = b.name
+        assert reg.counter("stream.batches").value(backend=name) == 3
+        edges = reg.counter("stream.ingest.edges")
+        assert edges.value(backend=name, kind="upsert") == 6
+        assert edges.value(backend=name, kind="delete") == 2
+        assert edges.total(backend=name) == sum(
+            bt.size for _, bt in s._history
+        )
+
+    def test_epoch_gauge_tracks_stream(self, make):
+        reg, b, s = self.run_stream(make)
+        assert reg.gauge("stream.epoch").value(backend=b.name) == s.epoch == 3
+
+    def test_batch_seconds_reconcile_exactly_with_ledger(self, make):
+        """The histogram's sum is *exactly* the ledger's total over the
+        ``stream[epoch=...]`` rows — metric and ledger are two views of
+        one number, not two measurements."""
+        reg, b, s = self.run_stream(make)
+        hist = reg.histogram("stream.batch.seconds")
+        assert hist.count(backend=b.name) == 3
+        ledger_total = sum(
+            bd.total
+            for lbl, bd in b.machine.ledger.entries
+            if lbl.startswith("stream[epoch=")
+        )
+        assert hist.summary(backend=b.name)["sum"] == ledger_total
+
+    def test_ingest_rate_is_edges_over_simulated_seconds(self, make):
+        reg, b, s = self.run_stream(make)
+        edges = sum(bt.size for _, bt in s._history)
+        seconds = sum(
+            bd.total
+            for lbl, bd in b.machine.ledger.entries
+            if lbl.startswith("stream[epoch=")
+        )
+        assert seconds > 0.0
+        rate = reg.gauge("stream.ingest.rate").value(backend=b.name)
+        assert rate == pytest.approx(edges / seconds, rel=0, abs=0)
+
+    def test_op_metrics_inside_apply_carry_stream_scope(self, make):
+        reg, b, s = self.run_stream(make, nbatches=1)
+        ops = reg.counter("backend.ops")
+        scoped = [
+            ls
+            for ls in ops.labelsets()
+            if ls.get("scope", "").startswith("stream[epoch=1]")
+        ]
+        assert scoped, ops.labelsets()
+
+
+class TestLedgerAttribution:
+    def test_apply_updates_is_a_profiled_op(self):
+        """apply_updates joins PROFILED_OPS: the backend op counter ticks
+        and the ledger rows carry the epoch prefix."""
+        reg = MetricsRegistry()
+        with as_default(reg):
+            b = make_dist()
+            s = GraphStream(b, erdos_renyi(16, 3, seed=2), registry=reg)
+            s.apply(batch_for(16, 0))
+        assert (
+            reg.counter("backend.ops").total(op="apply_updates", backend="dist")
+            == 1
+        )
+        labels = [lbl for lbl, _ in b.machine.ledger.entries]
+        assert any(
+            lbl.startswith("stream[epoch=1]:") and "apply_updates" in lbl
+            for lbl in labels
+        ), labels
+
+    def test_distinct_epochs_attribute_separately(self):
+        b = make_dist()
+        s = GraphStream(
+            b, erdos_renyi(16, 3, seed=2), registry=MetricsRegistry()
+        )
+        s.apply(batch_for(16, 0))
+        s.apply(batch_for(16, 1))
+        per_epoch = {}
+        for lbl, bd in b.machine.ledger.entries:
+            if lbl.startswith("stream[epoch="):
+                per_epoch.setdefault(lbl.split(":", 1)[0], 0.0)
+                per_epoch[lbl.split(":", 1)[0]] += bd.total
+        assert set(per_epoch) == {"stream[epoch=1]", "stream[epoch=2]"}
+        assert all(v > 0.0 for v in per_epoch.values())
