@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-props test-chaos test-algos test-spmd test-telemetry test-streaming bench bench-agg bench-frontend bench-wall bench-spgemm bench-streaming bench-gate bench-full figures report examples clean
+.PHONY: install test test-fast test-props test-chaos test-algos test-spmd test-telemetry test-streaming test-service bench bench-agg bench-frontend bench-wall bench-spgemm bench-streaming bench-service bench-gate bench-full figures report examples clean
 
 # coverage flags only when pytest-cov is importable (it is optional; the
 # floor pins the fault/retry machinery in src/repro/runtime/)
@@ -44,6 +44,10 @@ test-streaming:      ## streaming tier: delta batches, incremental algorithms, i
 	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-quick} \
 	    $(PYTHON) -m pytest -m streaming tests/
 
+test-service:        ## query-service tier: scheduler, batching differential, cache, quotas, SLOs
+	REPRO_TEST_PROFILE=$${REPRO_TEST_PROFILE:-quick} \
+	    $(PYTHON) -m pytest -m service tests/
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -61,6 +65,9 @@ bench-spgemm:        ## distributed SpGEMM schedule ablation; writes results/BEN
 
 bench-streaming:     ## incremental-vs-full streaming ablation; writes results/BENCH_streaming.json
 	$(PYTHON) -m pytest benchmarks/test_abl_streaming.py
+
+bench-service:       ## batched-vs-sequential service ablation; writes results/BENCH_service.json
+	$(PYTHON) -m pytest benchmarks/test_abl_service.py
 
 bench-gate:          ## perf-regression gate vs results/BENCH_*.json golden baselines
 	$(PYTHON) -m repro gate

@@ -64,6 +64,12 @@ __all__ = [
     "streaming_batches",
     "streaming_sweep",
     "run_streaming",
+    "SERVICE_SOURCE_SWEEP",
+    "SERVICE_BATCH_SPEEDUP_FLOOR",
+    "service_workload",
+    "service_batching_sweep",
+    "service_cache_probe",
+    "run_service",
     "RERUNNERS",
 ]
 
@@ -790,6 +796,139 @@ def run_streaming() -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# query-service ablation (BENCH_service.json; batched vs sequential)
+# ---------------------------------------------------------------------------
+
+SERVICE_SOURCE_SWEEP = [1, 2, 4, 8, 16]
+SERVICE_ER_N, SERVICE_ER_DEG = 1024, 8
+SERVICE_GRID_P = 4
+#: acceptance floor pinned by benchmarks/test_abl_service.py: with ≥ 8
+#: concurrent sources one multi-source run must be at least this much
+#: cheaper (simulated seconds) than the sources run one at a time
+SERVICE_BATCH_SPEEDUP_FLOOR = 2.0
+
+
+def service_workload() -> CSRMatrix:
+    """The deterministic serving graph (seed fixed forever), weighted so
+    the SSSP rows are meaningful."""
+    a = erdos_renyi(SERVICE_ER_N, SERVICE_ER_DEG, seed=41)
+    rng = np.random.default_rng(42)
+    return CSRMatrix.from_triples(
+        a.nrows, a.ncols, a.row_indices(), a.colidx,
+        rng.uniform(0.5, 2.0, a.nnz),
+    )
+
+
+def _service_machine() -> Machine:
+    return Machine(
+        grid=LocaleGrid.for_count(SERVICE_GRID_P),
+        threads_per_locale=2,
+        ledger=CostLedger(),
+    )
+
+
+def service_batching_sweep(a: CSRMatrix | None = None) -> dict:
+    """Per (algo, concurrent sources): one coalesced multi-source run vs
+    the same sources traversed one at a time.
+
+    Both sides run on the same distributed backend and ledger, so the
+    two costs are directly comparable slices of one simulated run (the
+    shared-memory kernels bill nothing and would make the comparison
+    vacuous).  ``exact`` records that every batched row matched its
+    sequential run bit-for-bit — the speedup is never bought with
+    approximation.
+    """
+    from ..algorithms import sssp
+    from ..service import multi_source_bfs, multi_source_sssp
+
+    a = service_workload() if a is None else a
+    singles = {
+        "bfs": lambda b, g, s: bfs_levels(g, s, backend=b),
+        "sssp": lambda b, g, s: sssp(g, s, check_negative_cycles=False, backend=b),
+    }
+    batched_cores = {"bfs": multi_source_bfs, "sssp": multi_source_sssp}
+    out: dict[str, dict] = {}
+    for algo in ("bfs", "sssp"):
+        for ns in SERVICE_SOURCE_SWEEP:
+            backend = DistBackend(_service_machine())
+            ledger = backend.machine.ledger
+            handle = backend.matrix(a)
+            sources = np.arange(ns, dtype=np.int64)
+            t0 = ledger.total
+            rows, wall_b = _timed(
+                lambda: batched_cores[algo](backend, handle, sources)
+            )
+            batched_s = ledger.total - t0
+            t0 = ledger.total
+            exact = True
+            wall_s = 0.0
+            for i, s in enumerate(sources):
+                ref, w = _timed(lambda: singles[algo](backend, handle, int(s)))
+                wall_s += w
+                exact = exact and bool(np.array_equal(rows[i], ref))
+            sequential_s = ledger.total - t0
+            out[f"{algo}/s{ns}"] = {
+                "sources": ns,
+                "batched_s": batched_s,
+                "sequential_s": sequential_s,
+                # dimensionless, so outside the 10% simulated-seconds gate
+                "speedup": (sequential_s / batched_s) if batched_s > 0.0 else None,
+                "exact": exact,
+                "wall_batched_s": wall_b,
+                "wall_sequential_s": wall_s,
+            }
+    return out
+
+
+def service_cache_probe(a: CSRMatrix | None = None) -> dict:
+    """Simulated cost of a cache hit through the full service path.
+
+    One warm query pays the traversal; an identical query at the same
+    mutation epoch must re-execute nothing — its ledger slice is empty
+    and its virtual latency zero (the "cache hit is ~free" claim)."""
+    from ..runtime.telemetry.registry import MetricsRegistry
+    from ..service import GraphQueryService, QuerySpec
+
+    a = service_workload() if a is None else a
+    backend = DistBackend(_service_machine())
+    ledger = backend.machine.ledger
+    svc = GraphQueryService(backend, a, registry=MetricsRegistry())
+    warm = svc.submit("bench", QuerySpec("bfs", 0), at=0.0)
+    svc.run()
+    t0 = ledger.total
+    hit = svc.submit("bench", QuerySpec("bfs", 0), at=warm.finish + 1.0)
+    svc.run()
+    return {
+        "warm_exec_s": svc.stats.exec_seconds,
+        "cache_exec_s": ledger.total - t0,
+        "cache_latency_s": hit.latency,
+        "hit_via": hit.via,
+    }
+
+
+def run_service() -> dict:
+    """The query-service ablation as a schema-valid BENCH payload."""
+    a = service_workload()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "service",
+        "description": "multi-source batched traversals vs sequential "
+        "single-source runs across concurrency levels, plus the result-cache "
+        "hit cost through the service path",
+        "source_sweep": SERVICE_SOURCE_SWEEP,
+        "configs": {
+            "er": {"n": SERVICE_ER_N, "deg": SERVICE_ER_DEG},
+            "grid_p": SERVICE_GRID_P,
+            "speedup_floor": SERVICE_BATCH_SPEEDUP_FLOOR,
+        },
+        "results": {
+            "batching": service_batching_sweep(a),
+            "cache": service_cache_probe(a),
+        },
+    }
+
+
 #: bench name (the BENCH_<name>.json stem) → payload re-runner, used by the
 #: regression gate to regenerate current numbers for a golden baseline.
 RERUNNERS = {
@@ -798,4 +937,5 @@ RERUNNERS = {
     "wall": run_wall,
     "spgemm": run_spgemm,
     "streaming": run_streaming,
+    "service": run_service,
 }

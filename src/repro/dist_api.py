@@ -341,6 +341,7 @@ class DistMatrix:
         mask_mode: str = "fused",
         variant: str = "auto",
         layers: int | None = None,
+        dispatcher=None,
     ) -> "DistMatrix":
         """Distributed SpGEMM ``out⟨mask⟩ ⊕= A ⊗ B`` on any grid.
 
@@ -353,10 +354,17 @@ class DistMatrix:
         ``variant`` (``"2d"``/``"3d"``/``"gathered"``), and ``layers``
         force axes instead of costing them; ``mask_mode="post"`` disables
         the fused per-stage mask prune (bit-identical, dearer).
+
+        ``dispatcher`` reuses a caller-held :class:`~repro.ops.dispatch.
+        Dispatcher` so its plan cache persists across calls (the exec
+        frontend passes its own); pricing replay never changes values or
+        charged time (see :class:`~repro.ops.dispatch.PlanCache`).
         """
         from .ops.dispatch import Dispatcher
 
-        c, _ = Dispatcher(self.machine).mxm_dist(
+        if dispatcher is None:
+            dispatcher = Dispatcher(self.machine)
+        c, _ = dispatcher.mxm_dist(
             self._data,
             other._data,
             semiring=semiring,

@@ -298,6 +298,7 @@ class DistBackend(BackendBase):
             out=out,
             desc=Descriptor(replace=d.replace),
             comm_mode=self.comm_mode,
+            dispatcher=self.dispatcher,
         )
 
     # -- reductions -------------------------------------------------------------

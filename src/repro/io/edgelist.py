@@ -24,7 +24,12 @@ def _parse_line(lineno: int, line: str):
     parts = line.split()
     if len(parts) < 2:
         raise ValueError(f"line {lineno}: expected 'u v [w]', got {line!r}")
-    return int(parts[0]), int(parts[1]), float(parts[2]) if len(parts) > 2 else 1.0
+    try:
+        return int(parts[0]), int(parts[1]), float(parts[2]) if len(parts) > 2 else 1.0
+    except ValueError:
+        raise ValueError(
+            f"line {lineno}: expected 'u v [w]', got {line!r}"
+        ) from None
 
 
 def iter_edgelist_chunks(path_or_file, chunk_edges: int):
@@ -99,15 +104,12 @@ def read_edgelist(
         text = path_or_file.read()
     us, vs, ws = [], [], []
     for lineno, line in enumerate(text.splitlines(), 1):
-        line = line.strip()
-        if not line or line.startswith(("#", "%")):
+        parsed = _parse_line(lineno, line)
+        if parsed is None:
             continue
-        parts = line.split()
-        if len(parts) < 2:
-            raise ValueError(f"line {lineno}: expected 'u v [w]', got {line!r}")
-        us.append(int(parts[0]))
-        vs.append(int(parts[1]))
-        ws.append(float(parts[2]) if len(parts) > 2 else 1.0)
+        us.append(parsed[0])
+        vs.append(parsed[1])
+        ws.append(parsed[2])
     u = np.asarray(us, dtype=np.int64)
     v = np.asarray(vs, dtype=np.int64)
     w = np.asarray(ws)

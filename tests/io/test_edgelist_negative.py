@@ -1,0 +1,109 @@
+"""Negative-path and boundary tests for the streaming edge-list reader
+(PR 10 satellite).
+
+``iter_edgelist_chunks`` feeds :class:`~repro.streaming.GraphStream`
+straight off disk, so its failure modes are service-facing: a malformed
+line must raise a :class:`ValueError` that *names the line*, not a bare
+``invalid literal`` from three frames down, and chunk boundaries must
+never drop, duplicate, or reorder edges.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io.edgelist import iter_edgelist_chunks, read_edgelist
+
+pytestmark = pytest.mark.streaming
+
+
+def chunks(text: str, chunk_edges: int = 2):
+    return list(iter_edgelist_chunks(io.StringIO(text), chunk_edges))
+
+
+class TestMalformedLines:
+    @pytest.mark.parametrize(
+        "bad",
+        ["x 1", "1 y", "1 2 heavy", "1.5 2", "0x3 2", "1 2.0"],
+        ids=["bad-u", "bad-v", "bad-w", "float-u", "hex-u", "float-v"],
+    )
+    def test_non_numeric_tokens_name_the_line(self, bad):
+        text = f"0 1\n{bad}\n2 3\n"
+        with pytest.raises(ValueError, match=r"line 2"):
+            chunks(text)
+        with pytest.raises(ValueError, match=r"line 2"):
+            read_edgelist(io.StringIO(text))
+
+    def test_single_token_line_names_the_line(self):
+        with pytest.raises(ValueError, match=r"line 3: expected 'u v \[w\]'"):
+            chunks("# header\n0 1\n7\n")
+
+    def test_error_message_carries_the_offending_text(self):
+        with pytest.raises(ValueError, match=r"'a b'"):
+            chunks("a b\n")
+
+    def test_comment_lines_do_not_shift_reported_numbers(self):
+        # lineno is the physical file line, comments included
+        with pytest.raises(ValueError, match=r"line 4"):
+            chunks("# one\n% two\n0 1\nbroken\n")
+
+    def test_negative_vertex_id_names_the_line(self):
+        with pytest.raises(ValueError, match=r"line 2: negative vertex id"):
+            chunks("0 1\n-1 2\n")
+
+    def test_edges_before_the_bad_line_still_stream(self):
+        # generator semantics: complete chunks yielded before the error
+        it = iter_edgelist_chunks(io.StringIO("0 1\n1 2\nboom\n"), 2)
+        u, v, w = next(it)
+        np.testing.assert_array_equal(u, [0, 1])
+        with pytest.raises(ValueError, match=r"line 3"):
+            next(it)
+
+
+class TestDegenerateInputs:
+    def test_empty_file_yields_nothing(self):
+        assert chunks("") == []
+
+    def test_comment_only_file_yields_nothing(self):
+        assert chunks("# just\n% comments\n\n   \n") == []
+
+    def test_empty_file_reads_as_empty_matrix(self):
+        a = read_edgelist(io.StringIO(""))
+        assert a.shape == (0, 0) and a.nnz == 0
+
+    def test_invalid_chunk_size_rejected(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                list(iter_edgelist_chunks(io.StringIO("0 1\n"), bad))
+
+
+class TestChunkBoundaries:
+    TEXT = "".join(f"{i} {i + 1} {float(i)}\n" for i in range(7))
+
+    def _flatten(self, parts):
+        us = np.concatenate([u for u, _, _ in parts])
+        vs = np.concatenate([v for _, v, _ in parts])
+        ws = np.concatenate([w for _, _, w in parts])
+        return us, vs, ws
+
+    @pytest.mark.parametrize("chunk_edges", [1, 2, 3, 7, 100])
+    def test_totals_and_order_survive_any_chunking(self, chunk_edges):
+        parts = chunks(self.TEXT, chunk_edges)
+        assert all(u.size <= chunk_edges for u, _, _ in parts)
+        us, vs, ws = self._flatten(parts)
+        np.testing.assert_array_equal(us, np.arange(7))
+        np.testing.assert_array_equal(vs, np.arange(1, 8))
+        np.testing.assert_array_equal(ws, np.arange(7, dtype=float))
+
+    def test_exact_multiple_has_no_trailing_empty_chunk(self):
+        text = "0 1\n1 2\n2 3\n3 4\n"
+        parts = chunks(text, 2)
+        assert len(parts) == 2
+        assert all(u.size == 2 for u, _, _ in parts)
+
+    def test_final_partial_chunk_is_short(self):
+        parts = chunks(self.TEXT, 3)
+        assert [u.size for u, _, _ in parts] == [3, 3, 1]

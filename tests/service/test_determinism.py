@@ -1,0 +1,126 @@
+"""Scheduler-determinism replay tests for the query service.
+
+The whole point of the virtual-clock scheduler is replayability: the
+same seed over the same submitted workload must reproduce the entire
+service run bit-for-bit — every request's payload, path (batch / solo /
+cache), virtual finish time, the ledger's labelled rows, and the full
+telemetry snapshot.  A different seed may legally reorder same-instant
+ties (changing which request leads a batch) but must never change any
+request's *answer*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import DistBackend, ShmBackend
+from repro.generators import erdos_renyi
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.runtime.telemetry.registry import MetricsRegistry
+from repro.service import GraphQueryService, QuerySpec, QuotaConfig
+from repro.streaming import GraphStream, UpdateBatch
+
+pytestmark = pytest.mark.service
+
+N = 32
+
+
+def _graph():
+    return erdos_renyi(N, 3, seed=11)
+
+
+def _workload(svc: GraphQueryService) -> None:
+    """A deliberately contentious schedule: same-instant ties across
+    tenants and algos, a mid-run mutation, repeats that can cache-hit,
+    and a tight quota that forces rejections."""
+    for i in range(6):
+        svc.submit(f"t{i % 3}", QuerySpec("bfs", i), at=0.0)
+    for i in range(3):
+        svc.submit("t9", QuerySpec("sssp", i), at=0.0)
+    svc.submit_update(
+        UpdateBatch.from_edges(N, N, inserts=([0, 1], [5, 6]), deletes=([2], [3])),
+        at=1.0,
+    )
+    svc.submit("t0", QuerySpec("bfs", 0), at=0.5)  # pre-update repeat: may hit
+    svc.submit("t0", QuerySpec("bfs", 0), at=2.0)  # post-update: must recompute
+    svc.submit("limited", QuerySpec("bfs", 7), at=3.0)
+    svc.submit("limited", QuerySpec("bfs", 8), at=3.0)  # over the tight quota
+
+
+def _run(seed: int, dist: bool = True):
+    """Build a fresh service, run the canonical workload, snapshot all
+    observable state."""
+    ledger = CostLedger()
+    machine = Machine(
+        grid=LocaleGrid.for_count(4) if dist else LocaleGrid(1, 1),
+        threads_per_locale=2,
+        ledger=ledger,
+    )
+    backend = DistBackend(machine) if dist else ShmBackend(machine)
+    stream = GraphStream(backend, _graph(), registry=MetricsRegistry())
+    registry = MetricsRegistry()
+    svc = GraphQueryService(
+        backend,
+        stream,
+        seed=seed,
+        quotas={"limited": QuotaConfig(rate=0.01, burst=1.0)},
+        registry=registry,
+    )
+    _workload(svc)
+    svc.run()
+    requests = [
+        (
+            r.id,
+            r.tenant,
+            r.status,
+            r.via,
+            r.finish,
+            None if r.result is None else r.result.tobytes(),
+        )
+        for r in svc.requests
+    ]
+    ledger_rows = [(label, b.total) for label, b in ledger.entries]
+    return requests, ledger_rows, registry.snapshot(), svc.summary()
+
+
+class TestServiceDeterminism:
+    def test_same_seed_replays_bit_identically(self):
+        first = _run(seed=42)
+        second = _run(seed=42)
+        assert first == second
+
+    def test_replay_holds_on_shm_backend_too(self):
+        assert _run(seed=7, dist=False) == _run(seed=7, dist=False)
+
+    def test_different_seed_same_answers(self):
+        reqs_a, *_ = _run(seed=0)
+        reqs_b, *_ = _run(seed=1)
+        by_id_a = {r[0]: r for r in reqs_a}
+        by_id_b = {r[0]: r for r in reqs_b}
+        assert by_id_a.keys() == by_id_b.keys()
+        for rid, a in by_id_a.items():
+            b = by_id_b[rid]
+            if a[1] == "limited":
+                # quota-contended ties: *which* request wins the last token
+                # is legitimately seed-dependent — checked in aggregate below
+                continue
+            # elsewhere, status and payload are seed-independent
+            # (via/finish may not be)
+            assert a[2] == b[2]
+            assert a[5] == b[5]
+        for reqs in (reqs_a, reqs_b):
+            limited = [r for r in reqs if r[1] == "limited"]
+            assert sorted(r[2] for r in limited) == ["done", "rejected"]
+
+    def test_exercised_paths_cover_the_interesting_cases(self):
+        """The canonical workload actually hits every path the replay
+        test claims to pin: batching, rejection, and mutation."""
+        reqs, ledger_rows, _, summary = _run(seed=42)
+        vias = {r[3] for r in reqs}
+        assert "batch" in vias
+        assert summary["rejected_quota"] >= 1
+        assert summary["batches"] >= 2
+        labels = [label for label, _ in ledger_rows]
+        assert any(label.startswith("svc[req=") for label in labels)
+        assert any(label.startswith("stream[epoch=") for label in labels)

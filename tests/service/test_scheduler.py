@@ -1,0 +1,114 @@
+"""Unit tests for the virtual-clock scheduler: ordering, clamping,
+seeded tie-breaking, and bit-identical replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import Scheduler, VirtualClock
+
+pytestmark = pytest.mark.service
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        c = VirtualClock()
+        assert c.now == 0.0
+        assert c.advance(1.5) == 1.5
+        assert c.advance(0.0) == 1.5
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1e-9)
+
+
+class TestScheduler:
+    def test_runs_in_time_order_regardless_of_schedule_order(self):
+        s = Scheduler()
+        out = []
+        s.at(3.0, lambda: out.append("c"))
+        s.at(1.0, lambda: out.append("a"))
+        s.at(2.0, lambda: out.append("b"))
+        assert s.run() == 3
+        assert out == ["a", "b", "c"]
+        assert s.now == 3.0
+
+    def test_after_is_relative_to_now(self):
+        s = Scheduler()
+        out = []
+        s.at(2.0, lambda: s.after(1.0, lambda: out.append(s.now)))
+        s.run()
+        assert out == [3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().after(-0.1, lambda: None)
+
+    def test_past_times_clamp_to_now(self):
+        s = Scheduler()
+        out = []
+        s.at(5.0, lambda: s.at(1.0, lambda: out.append(s.now)))
+        s.run()
+        assert out == [5.0]  # the late event runs at the current time
+
+    def test_clock_never_runs_backwards_after_advance(self):
+        # an event that "occupies" the service pushes later-but-earlier
+        # events forward — they run late, the clock stays monotone
+        s = Scheduler()
+        seen = []
+        s.at(1.0, lambda: (s.clock.advance(10.0), seen.append(s.now)))
+        s.at(2.0, lambda: seen.append(s.now))
+        s.run()
+        assert seen == [11.0, 11.0]
+
+    def test_events_spawned_while_running_join_the_queue(self):
+        s = Scheduler()
+        out = []
+        s.at(1.0, lambda: s.at(1.5, lambda: out.append("child")))
+        s.at(2.0, lambda: out.append("late"))
+        s.run()
+        assert out == ["child", "late"]
+
+    def test_same_seed_replays_tie_order_exactly(self):
+        def trace(seed: int) -> list[str]:
+            s = Scheduler(seed)
+            out = []
+            for name in "abcdefgh":
+                s.at(1.0, lambda name=name: out.append(name))
+            s.run()
+            return out
+
+        assert trace(7) == trace(7)
+        assert trace(123) == trace(123)
+
+    def test_some_seed_changes_tie_order(self):
+        def trace(seed: int) -> list[str]:
+            s = Scheduler(seed)
+            out = []
+            for name in "abcdefgh":
+                s.at(1.0, lambda name=name: out.append(name))
+            s.run()
+            return out
+
+        baseline = trace(0)
+        assert any(trace(seed) != baseline for seed in range(1, 20))
+
+    def test_distinct_times_are_seed_independent(self):
+        def trace(seed: int) -> list[int]:
+            s = Scheduler(seed)
+            out = []
+            for k in range(8):
+                s.at(float(k), lambda k=k: out.append(k))
+            s.run()
+            return out
+
+        assert trace(0) == trace(1) == list(range(8))
+
+    def test_pending_and_events_run_counters(self):
+        s = Scheduler()
+        s.at(1.0, lambda: None)
+        s.at(2.0, lambda: None)
+        assert s.pending() == 2
+        s.run()
+        assert s.pending() == 0
+        assert s.events_run == 2

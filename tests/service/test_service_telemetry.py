@@ -1,0 +1,173 @@
+"""``service.*`` telemetry reconciles with the service's own ledger rows.
+
+Every executed batch runs under a ``svc[req=<ids>]:`` ledger scope and
+feeds the ``service.exec.seconds`` histogram with the *same* float sum
+measured off that ledger slice — so regrouping the ledger rows by scope
+(in recorded order) and re-accumulating must reproduce the histogram
+sums **bit-for-bit**, not approximately.  The request/batch counters,
+queue-depth gauge, batch-size and latency histograms are pinned against
+``summary()`` the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import DistBackend
+from repro.generators import erdos_renyi
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.runtime.telemetry.registry import MetricsRegistry
+from repro.service import GraphQueryService, QuerySpec, QuotaConfig
+from repro.streaming import GraphStream, UpdateBatch
+
+pytestmark = pytest.mark.service
+
+N = 32
+
+
+@pytest.fixture
+def loaded():
+    """A service after a mixed load: batches of both algos, cache hits,
+    a streaming mutation, and quota rejections."""
+    ledger = CostLedger()
+    backend = DistBackend(
+        Machine(grid=LocaleGrid.for_count(4), threads_per_locale=2, ledger=ledger)
+    )
+    stream = GraphStream(backend, erdos_renyi(N, 3, seed=2), registry=MetricsRegistry())
+    registry = MetricsRegistry()
+    svc = GraphQueryService(
+        backend,
+        stream,
+        registry=registry,
+        quotas={"capped": QuotaConfig(rate=0.01, burst=1.0)},
+    )
+    for i in range(5):
+        svc.submit(f"t{i % 2}", QuerySpec("bfs", i), at=0.0)
+    for i in range(3):
+        svc.submit("t2", QuerySpec("sssp", i), at=0.0)
+    svc.submit("t0", QuerySpec("bfs", 0), at=0.5)  # same epoch: cache hit
+    svc.submit("capped", QuerySpec("bfs", 9), at=1.0)
+    svc.submit("capped", QuerySpec("bfs", 10), at=1.0)  # over quota
+    svc.submit_update(
+        UpdateBatch.from_edges(N, N, inserts=([0], [9])), at=2.0
+    )
+    svc.submit("t0", QuerySpec("bfs", 0), at=3.0)  # post-epoch: recompute
+    svc.run()
+    return svc, registry, ledger
+
+
+def _scope_sums(ledger) -> list[tuple[str, float]]:
+    """Per-``svc[req=...]`` simulated seconds, re-accumulated exactly as
+    the service measured them: entry order within each contiguous scope
+    slice, scopes in execution order."""
+    out: list[tuple[str, float]] = []
+    for label, b in ledger.entries:
+        if not label.startswith("svc[req="):
+            continue
+        scope = label.split("]", 1)[0] + "]"
+        if out and out[-1][0] == scope:
+            out[-1] = (scope, out[-1][1] + b.total)
+        else:
+            out.append((scope, b.total))
+    return out
+
+
+class TestLedgerReconciliation:
+    def test_exec_seconds_histogram_equals_ledger_bit_for_bit(self, loaded):
+        svc, registry, ledger = loaded
+        scopes = _scope_sums(ledger)
+        assert len(scopes) == svc.stats.batches
+        # scope → algo via the first request id in the scope label
+        def algo_of(scope: str) -> str:
+            first_id = int(scope[len("svc[req=") : -1].split("+")[0])
+            return svc.requests[first_id - 1].query.algo
+
+        hist = registry.histogram("service.exec.seconds")
+        expected: dict[str, float] = {}
+        for scope, seconds in scopes:
+            a = algo_of(scope)
+            expected[a] = expected.get(a, 0.0) + seconds
+        for algo, total in expected.items():
+            got = hist.summary(algo=algo)
+            assert got["sum"] == total  # float-exact, not approx
+        assert hist.count() == svc.stats.batches
+
+    def test_stats_exec_seconds_accumulates_the_same_rows(self, loaded):
+        svc, _, ledger = loaded
+        total = 0.0
+        for _, seconds in _scope_sums(ledger):
+            total += seconds
+        assert svc.stats.exec_seconds == total
+
+    def test_every_scope_names_real_requests(self, loaded):
+        svc, _, ledger = loaded
+        executed_ids = set()
+        for scope, _ in _scope_sums(ledger):
+            for rid in scope[len("svc[req=") : -1].split("+"):
+                executed_ids.add(int(rid))
+        computed = {
+            r.id for r in svc.requests if r.status == "done" and r.via != "cache"
+        }
+        assert executed_ids == computed
+
+
+class TestCountersAndGauges:
+    def test_request_counter_matches_summary(self, loaded):
+        svc, registry, _ = loaded
+        s = svc.summary()
+        c = registry.counter("service.requests")
+        assert c.total(outcome="admitted") == s["admitted"]
+        assert c.total(outcome="rejected_quota") == s["rejected_quota"]
+        assert c.total(outcome="rejected_queue") == s["rejected_queue"]
+        assert s["rejected_quota"] >= 1  # the load exercised the path
+
+    def test_batch_counters_and_size_histogram(self, loaded):
+        svc, registry, _ = loaded
+        assert registry.counter("service.batches").total() == svc.stats.batches
+        size = registry.histogram("service.batch.size")
+        assert size.count() == svc.stats.batches
+        # every admitted non-cached request sits in exactly one batch
+        executed = sum(
+            1 for r in svc.requests if r.status == "done" and r.via != "cache"
+        )
+        assert size.summary()["sum"] == float(executed)
+
+    def test_cache_counter_matches_cache_stats(self, loaded):
+        svc, registry, _ = loaded
+        c = registry.counter("service.cache")
+        assert c.total(outcome="hit") == svc.cache.stats()["hits"]
+        assert c.total(outcome="miss") == svc.cache.stats()["misses"]
+        assert svc.stats.cache_served >= 1
+
+    def test_latency_histogram_counts_completions(self, loaded):
+        svc, registry, _ = loaded
+        hist = registry.histogram("service.latency.seconds")
+        assert hist.count() == svc.stats.completed
+        # virtual latencies are finite and non-negative
+        assert hist.summary()["min"] >= 0.0
+
+    def test_queue_depth_gauge_drains_to_zero(self, loaded):
+        svc, registry, _ = loaded
+        assert svc.summary()["pending"] == 0
+        assert registry.gauge("service.queue.depth").value() == 0
+
+
+class TestStreamSideTelemetry:
+    def test_update_charged_under_stream_scope_not_service(self, loaded):
+        _, _, ledger = loaded
+        stream_rows = [
+            label for label, _ in ledger.entries if label.startswith("stream[epoch=")
+        ]
+        assert stream_rows  # the mutation really billed its own scope
+        assert not any("svc[req=" in label for label in stream_rows)
+
+    def test_post_epoch_repeat_recomputed(self, loaded):
+        svc, _, _ = loaded
+        pre, post = [
+            r
+            for r in svc.requests
+            if r.query == QuerySpec("bfs", 0) and r.arrival >= 0.5
+        ]
+        assert pre.via == "cache"
+        assert post.via in ("batch", "solo")  # epoch bump forced recompute

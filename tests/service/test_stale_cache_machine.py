@@ -1,0 +1,130 @@
+"""Stateful proof that the service never serves a stale cached result.
+
+A Hypothesis :class:`RuleBasedStateMachine` interleaves traversal
+queries with streaming graph updates against one long-lived service
+built over a :class:`~repro.streaming.GraphStream`.  A host-side mirror
+of the graph is maintained with :func:`~repro.streaming.apply_batch_csr`;
+after every query the served result is compared against a *fresh*
+sequential run on the mirror — so a cache entry surviving a mutation
+epoch it should not have would be caught immediately, whatever the
+interleaving.  The machine also pins the mechanism: a ``via == "cache"``
+response is only legal when the stream's epoch equals the epoch at which
+that key was last computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import seed, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.algorithms import bfs_levels, sssp
+from repro.exec import ShmBackend
+from repro.generators import erdos_renyi
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.runtime.telemetry.registry import MetricsRegistry
+from repro.service import GraphQueryService, QuerySpec
+from repro.streaming import GraphStream, UpdateBatch, apply_batch_csr
+from tests.strategies.settings import DERANDOMIZE, PROFILE_NAME
+
+pytestmark = pytest.mark.service
+
+_N = 20  # fixed vertex count so sources/edges draw from one space
+_STEPS = {"quick": 6, "standard": 10, "slow": 16}[PROFILE_NAME]
+_EXAMPLES = {"quick": 10, "standard": 25, "slow": 60}[PROFILE_NAME]
+
+
+def _fresh(algo: str, a, source: int) -> np.ndarray:
+    b = ShmBackend()
+    if algo == "bfs":
+        return bfs_levels(a, source, backend=b)
+    return sssp(a, source, check_negative_cycles=False, backend=b)
+
+
+class StaleCacheMachine(RuleBasedStateMachine):
+    """Queries and mutations racing through one service instance."""
+
+    @initialize(
+        deg=st.integers(1, 4),
+        gseed=st.integers(0, 2**20),
+        sseed=st.integers(0, 2**10),
+    )
+    def setup(self, deg, gseed, sseed):
+        a0 = erdos_renyi(_N, deg, seed=gseed)
+        self.mirror = a0.copy()
+        backend = ShmBackend(
+            Machine(grid=LocaleGrid(1, 1), threads_per_locale=4, ledger=CostLedger())
+        )
+        self.stream = GraphStream(backend, a0.copy(), registry=MetricsRegistry())
+        self.svc = GraphQueryService(
+            backend,
+            self.stream,
+            seed=sseed,
+            window=0.0,  # serve immediately: maximizes query/update interleavings
+            registry=MetricsRegistry(),
+        )
+        # epoch at which each (algo, source) was last actually computed
+        self.computed_at: dict[tuple[str, int], int] = {}
+
+    @rule(
+        algo=st.sampled_from(["bfs", "sssp"]),
+        source=st.integers(0, _N - 1),
+    )
+    def query(self, algo, source):
+        req = self.svc.submit("tenant", QuerySpec(algo, source))
+        self.svc.run()
+        assert req.status == "done"
+        if req.via == "cache":
+            # the mechanism: a hit may only serve the current epoch's entry
+            assert self.computed_at[(algo, source)] == self.stream.epoch
+        else:
+            self.computed_at[(algo, source)] = self.stream.epoch
+        # the ground truth: served result ≡ fresh compute on the mirror,
+        # whatever path produced it
+        np.testing.assert_array_equal(req.result, _fresh(algo, self.mirror, source))
+
+    @rule(
+        ni=st.integers(0, 5),
+        nd=st.integers(0, 3),
+        eseed=st.integers(0, 2**20),
+    )
+    def update(self, ni, nd, eseed):
+        rng = np.random.default_rng(eseed)
+        batch = UpdateBatch.from_edges(
+            _N,
+            _N,
+            inserts=(rng.integers(0, _N, ni), rng.integers(0, _N, ni)),
+            deletes=(rng.integers(0, _N, nd), rng.integers(0, _N, nd)),
+        )
+        before = self.stream.epoch
+        self.svc.submit_update(batch)
+        self.svc.run()
+        assert self.stream.epoch == before + 1
+        self.mirror = apply_batch_csr(self.mirror, batch)
+
+    @invariant()
+    def mirror_tracks_stream(self):
+        if not hasattr(self, "stream"):
+            return
+        live = self.svc.backend.to_csr(self.stream.handle)
+        np.testing.assert_array_equal(live.rowptr, self.mirror.rowptr)
+        np.testing.assert_array_equal(live.colidx, self.mirror.colidx)
+        np.testing.assert_array_equal(live.values, self.mirror.values)
+
+
+import os as _os
+
+_ENV_SEED = _os.environ.get("REPRO_CHAOS_SEED")
+if _ENV_SEED is not None:
+    seed(int(_ENV_SEED))(StaleCacheMachine)
+
+StaleCacheMachine.TestCase.settings = settings(
+    max_examples=_EXAMPLES,
+    stateful_step_count=_STEPS,
+    deadline=None,
+    print_blob=True,
+    derandomize=DERANDOMIZE and _ENV_SEED is None,
+)
+
+TestStaleCacheMachine = StaleCacheMachine.TestCase

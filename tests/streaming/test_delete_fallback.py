@@ -1,0 +1,153 @@
+"""Regression: delete-heavy batches route BFS/CC to the full-recompute
+fallback (PR 10 satellite).
+
+The incremental repairs are monotone — inserts can only shorten paths or
+merge components — so a delete that might have *carried* state (a BFS
+tree edge, an intra-component CC edge) must bounce the call to the
+from-scratch core.  These tests pin both halves of that contract on
+hand-built graphs where the routing is forced, not probabilistic:
+
+* the fallback actually **fires** (the from-scratch cores run their
+  ``bfs[iter=k]`` / ``cc[iter=k]`` ledger scopes; the repair paths
+  never do), and
+* the returned state is **bit-identical** to the batch algorithm on the
+  post-update graph.
+
+Benign deletes (equal-level edges, cross-component edges) must keep the
+cheap repair path — a fallback that fires too eagerly silently destroys
+the streaming engine's entire advantage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs_levels,
+    bfs_levels_incremental,
+    connected_components,
+    connected_components_incremental,
+)
+from repro.exec import DistBackend, ShmBackend
+from repro.runtime import CostLedger, LocaleGrid, Machine
+from repro.sparse.csr import CSRMatrix
+from repro.streaming import UpdateBatch, apply_batch_csr
+
+pytestmark = pytest.mark.streaming
+
+
+def ledgered_backend() -> tuple[ShmBackend, CostLedger]:
+    ledger = CostLedger()
+    b = ShmBackend(
+        Machine(grid=LocaleGrid(1, 1), threads_per_locale=4, ledger=ledger)
+    )
+    return b, ledger
+
+
+def ledgered_dist_backend() -> tuple[DistBackend, CostLedger]:
+    # the shm mxv kernel is a pure local fast path that bills nothing;
+    # CC fallback detection needs a backend whose SpMV charges the ledger
+    ledger = CostLedger()
+    b = DistBackend(
+        Machine(grid=LocaleGrid(1, 1), threads_per_locale=2, ledger=ledger)
+    )
+    return b, ledger
+
+
+def sym(n: int, edges) -> CSRMatrix:
+    """Symmetric adjacency from undirected edge pairs."""
+    rows = [u for u, v in edges] + [v for u, v in edges]
+    cols = [v for u, v in edges] + [u for u, v in edges]
+    return CSRMatrix.from_triples(n, n, rows, cols, np.ones(len(rows)))
+
+
+def sym_deletes(n: int, edges) -> UpdateBatch:
+    rows = [u for u, v in edges] + [v for u, v in edges]
+    cols = [v for u, v in edges] + [u for u, v in edges]
+    return UpdateBatch.from_edges(n, n, deletes=(rows, cols))
+
+
+def scopes(ledger: CostLedger, prefix: str) -> list[str]:
+    return [label for label, _ in ledger.entries if label.startswith(prefix)]
+
+
+class TestBfsDeleteFallback:
+    def test_tree_edge_delete_falls_back_and_matches_full(self):
+        # path 0-1-2-3: every edge carries a level from source 0
+        a0 = sym(4, [(0, 1), (1, 2), (2, 3)])
+        prev = bfs_levels(a0, 0)
+        batch = sym_deletes(4, [(1, 2)])
+        post = apply_batch_csr(a0, batch)
+        b, ledger = ledgered_backend()
+        got = bfs_levels_incremental(post, 0, prev, batch, backend=b)
+        assert scopes(ledger, "bfs[iter=")  # the from-scratch core ran
+        assert not scopes(ledger, "bfs_inc[")
+        np.testing.assert_array_equal(got, bfs_levels(post, 0))
+        assert got[2] == -1 and got[3] == -1  # 2,3 really were severed
+
+    def test_delete_heavy_batch_falls_back(self):
+        # a delete-heavy mixed batch: several tree edges go at once
+        a0 = sym(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+        prev = bfs_levels(a0, 0)
+        rows_d = [1, 2, 2, 3, 3, 4]
+        cols_d = [2, 1, 3, 2, 4, 3]
+        batch = UpdateBatch.from_edges(
+            6, 6, inserts=([0], [2]), deletes=(rows_d, cols_d)
+        )
+        post = apply_batch_csr(a0, batch)
+        b, ledger = ledgered_backend()
+        got = bfs_levels_incremental(post, 0, prev, batch, backend=b)
+        assert scopes(ledger, "bfs[iter=")
+        np.testing.assert_array_equal(got, bfs_levels(post, 0))
+
+    def test_equal_level_delete_stays_on_repair_path(self):
+        # diamond 0-1, 0-2, 1-3, 2-3 plus rung 1-2: levels [0, 1, 1, 2];
+        # the rung joins equal levels, so deleting it cannot lengthen paths
+        a0 = sym(4, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+        prev = bfs_levels(a0, 0)
+        batch = sym_deletes(4, [(1, 2)])
+        post = apply_batch_csr(a0, batch)
+        b, ledger = ledgered_backend()
+        got = bfs_levels_incremental(post, 0, prev, batch, backend=b)
+        assert not scopes(ledger, "bfs[iter=")  # no full traversal billed
+        np.testing.assert_array_equal(got, bfs_levels(post, 0))
+
+
+class TestCcDeleteFallback:
+    def test_intra_component_delete_falls_back_and_matches_full(self):
+        a0 = sym(4, [(0, 1), (1, 2), (2, 3)])
+        prev = connected_components(a0)
+        batch = sym_deletes(4, [(1, 2)])
+        post = apply_batch_csr(a0, batch)
+        b, ledger = ledgered_dist_backend()
+        got = connected_components_incremental(post, prev, batch, backend=b)
+        assert scopes(ledger, "cc[iter=")  # label propagation reran
+        np.testing.assert_array_equal(got, connected_components(post))
+        assert np.unique(got).size == 2  # the component really split
+
+    def test_cross_component_delete_stays_on_merge_path(self):
+        # two components {0,1} and {2,3}; deleting a (never-present)
+        # cross edge touches different labels — no split possible
+        a0 = sym(4, [(0, 1), (2, 3)])
+        prev = connected_components(a0)
+        batch = sym_deletes(4, [(0, 2)])
+        post = apply_batch_csr(a0, batch)
+        b, ledger = ledgered_dist_backend()
+        got = connected_components_incremental(post, prev, batch, backend=b)
+        assert not scopes(ledger, "cc[iter=")  # pure union-find merge
+        np.testing.assert_array_equal(got, connected_components(post))
+
+    def test_delete_then_insert_batch_still_full_when_risky(self):
+        # one batch both splits a path and merges in a fresh edge — the
+        # conservative router must take the full recompute
+        a0 = sym(5, [(0, 1), (1, 2), (3, 4)])
+        prev = connected_components(a0)
+        batch = UpdateBatch.from_edges(
+            5, 5, inserts=([0, 3], [3, 0]), deletes=([1, 2], [2, 1])
+        )
+        post = apply_batch_csr(a0, batch)
+        b, ledger = ledgered_dist_backend()
+        got = connected_components_incremental(post, prev, batch, backend=b)
+        assert scopes(ledger, "cc[iter=")
+        np.testing.assert_array_equal(got, connected_components(post))

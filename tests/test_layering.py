@@ -1,4 +1,4 @@
-"""Architectural layering lint for the algorithm layer.
+"""Architectural layering lints for the algorithm and service layers.
 
 The backend-agnostic refactor's contract: algorithms talk to the
 execution frontend (:mod:`repro.exec`) and nothing below it.  Importing
@@ -6,6 +6,16 @@ kernels (:mod:`repro.ops`) or the simulated runtime
 (:mod:`repro.runtime`) from an algorithm module would re-couple the
 algorithms to one backend, so this AST lint fails the build on any such
 import — with **no allowlist**: every algorithm module must comply.
+
+The query service (:mod:`repro.service`, PR 10) sits *above* the
+algorithms and gets the stricter whitelist treatment: it may import only
+the execution frontend, the streaming engine, the observability layer
+(``runtime.telemetry``), the mutation-epoch primitive (``runtime.epoch``
+— what its result cache keys on), and — like the algorithm layer — the
+pure math of :mod:`repro.algebra` / :mod:`repro.sparse` it needs to
+build frontier matrices.  Anything else (kernels, the machine model, the
+algorithms package itself) is a layering break: the service must express
+traversals through the backend protocol, not by calling into siblings.
 """
 
 from __future__ import annotations
@@ -101,3 +111,124 @@ def test_lint_allows_frontend_and_algebra():
     for src in ("from ..exec import ShmBackend\n", "from ..algebra.semiring import MIN_PLUS\n"):
         node = ast.parse(src).body[0]
         assert _forbidden_target(node, ("repro", "algorithms", "x")) is None
+
+
+# ---------------------------------------------------------------------------
+# service layer: whitelist lint
+# ---------------------------------------------------------------------------
+
+SERVICE_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "service"
+
+#: the only repro.* import roots a service module may use
+SERVICE_ALLOWED = (
+    "repro.exec",
+    "repro.streaming",
+    "repro.service",
+    "repro.algebra",
+    "repro.sparse",
+    "repro.runtime.telemetry",
+    "repro.runtime.epoch",
+)
+
+SERVICE_MODULES = sorted(SERVICE_DIR.glob("*.py"))
+
+
+def _within(target: str, allowed: str) -> bool:
+    return target == allowed or target.startswith(allowed + ".")
+
+
+def _service_violations_in(node: ast.AST, module_parts: tuple[str, ...]) -> list[str]:
+    """Resolved ``repro.*`` import targets of ``node`` that fall outside
+    the service whitelist (empty for clean or non-repro imports)."""
+
+    def ok(target: str) -> bool:
+        return any(_within(target, allowed) for allowed in SERVICE_ALLOWED)
+
+    bad: list[str] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name.split(".")[0] == "repro" and not ok(alias.name):
+                bad.append(alias.name)
+        return bad
+    if not isinstance(node, ast.ImportFrom):
+        return bad
+    if node.level == 0:
+        base = tuple((node.module or "").split("."))
+    else:
+        base = module_parts[: len(module_parts) - node.level]
+        if node.module:
+            base = base + tuple(node.module.split("."))
+    if not base or base[0] != "repro":
+        return bad
+    base_target = ".".join(base)
+    for alias in node.names:
+        # `from repro.runtime import epoch` is fine, `... import locale`
+        # is not: judge each bound name at its fully resolved path
+        full = f"{base_target}.{alias.name}"
+        if not (ok(base_target) or ok(full)):
+            bad.append(full)
+    return bad
+
+
+def _service_file_violations(path: Path) -> list[str]:
+    module_parts = ("repro", "service", path.stem)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        for target in _service_violations_in(node, module_parts):
+            out.append(f"{path.name}:{node.lineno} imports {target}")
+    return out
+
+
+def test_service_modules_exist():
+    assert len(SERVICE_MODULES) >= 5  # scheduler, quota, cache, queries, service
+
+
+@pytest.mark.parametrize("path", SERVICE_MODULES, ids=lambda p: p.stem)
+def test_service_imports_only_whitelisted_layers(path: Path):
+    """service/*.py may import only exec, streaming, algebra, sparse,
+    runtime.telemetry, and runtime.epoch."""
+    bad = _service_file_violations(path)
+    assert not bad, (
+        "service modules are whitelisted to "
+        + ", ".join(SERVICE_ALLOWED)
+        + ":\n  "
+        + "\n  ".join(bad)
+    )
+
+
+def test_service_lint_catches_runtime_machine_import():
+    node = ast.parse("from ..runtime import Machine\n").body[0]
+    assert _service_violations_in(node, ("repro", "service", "x")) == [
+        "repro.runtime.Machine"
+    ]
+
+
+def test_service_lint_catches_algorithms_import():
+    node = ast.parse("from ..algorithms import bfs_levels\n").body[0]
+    assert _service_violations_in(node, ("repro", "service", "x")) == [
+        "repro.algorithms.bfs_levels"
+    ]
+
+
+def test_service_lint_catches_ops_import():
+    node = ast.parse("import repro.ops.dispatch\n").body[0]
+    assert _service_violations_in(node, ("repro", "service", "x")) == [
+        "repro.ops.dispatch"
+    ]
+
+
+def test_service_lint_allows_whitelisted_spellings():
+    for src in (
+        "from ..exec.backend import IterationScope\n",
+        "from ..streaming import GraphStream\n",
+        "from ..runtime.telemetry import registry\n",
+        "from ..runtime.epoch import epoch_of\n",
+        "from ..runtime import epoch\n",
+        "from ..algebra.semiring import MIN_PLUS\n",
+        "from ..sparse.csr import CSRMatrix\n",
+        "from .cache import ResultCache\n",
+        "import numpy as np\n",
+    ):
+        node = ast.parse(src).body[0]
+        assert _service_violations_in(node, ("repro", "service", "x")) == [], src
